@@ -1,0 +1,67 @@
+/// \file bench_ablation_burst.cpp
+/// Ablation A2: burst (batch) size sweep. DPDK-style datapaths amortize
+/// per-burst ring overheads across the batch; this quantifies how much of
+/// the traditional path's cost is per-burst versus per-packet, and shows
+/// the bypass path benefits equally (its cost is ring-ops only).
+
+#include "bench_common.h"
+
+namespace hw::bench {
+namespace {
+
+constexpr TimeNs kWarmupNs = 2'000'000;
+constexpr TimeNs kMeasureNs = 8'000'000;
+
+struct Row {
+  std::uint32_t burst = 0;
+  double mpps_bypass = 0;
+  double mpps_vanilla = 0;
+};
+std::vector<Row> g_rows;
+
+void BM_Burst(benchmark::State& state) {
+  const auto burst = static_cast<std::uint32_t>(state.range(0));
+  const bool bypass = state.range(1) != 0;
+  chain::ChainConfig config;
+  config.vm_count = 4;
+  config.enable_bypass = bypass;
+  config.burst = burst;
+  config.hotplug = fast_hotplug();
+  chain::ChainMetrics metrics;
+  for (auto _ : state) {
+    metrics = run_chain_point(config, kWarmupNs, kMeasureNs);
+    state.SetIterationTime(static_cast<double>(metrics.duration_ns) / 1e9);
+  }
+  export_counters(state, metrics);
+  auto it = std::find_if(g_rows.begin(), g_rows.end(),
+                         [&](const Row& row) { return row.burst == burst; });
+  if (it == g_rows.end()) {
+    g_rows.push_back(Row{.burst = burst, .mpps_bypass = 0, .mpps_vanilla = 0});
+    it = g_rows.end() - 1;
+  }
+  (bypass ? it->mpps_bypass : it->mpps_vanilla) = metrics.mpps_total;
+}
+
+BENCHMARK(BM_Burst)
+    ->ArgNames({"burst", "bypass"})
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32, 64}, {0, 1}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n=== A2: burst size sweep (4-VM chain, 64B bidir) ===\n");
+  std::printf("%-10s %-20s %-20s\n", "burst", "vanilla [Mpps]",
+              "bypass [Mpps]");
+  for (const auto& row : hw::bench::g_rows) {
+    std::printf("%-10u %-20.3f %-20.3f\n", row.burst, row.mpps_vanilla,
+                row.mpps_bypass);
+  }
+  return 0;
+}

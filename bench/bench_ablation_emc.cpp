@@ -1,0 +1,68 @@
+/// \file bench_ablation_emc.cpp
+/// Ablation A3: the switch's exact-match cache on/off, vanilla chains of
+/// growing length. Without the EMC every packet pays a wildcard-table
+/// scan whose cost grows with the rule count (2 rules per inter-VM hop),
+/// so the traditional path degrades even faster — evidence that the
+/// bypass gain is not an artifact of a slow classifier.
+
+#include "bench_common.h"
+
+namespace hw::bench {
+namespace {
+
+constexpr TimeNs kWarmupNs = 2'000'000;
+constexpr TimeNs kMeasureNs = 8'000'000;
+
+struct Row {
+  std::uint32_t vms = 0;
+  double mpps_emc = 0;
+  double mpps_noemc = 0;
+};
+std::vector<Row> g_rows;
+
+void BM_Emc(benchmark::State& state) {
+  const auto vms = static_cast<std::uint32_t>(state.range(0));
+  const bool emc = state.range(1) != 0;
+  chain::ChainConfig config;
+  config.vm_count = vms;
+  config.enable_bypass = false;  // vanilla: the classifier is on-path
+  config.emc_enabled = emc;
+  config.hotplug = fast_hotplug();
+  chain::ChainMetrics metrics;
+  for (auto _ : state) {
+    metrics = run_chain_point(config, kWarmupNs, kMeasureNs);
+    state.SetIterationTime(static_cast<double>(metrics.duration_ns) / 1e9);
+  }
+  export_counters(state, metrics);
+  auto it = std::find_if(g_rows.begin(), g_rows.end(),
+                         [&](const Row& row) { return row.vms == vms; });
+  if (it == g_rows.end()) {
+    g_rows.push_back(Row{.vms = vms, .mpps_emc = 0, .mpps_noemc = 0});
+    it = g_rows.end() - 1;
+  }
+  (emc ? it->mpps_emc : it->mpps_noemc) = metrics.mpps_total;
+}
+
+BENCHMARK(BM_Emc)
+    ->ArgNames({"vms", "emc"})
+    ->ArgsProduct({{2, 4, 6, 8}, {0, 1}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n=== A3: exact-match cache on/off (vanilla chains) ===\n");
+  std::printf("%-8s %-20s %-20s\n", "# VMs", "EMC on [Mpps]",
+              "EMC off [Mpps]");
+  for (const auto& row : hw::bench::g_rows) {
+    std::printf("%-8u %-20.3f %-20.3f\n", row.vms, row.mpps_emc,
+                row.mpps_noemc);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// \file bench_fig3a.cpp
+/// Reproduces **Figure 3(a)**: throughput of memory-only VM chains of
+/// growing length (2–8 VMs), bidirectional 64 B traffic, first and last VM
+/// acting as traffic source/sink. Compares vanilla OVS-DPDK ("traditional
+/// approach") against the transparent bypass ("our approach").
+///
+/// Paper shape: the traditional curve decays roughly as 1/(chain length)
+/// because every hop crosses the single shared forwarding-engine core; the
+/// bypass curve stays roughly flat because each hop runs on its own VM
+/// core. On the paper's log axis the gap exceeds an order of magnitude for
+/// long chains.
+
+#include "bench_common.h"
+
+namespace hw::bench {
+namespace {
+
+SeriesTable g_table;
+
+constexpr TimeNs kWarmupNs = 3'000'000;    // 3 ms virtual
+constexpr TimeNs kMeasureNs = 10'000'000;  // 10 ms virtual
+
+chain::ChainConfig fig3a_config(std::uint32_t vm_count, bool bypass) {
+  chain::ChainConfig config;
+  config.vm_count = vm_count;
+  config.use_nics = false;
+  config.bidirectional = true;
+  config.enable_bypass = bypass;
+  config.engine_count = 1;  // stock OVS-DPDK runs one PMD core by default
+  config.frame_len = 64;
+  config.hotplug = fast_hotplug();
+  return config;
+}
+
+void BM_Fig3a(benchmark::State& state) {
+  const auto vm_count = static_cast<std::uint32_t>(state.range(0));
+  const bool bypass = state.range(1) != 0;
+  chain::ChainMetrics metrics;
+  for (auto _ : state) {
+    metrics = run_chain_point(fig3a_config(vm_count, bypass), kWarmupNs,
+                              kMeasureNs);
+    state.SetIterationTime(static_cast<double>(metrics.duration_ns) / 1e9);
+  }
+  export_counters(state, metrics);
+  g_table.add(vm_count, bypass, metrics);
+}
+
+BENCHMARK(BM_Fig3a)
+    ->ArgNames({"vms", "bypass"})
+    ->ArgsProduct({{2, 3, 4, 5, 6, 7, 8}, {0, 1}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  hw::bench::g_table.print_throughput(
+      "Figure 3(a): memory-only chains, bidirectional 64B traffic");
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// \file bench_fig3b.cpp
+/// Reproduces **Figure 3(b)**: the same VM chains (length 1–8) with
+/// traffic delivered and drained through two simulated 10 GbE NICs
+/// (Intel 82599ES model), bidirectional 64 B frames.
+///
+/// Paper shape: at chain length 1 the two approaches coincide (there is no
+/// inter-VM link to bypass; the NIC edges always cross the switch). As the
+/// chain grows, the traditional curve decays — the switch cores also carry
+/// every inter-VM hop — while the bypass curve stays flat at the
+/// NIC/edge-bound plateau. Axis range in the paper is ~4–20 Mpps.
+
+#include "bench_common.h"
+
+namespace hw::bench {
+namespace {
+
+SeriesTable g_table;
+
+constexpr TimeNs kWarmupNs = 3'000'000;
+constexpr TimeNs kMeasureNs = 10'000'000;
+
+chain::ChainConfig fig3b_config(std::uint32_t vm_count, bool bypass) {
+  chain::ChainConfig config;
+  config.vm_count = vm_count;
+  config.use_nics = true;
+  config.bidirectional = true;
+  config.enable_bypass = bypass;
+  // NIC deployments pin one PMD core per NIC (pmd-cpu-mask with 2 bits).
+  config.engine_count = 2;
+  config.frame_len = 64;
+  config.hotplug = fast_hotplug();
+  return config;
+}
+
+void BM_Fig3b(benchmark::State& state) {
+  const auto vm_count = static_cast<std::uint32_t>(state.range(0));
+  const bool bypass = state.range(1) != 0;
+  chain::ChainMetrics metrics;
+  for (auto _ : state) {
+    metrics = run_chain_point(fig3b_config(vm_count, bypass), kWarmupNs,
+                              kMeasureNs);
+    state.SetIterationTime(static_cast<double>(metrics.duration_ns) / 1e9);
+  }
+  export_counters(state, metrics);
+  g_table.add(vm_count, bypass, metrics);
+}
+
+BENCHMARK(BM_Fig3b)
+    ->ArgNames({"vms", "bypass"})
+    ->ArgsProduct({{1, 2, 3, 4, 5, 6, 7, 8}, {0, 1}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  hw::bench::g_table.print_throughput(
+      "Figure 3(b): chains fed through two 10G NICs, bidirectional 64B");
+  return 0;
+}

@@ -1,0 +1,96 @@
+/// \file dynamic_reroute.cpp
+/// Demonstrates the *dynamicity* claim: the bypass is created and removed
+/// on the fly purely from run-time analysis of OpenFlow rules, with
+/// traffic flowing throughout and no packet loss.
+///
+/// Timeline (3-VM chain, bidirectional 64 B traffic):
+///   1. chain rules installed → all inter-VM links bypassed;
+///   2. the controller adds a HIGHER-priority rule on the first hop
+///      ("TCP/80 from vm0.r must be dropped" — a policy insertion): the
+///      catch-all no longer dominates, the detector revokes the link, the
+///      agent quiesces and drains the channel, traffic falls back to the
+///      normal path — transparently to the VNFs;
+///   3. the controller removes the policy rule → the bypass comes back.
+///
+/// Throughout, the example tracks mempool conservation: after a final
+/// drain every buffer is back in the pool — nothing was lost in the
+/// transitions.
+
+#include <cstdio>
+
+#include "chain/chain.h"
+#include "common/log.h"
+#include "pkt/headers.h"
+
+using namespace hw;
+
+namespace {
+
+void report(const char* phase, const chain::ChainMetrics& metrics) {
+  std::printf("%-28s %8.2f Mpps   switch_rx=%-10llu bypass_links=%zu\n",
+              phase, metrics.mpps_total,
+              static_cast<unsigned long long>(metrics.switch_rx_packets),
+              metrics.bypass_links);
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kInfo);
+
+  chain::ChainConfig config;
+  config.vm_count = 3;
+  config.enable_bypass = true;
+  chain::ChainScenario chain(config);
+  if (!chain.build().is_ok()) return 1;
+
+  std::printf("phase 1: establishing bypass channels...\n");
+  if (!chain.wait_bypass_ready()) return 1;
+  chain.warmup(2'000'000);
+  report("bypassed", chain.measure(5'000'000));
+
+  // --- phase 2: policy insertion breaks the p-2-p property ---------------
+  std::printf(
+      "\nphase 2: controller inserts a higher-priority drop rule on the "
+      "first hop...\n");
+  openflow::FlowMod policy;
+  policy.priority = 500;  // dominates the catch-all at priority 100
+  policy.cookie = 0xdead;
+  policy.match.in_port(chain.right_port(0))
+      .eth_type(pkt::kEtherTypeIpv4)
+      .ip_proto(pkt::kIpProtoTcp)
+      .l4_dst(80);
+  policy.actions = {openflow::Action::drop()};
+  if (!chain.send_flow_mod(policy).is_ok()) return 1;
+
+  // The detector revoked the link; the agent drains and dismantles it.
+  chain.runtime().run_until(
+      [&] {
+        return !chain.of().bypass_manager().links().contains(
+            chain.right_port(0));
+      },
+      400'000'000);
+  chain.warmup(2'000'000);
+  report("first hop via switch", chain.measure(5'000'000));
+
+  // --- phase 3: policy removed, bypass restored ---------------------------
+  std::printf("\nphase 3: controller removes the policy rule...\n");
+  policy.command = openflow::FlowModCommand::kDeleteStrict;
+  if (!chain.send_flow_mod(policy).is_ok()) return 1;
+  chain.runtime().run_until(
+      [&] {
+        return chain.of().bypass_manager().link_active(
+            chain.right_port(0), chain.left_port(1));
+      },
+      400'000'000);
+  chain.warmup(2'000'000);
+  report("bypass restored", chain.measure(5'000'000));
+
+  // --- conservation -------------------------------------------------------
+  const bool drained = chain.drain();
+  std::printf("\nmempool conservation after drain: %s (in_use=%zu)\n",
+              drained ? "OK — no packet leaked across transitions"
+                      : "LEAK DETECTED",
+              chain.pool().in_use());
+  return drained ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+/// \file packet_out_probe.cpp
+/// Demonstrates the two controller-facing *transparency* guarantees while
+/// a bypass is carrying all data traffic:
+///
+///   1. **packet-out still works**: the PMD keeps polling the normal
+///      channel even when bypassed, so an OpenFlow controller can inject
+///      frames (e.g. LLDP probes) into a bypassed port and the VNF
+///      receives them;
+///   2. **statistics stay truthful**: flow and port counters fetched over
+///      the wire protocol include the traffic that rode the bypass and
+///      never touched the switch — because the PMDs count it into the
+///      shared statistics memory on the switch's behalf.
+
+#include <cstdio>
+
+#include "chain/chain.h"
+#include "common/log.h"
+#include "openflow/codec.h"
+#include "pkt/packet.h"
+
+using namespace hw;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+
+  chain::ChainConfig config;
+  config.vm_count = 2;
+  config.enable_bypass = true;
+  chain::ChainScenario chain(config);
+  if (!chain.build().is_ok()) return 1;
+  if (!chain.wait_bypass_ready()) return 1;
+  chain.warmup(5'000'000);
+
+  // --- 1. packet-out into a bypassed port ---------------------------------
+  // vm1's left port receives its data traffic via the bypass; send it a
+  // controller probe through the normal channel.
+  const PortId probe_port = chain.left_port(1);
+  mbuf::Mbuf scratch;
+  pkt::FrameSpec probe_spec;
+  probe_spec.src_ip = pkt::ipv4(192, 168, 0, 1);
+  probe_spec.dst_ip = pkt::ipv4(192, 168, 0, 2);
+  probe_spec.frame_len = 64;
+  (void)pkt::build_frame(scratch, probe_spec);
+
+  openflow::PacketOut probe;
+  probe.out_port = probe_port;
+  probe.frame.assign(scratch.data, scratch.data + scratch.data_len);
+
+  vm::Vm& vm1 = chain.hypervisor().vm(1);
+  pmd::GuestPmd* pmd = vm1.pmd_for_port(probe_port);
+  const std::uint64_t normal_rx_before = pmd->counters().rx_normal;
+  const std::uint64_t bypass_rx_before = pmd->counters().rx_bypass;
+
+  const auto bytes = openflow::encode_packet_out(probe, 99);
+  if (!chain.of().handle_message(bytes).is_ok()) {
+    std::fprintf(stderr, "packet-out rejected\n");
+    return 1;
+  }
+  chain.runtime().run_until(
+      [&] { return pmd->counters().rx_normal > normal_rx_before; },
+      10'000'000);
+
+  std::printf("=== packet-out while bypassed ===\n");
+  std::printf("probe delivered on the NORMAL channel : %s\n",
+              pmd->counters().rx_normal > normal_rx_before ? "YES" : "no");
+  std::printf("data frames meanwhile on the bypass   : %llu\n",
+              static_cast<unsigned long long>(pmd->counters().rx_bypass -
+                                              bypass_rx_before));
+
+  // --- 2. statistics over the wire protocol -------------------------------
+  std::printf("\n=== statistics transparency ===\n");
+  const auto flow_reply =
+      chain.of().handle_message(openflow::encode_flow_stats_request(1));
+  for (const auto& entry :
+       openflow::decode_flow_stats_reply(flow_reply.value()).value()) {
+    std::printf("flow [%s] -> %llu pkts / %llu bytes\n",
+                entry.match.to_string().c_str(),
+                static_cast<unsigned long long>(entry.packet_count),
+                static_cast<unsigned long long>(entry.byte_count));
+  }
+  const auto port_reply = chain.of().handle_message(
+      openflow::encode_port_stats_request(chain.right_port(0), 2));
+  for (const auto& stats :
+       openflow::decode_port_stats_reply(port_reply.value()).value()) {
+    std::printf("port %u: rx %llu pkts, tx %llu pkts\n", stats.port,
+                static_cast<unsigned long long>(stats.rx_packets),
+                static_cast<unsigned long long>(stats.tx_packets));
+  }
+  std::printf(
+      "\n(the switch engine forwarded %llu frames, all during the ~100 ms "
+      "establishment window; every later counter increment above came "
+      "from the PMDs writing the shared statistics memory)\n",
+      static_cast<unsigned long long>(
+          chain.of().engines()[0]->counters().rx_packets));
+  return 0;
+}

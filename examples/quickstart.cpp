@@ -1,0 +1,58 @@
+/// \file quickstart.cpp
+/// Smallest end-to-end use of the library: build a 2-VM chain, watch the
+/// p-2-p link detector turn the steering rules into a live bypass, and
+/// compare throughput before and after.
+///
+///   $ ./examples/quickstart
+///
+/// What to look for: the "bypass" run forwards the same VMs' traffic
+/// several times faster, and the switch forwarding engine sees zero
+/// packets while the bypass is active.
+
+#include <cstdio>
+
+#include "chain/chain.h"
+#include "common/log.h"
+
+int main() {
+  hw::set_log_level(hw::LogLevel::kInfo);
+
+  for (const bool bypass : {false, true}) {
+    hw::chain::ChainConfig config;
+    config.vm_count = 2;
+    config.enable_bypass = bypass;
+
+    hw::chain::ChainScenario chain(config);
+    const hw::Status built = chain.build();
+    if (!built.is_ok()) {
+      std::fprintf(stderr, "build failed: %s\n", built.to_string().c_str());
+      return 1;
+    }
+
+    if (bypass) {
+      std::printf("\n--- waiting for the bypass channels (QEMU hot-plug"
+                  " takes ~100 ms of virtual time) ---\n");
+      if (!chain.wait_bypass_ready()) {
+        std::fprintf(stderr, "bypass never became active\n");
+        return 1;
+      }
+      std::printf("active bypass links: %zu\n",
+                  chain.of().bypass_manager().active_links());
+    }
+
+    chain.warmup(2'000'000);  // 2 ms virtual warmup
+    const hw::chain::ChainMetrics metrics = chain.measure(10'000'000);
+
+    std::printf("\n=== %s ===\n", bypass ? "our approach (bypass)"
+                                         : "vanilla OVS-DPDK");
+    std::printf("throughput       : %.2f Mpps (fwd %.2f + rev %.2f)\n",
+                metrics.mpps_total, metrics.mpps_fwd, metrics.mpps_rev);
+    std::printf("mean latency     : %.2f us\n",
+                metrics.latency_mean_ns / 1e3);
+    std::printf("switch forwarded : %llu frames in the window\n",
+                static_cast<unsigned long long>(metrics.switch_rx_packets));
+    std::printf("drops            : %llu\n",
+                static_cast<unsigned long long>(metrics.drops));
+  }
+  return 0;
+}

@@ -1,0 +1,407 @@
+#include "agent/compute_agent.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hw::agent {
+
+using pmd::CtrlMsg;
+using pmd::CtrlOp;
+
+ComputeAgent::ComputeAgent(shm::ShmManager& shm, exec::Runtime& runtime,
+                           HotplugLatencyModel latency)
+    : shm_(&shm), runtime_(&runtime), latency_(latency) {}
+
+void ComputeAgent::register_port(PortId port, VmId vm) {
+  port_vm_[port] = vm;
+}
+
+pmd::ControlChannel* ComputeAgent::control_for(PortId port) {
+  if (auto it = ctrl_cache_.find(port); it != ctrl_cache_.end()) {
+    return &it->second;
+  }
+  shm::ShmRegion* region = shm_->find(pmd::control_channel_region(port));
+  if (region == nullptr) return nullptr;
+  auto channel = pmd::ControlChannel::attach(*region);
+  if (!channel.is_ok()) return nullptr;
+  auto [it, inserted] = ctrl_cache_.emplace(port, channel.value());
+  return &it->second;
+}
+
+bool ComputeAgent::send_ctrl(PortId port, const CtrlMsg& msg) {
+  pmd::ControlChannel* channel = control_for(port);
+  if (channel == nullptr) return false;
+  if (!channel->cmd().enqueue(msg)) return false;
+  ++counters_.ctrl_sent;
+  return true;
+}
+
+void ComputeAgent::collect_acks() {
+  CtrlMsg ack;
+  for (auto& [port, channel] : ctrl_cache_) {
+    while (channel.ack().dequeue(ack)) {
+      acks_[ack.seq] = ack.ok != 0;
+    }
+  }
+}
+
+bool ComputeAgent::take_ack(std::uint16_t seq, bool* ok) {
+  auto it = acks_.find(seq);
+  if (it == acks_.end()) return false;
+  *ok = it->second;
+  acks_.erase(it);
+  return true;
+}
+
+bool ComputeAgent::region_ring_empty(const std::string& region_name,
+                                     PortId from, PortId to) {
+  shm::ShmRegion* region = shm_->find(region_name);
+  if (region == nullptr) return true;  // gone ⇒ nothing to drain
+  auto channel = pmd::ChannelView::attach(*region);
+  if (!channel.is_ok()) return true;
+  const PortId lo = std::min(from, to);
+  pmd::MbufRing& ring =
+      from == lo ? channel.value().a2b() : channel.value().b2a();
+  return ring.empty();
+}
+
+template <typename OpMap>
+void ComputeAgent::arm_after_serial(OpMap& ops, std::uint64_t id) {
+  runtime_->schedule(latency_.serial_rtt_ns, [&ops, id] {
+    if (auto it = ops.find(id); it != ops.end()) it->second.armed = true;
+  });
+}
+
+// --------------------------------------------------------------- setup
+
+void ComputeAgent::request_bypass_setup(
+    const vswitch::BypassSetupRequest& request) {
+  const std::uint64_t id = next_op_++;
+  SetupOp op;
+  op.req = request;
+  auto from_it = port_vm_.find(request.from);
+  auto to_it = port_vm_.find(request.to);
+  if (from_it == port_vm_.end() || to_it == port_vm_.end()) {
+    HW_LOG(kError, "agent", "setup %u->%u: unknown VM mapping", request.from,
+           request.to);
+    ++counters_.setup_failures;
+    if (sink_ != nullptr) {
+      sink_->on_bypass_ready(request.from, request.to, false);
+    }
+    return;
+  }
+  op.vm_from = from_it->second;
+  op.vm_to = to_it->second;
+  ++counters_.setups;
+  setups_.emplace(id, op);
+  // The unix-socket hop from ovs-vswitchd to the agent.
+  runtime_->schedule(latency_.request_rtt_ns,
+                     [this, id] { begin_setup(id); });
+}
+
+void ComputeAgent::begin_setup(std::uint64_t id) {
+  auto it = setups_.find(id);
+  if (it == setups_.end()) return;
+  SetupOp& op = it->second;
+  op.deadline = runtime_->now_ns() + op_timeout_ns;
+
+  if (!op.req.plug_required) {
+    // Second direction of an existing channel: the sibling op plugs the
+    // region; poll() proceeds once it is visible in both VMs.
+    return;
+  }
+  // Sequential QEMU ivshmem hot-plug into both VMs, each followed by the
+  // guest's PCI rescan before the device is usable.
+  const TimeNs per_vm = latency_.qemu_plug_ns + latency_.pci_scan_ns;
+  runtime_->schedule(per_vm, [this, id, per_vm] {
+    auto it1 = setups_.find(id);
+    if (it1 == setups_.end()) return;
+    if (shm_->plug(it1->second.req.region, it1->second.vm_from).is_ok()) {
+      ++counters_.plugs;
+    }
+    runtime_->schedule(per_vm, [this, id] {
+      auto it2 = setups_.find(id);
+      if (it2 == setups_.end()) return;
+      if (shm_->plug(it2->second.req.region, it2->second.vm_to).is_ok()) {
+        ++counters_.plugs;
+      }
+    });
+  });
+}
+
+bool ComputeAgent::progress_setup(std::uint64_t id, SetupOp& op) {
+  switch (op.stage) {
+    case SetupStage::kAwaitRegion: {
+      shm::ShmRegion* region = shm_->find(op.req.region);
+      if (region == nullptr || !region->is_plugged(op.vm_from) ||
+          !region->is_plugged(op.vm_to)) {
+        return false;
+      }
+      op.stage = SetupStage::kSendRx;
+      return false;
+    }
+    case SetupStage::kSendRx: {
+      if (!op.arm_scheduled) {
+        op.arm_scheduled = true;
+        op.rx_seq = next_seq_++;
+        arm_after_serial(setups_, id);
+        return false;
+      }
+      if (!op.armed) return false;
+      CtrlMsg msg;
+      msg.op = CtrlOp::kAttachBypassRx;
+      msg.seq = op.rx_seq;
+      msg.peer_port = op.req.from;
+      msg.rule_slot = op.req.rule_slot;
+      msg.epoch = op.req.epoch;
+      msg.set_region(op.req.region);
+      if (send_ctrl(op.req.to, msg)) op.stage = SetupStage::kWaitRxAck;
+      return false;
+    }
+    case SetupStage::kWaitRxAck: {
+      bool ok = false;
+      if (!take_ack(op.rx_seq, &ok)) return false;
+      if (!ok) {
+        ++counters_.ctrl_nacks;
+        op.failed = true;
+        return true;
+      }
+      op.stage = SetupStage::kSendTx;
+      op.armed = false;
+      op.arm_scheduled = false;
+      return false;
+    }
+    case SetupStage::kSendTx: {
+      if (!op.arm_scheduled) {
+        op.arm_scheduled = true;
+        op.tx_seq = next_seq_++;
+        arm_after_serial(setups_, id);
+        return false;
+      }
+      if (!op.armed) return false;
+      CtrlMsg msg;
+      msg.op = CtrlOp::kAttachBypassTx;
+      msg.seq = op.tx_seq;
+      msg.peer_port = op.req.to;
+      msg.rule_slot = op.req.rule_slot;
+      msg.epoch = op.req.epoch;
+      msg.set_region(op.req.region);
+      if (send_ctrl(op.req.from, msg)) op.stage = SetupStage::kWaitTxAck;
+      return false;
+    }
+    case SetupStage::kWaitTxAck: {
+      bool ok = false;
+      if (!take_ack(op.tx_seq, &ok)) return false;
+      if (!ok) {
+        ++counters_.ctrl_nacks;
+        op.failed = true;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void ComputeAgent::finish_setup(SetupOp& op, bool ok) {
+  if (ok) {
+    ++counters_.setups_ok;
+    HW_LOG(kInfo, "agent", "bypass %u->%u configured (region %s)",
+           op.req.from, op.req.to, op.req.region.c_str());
+  } else {
+    ++counters_.setup_failures;
+    // Best-effort rollback so the manager can destroy the region: detach
+    // the RX side if it got attached, undo our plugs.
+    if (op.stage == SetupStage::kSendTx ||
+        op.stage == SetupStage::kWaitTxAck) {
+      CtrlMsg msg;
+      msg.op = CtrlOp::kDetachBypassRx;
+      msg.seq = next_seq_++;
+      msg.set_region(op.req.region);
+      (void)send_ctrl(op.req.to, msg);
+    }
+    if (op.req.plug_required) {
+      if (shm_->unplug(op.req.region, op.vm_from).is_ok()) {
+        ++counters_.unplugs;
+      }
+      if (shm_->unplug(op.req.region, op.vm_to).is_ok()) {
+        ++counters_.unplugs;
+      }
+    }
+  }
+  if (sink_ != nullptr) sink_->on_bypass_ready(op.req.from, op.req.to, ok);
+}
+
+// ------------------------------------------------------------ teardown
+
+void ComputeAgent::request_bypass_teardown(
+    const vswitch::BypassTeardownRequest& request) {
+  const std::uint64_t id = next_op_++;
+  TeardownOp op;
+  op.req = request;
+  if (auto it = port_vm_.find(request.from); it != port_vm_.end()) {
+    op.vm_from = it->second;
+  }
+  if (auto it = port_vm_.find(request.to); it != port_vm_.end()) {
+    op.vm_to = it->second;
+  }
+  ++counters_.teardowns;
+  teardowns_.emplace(id, op);
+  runtime_->schedule(latency_.request_rtt_ns, [this, id] {
+    if (auto it = teardowns_.find(id); it != teardowns_.end()) {
+      it->second.deadline = runtime_->now_ns() + op_timeout_ns;
+    }
+  });
+}
+
+bool ComputeAgent::progress_teardown(std::uint64_t id, TeardownOp& op) {
+  if (op.deadline == 0) return false;  // request RTT not yet elapsed
+  switch (op.stage) {
+    case TeardownStage::kSendDetachTx: {
+      if (!op.arm_scheduled) {
+        op.arm_scheduled = true;
+        op.tx_seq = next_seq_++;
+        arm_after_serial(teardowns_, id);
+        return false;
+      }
+      if (!op.armed) return false;
+      CtrlMsg msg;
+      msg.op = CtrlOp::kDetachBypassTx;
+      msg.seq = op.tx_seq;
+      msg.set_region(op.req.region);
+      if (send_ctrl(op.req.from, msg)) {
+        op.stage = TeardownStage::kWaitDetachTxAck;
+      }
+      return false;
+    }
+    case TeardownStage::kWaitDetachTxAck: {
+      bool ok = false;
+      if (!take_ack(op.tx_seq, &ok)) return false;
+      if (!ok) ++counters_.ctrl_nacks;  // e.g. TX never attached; continue
+      op.stage = TeardownStage::kWaitDrain;
+      return false;
+    }
+    case TeardownStage::kWaitDrain: {
+      // TX quiesced; the RX-side PMD keeps polling the bypass. Wait until
+      // every in-flight frame has been consumed.
+      if (!region_ring_empty(op.req.region, op.req.from, op.req.to)) {
+        return false;
+      }
+      op.stage = TeardownStage::kSendDetachRx;
+      op.armed = false;
+      op.arm_scheduled = false;
+      return false;
+    }
+    case TeardownStage::kSendDetachRx: {
+      if (!op.arm_scheduled) {
+        op.arm_scheduled = true;
+        op.rx_seq = next_seq_++;
+        arm_after_serial(teardowns_, id);
+        return false;
+      }
+      if (!op.armed) return false;
+      CtrlMsg msg;
+      msg.op = CtrlOp::kDetachBypassRx;
+      msg.seq = op.rx_seq;
+      msg.set_region(op.req.region);
+      if (send_ctrl(op.req.to, msg)) {
+        op.stage = TeardownStage::kWaitDetachRxAck;
+      }
+      return false;
+    }
+    case TeardownStage::kWaitDetachRxAck: {
+      bool ok = false;
+      if (!take_ack(op.rx_seq, &ok)) return false;
+      if (!ok) {
+        // A frame slipped in between our emptiness check and the PMD's
+        // own: the PMD refuses to detach a non-empty ring. Drain again.
+        ++counters_.ctrl_nacks;
+        ++counters_.drain_retries;
+        op.stage = TeardownStage::kWaitDrain;
+        return false;
+      }
+      if (!op.req.unplug_after) return true;  // sibling keeps the region
+      op.stage = TeardownStage::kUnplugging;
+      return false;
+    }
+    case TeardownStage::kUnplugging: {
+      if (!op.unplug_scheduled) {
+        op.unplug_scheduled = true;
+        // Two sequential QEMU device_del operations.
+        runtime_->schedule(2 * latency_.qemu_unplug_ns, [this, id] {
+          auto it = teardowns_.find(id);
+          if (it == teardowns_.end()) return;
+          TeardownOp& op2 = it->second;
+          if (shm_->unplug(op2.req.region, op2.vm_from).is_ok()) {
+            ++counters_.unplugs;
+          }
+          if (shm_->unplug(op2.req.region, op2.vm_to).is_ok()) {
+            ++counters_.unplugs;
+          }
+          op2.unplug_done = true;
+        });
+      }
+      return op.unplug_done;
+    }
+  }
+  return false;
+}
+
+void ComputeAgent::finish_teardown(TeardownOp& op) {
+  HW_LOG(kInfo, "agent", "bypass %u->%u dismantled", op.req.from,
+         op.req.to);
+  if (sink_ != nullptr) {
+    sink_->on_bypass_torn_down(op.req.from, op.req.to);
+  }
+}
+
+// ----------------------------------------------------------------- poll
+
+std::uint32_t ComputeAgent::poll(exec::CycleMeter& meter) {
+  meter.charge(25);
+  if (setups_.empty() && teardowns_.empty()) return 0;
+  collect_acks();
+
+  std::uint32_t progressed = 0;
+  const TimeNs now = runtime_->now_ns();
+
+  std::vector<std::uint64_t> done;
+  for (auto& [id, op] : setups_) {
+    if (op.deadline != 0 && now > op.deadline) {
+      ++counters_.timeouts;
+      op.failed = true;
+      finish_setup(op, false);
+      done.push_back(id);
+      ++progressed;
+      continue;
+    }
+    if (progress_setup(id, op)) {
+      finish_setup(op, !op.failed);
+      done.push_back(id);
+      ++progressed;
+    }
+  }
+  for (const auto id : done) setups_.erase(id);
+  done.clear();
+
+  for (auto& [id, op] : teardowns_) {
+    if (op.deadline != 0 && now > op.deadline &&
+        op.stage != TeardownStage::kUnplugging) {
+      ++counters_.timeouts;
+      finish_teardown(op);  // forced completion keeps the switch consistent
+      done.push_back(id);
+      ++progressed;
+      continue;
+    }
+    if (progress_teardown(id, op)) {
+      finish_teardown(op);
+      done.push_back(id);
+      ++progressed;
+    }
+  }
+  for (const auto id : done) teardowns_.erase(id);
+
+  return progressed;
+}
+
+}  // namespace hw::agent

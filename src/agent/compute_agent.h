@@ -1,0 +1,182 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/context.h"
+#include "exec/cost_model.h"
+#include "exec/runtime.h"
+#include "pmd/channel.h"
+#include "pmd/control.h"
+#include "shm/shm.h"
+#include "vswitch/bypass_manager.h"
+
+/// \file compute_agent.h
+/// The *modified compute agent* of the paper: the external component the
+/// vSwitch relies on because "OvS does not know which VM is attached to a
+/// specific port". On a bypass-setup request it (i) hot-plugs the bypass
+/// region into both VMs as an ivshmem device via QEMU, and (ii) configures
+/// the two PMD instances over their virtio-serial control channels — RX
+/// side first, so no frame is ever written into an unpolled ring. Teardown
+/// runs the reverse, quiescing the TX side and draining the ring before
+/// detaching RX, so no in-flight packet is lost.
+///
+/// Latencies of the QEMU/guest operations are modeled explicitly by
+/// HotplugLatencyModel; their sum is the ~100 ms setup time the paper
+/// reports (§3).
+
+namespace hw::agent {
+
+struct HotplugLatencyModel {
+  TimeNs request_rtt_ns = 200'000;       ///< OVS→agent unix-socket RTT
+  TimeNs qemu_plug_ns = 25'000'000;      ///< QEMU monitor ivshmem device_add
+  TimeNs pci_scan_ns = 22'000'000;       ///< guest PCI rescan + driver probe
+  TimeNs serial_rtt_ns = 2'000'000;      ///< virtio-serial command latency
+  TimeNs qemu_unplug_ns = 5'000'000;     ///< QEMU monitor device_del
+
+  /// Expected end-to-end first-direction setup latency (both VMs plugged
+  /// sequentially, then both PMDs configured in turn).
+  [[nodiscard]] TimeNs expected_setup_ns() const noexcept {
+    return request_rtt_ns + 2 * (qemu_plug_ns + pci_scan_ns) +
+           2 * serial_rtt_ns;
+  }
+
+  /// Zero-latency model for tests that exercise only the protocol.
+  [[nodiscard]] static HotplugLatencyModel instant() noexcept {
+    return HotplugLatencyModel{0, 0, 0, 0, 0};
+  }
+};
+
+struct AgentCounters {
+  std::uint64_t setups = 0;
+  std::uint64_t setups_ok = 0;
+  std::uint64_t setup_failures = 0;
+  std::uint64_t teardowns = 0;
+  std::uint64_t plugs = 0;
+  std::uint64_t unplugs = 0;
+  std::uint64_t ctrl_sent = 0;
+  std::uint64_t ctrl_nacks = 0;
+  std::uint64_t drain_retries = 0;
+  std::uint64_t timeouts = 0;
+};
+
+class ComputeAgent final : public exec::Context,
+                           public vswitch::AgentInterface {
+ public:
+  ComputeAgent(shm::ShmManager& shm, exec::Runtime& runtime,
+               HotplugLatencyModel latency = {});
+
+  /// Completion callbacks target (the switch's BypassManager).
+  void set_event_sink(vswitch::BypassEventSink* sink) noexcept {
+    sink_ = sink;
+  }
+
+  /// Hypervisor registration: which VM owns which dpdkr port.
+  void register_port(PortId port, VmId vm);
+
+  // vswitch::AgentInterface:
+  void request_bypass_setup(
+      const vswitch::BypassSetupRequest& request) override;
+  void request_bypass_teardown(
+      const vswitch::BypassTeardownRequest& request) override;
+
+  // exec::Context:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "agent";
+  }
+  std::uint32_t poll(exec::CycleMeter& meter) override;
+
+  [[nodiscard]] const AgentCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const HotplugLatencyModel& latency() const noexcept {
+    return latency_;
+  }
+  [[nodiscard]] std::size_t inflight_ops() const noexcept {
+    return setups_.size() + teardowns_.size();
+  }
+
+  /// Per-op timeout (virtual time); exceeded setups fail, exceeded
+  /// teardowns complete forcibly.
+  TimeNs op_timeout_ns = 2'000'000'000;
+
+ private:
+  enum class SetupStage : std::uint8_t {
+    kAwaitRegion,  ///< region must be plugged into both VMs
+    kSendRx,       ///< configure RX-side PMD (after serial latency)
+    kWaitRxAck,
+    kSendTx,       ///< configure TX-side PMD
+    kWaitTxAck,
+  };
+  struct SetupOp {
+    vswitch::BypassSetupRequest req;
+    VmId vm_from = 0;
+    VmId vm_to = 0;
+    SetupStage stage = SetupStage::kAwaitRegion;
+    bool armed = false;          ///< serial latency elapsed for this send
+    bool arm_scheduled = false;
+    std::uint16_t rx_seq = 0;
+    std::uint16_t tx_seq = 0;
+    TimeNs deadline = 0;
+    bool failed = false;
+  };
+
+  enum class TeardownStage : std::uint8_t {
+    kSendDetachTx,
+    kWaitDetachTxAck,
+    kWaitDrain,     ///< bypass ring must empty before RX detach
+    kSendDetachRx,
+    kWaitDetachRxAck,
+    kUnplugging,
+  };
+  struct TeardownOp {
+    vswitch::BypassTeardownRequest req;
+    VmId vm_from = 0;
+    VmId vm_to = 0;
+    TeardownStage stage = TeardownStage::kSendDetachTx;
+    bool armed = false;
+    bool arm_scheduled = false;
+    bool unplug_scheduled = false;
+    bool unplug_done = false;
+    std::uint16_t tx_seq = 0;
+    std::uint16_t rx_seq = 0;
+    TimeNs deadline = 0;
+  };
+
+  void begin_setup(std::uint64_t id);
+  /// Returns true when the op finished (op.failed says how).
+  bool progress_setup(std::uint64_t id, SetupOp& op);
+  bool progress_teardown(std::uint64_t id, TeardownOp& op);
+  void finish_setup(SetupOp& op, bool ok);
+  void finish_teardown(TeardownOp& op);
+  /// Schedules op.armed = true after the virtio-serial latency.
+  template <typename OpMap>
+  void arm_after_serial(OpMap& ops, std::uint64_t id);
+
+  [[nodiscard]] pmd::ControlChannel* control_for(PortId port);
+  bool send_ctrl(PortId port, const pmd::CtrlMsg& msg);
+  void collect_acks();
+  [[nodiscard]] bool take_ack(std::uint16_t seq, bool* ok);
+  [[nodiscard]] bool region_ring_empty(const std::string& region,
+                                       PortId from, PortId to);
+
+  shm::ShmManager* shm_;
+  exec::Runtime* runtime_;
+  HotplugLatencyModel latency_;
+  vswitch::BypassEventSink* sink_ = nullptr;
+
+  std::unordered_map<PortId, VmId> port_vm_;
+  std::unordered_map<PortId, pmd::ControlChannel> ctrl_cache_;
+  std::map<std::uint64_t, SetupOp> setups_;
+  std::map<std::uint64_t, TeardownOp> teardowns_;
+  std::unordered_map<std::uint16_t, bool> acks_;  ///< seq → ok
+  std::uint64_t next_op_ = 1;
+  std::uint16_t next_seq_ = 1;
+  AgentCounters counters_;
+};
+
+}  // namespace hw::agent

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/types.h"
+
+/// \file latency.h
+/// Fixed-footprint latency aggregator: count/sum/min/max plus a log2
+/// histogram for approximate quantiles. No allocation after construction,
+/// so sinks can record on the packet path.
+
+namespace hw {
+
+class LatencyRecorder {
+ public:
+  static constexpr std::size_t kBuckets = 40;  // 1 ns .. ~550 s
+
+  void record(TimeNs latency_ns) noexcept {
+    ++count_;
+    sum_ += latency_ns;
+    min_ = count_ == 1 ? latency_ns : std::min(min_, latency_ns);
+    max_ = std::max(max_, latency_ns);
+    const std::size_t bucket =
+        latency_ns == 0
+            ? 0
+            : std::min<std::size_t>(kBuckets - 1,
+                                    std::bit_width(latency_ns) - 1);
+    ++buckets_[bucket];
+  }
+
+  void reset() noexcept {
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+    buckets_.fill(0);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] TimeNs min() const noexcept { return min_; }
+  [[nodiscard]] TimeNs max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Approximate quantile (q in [0,1]) from the log2 histogram: returns
+  /// the upper bound of the bucket containing the q-th sample.
+  [[nodiscard]] TimeNs quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= target) return (TimeNs{1} << (i + 1)) - 1;
+    }
+    return max_;
+  }
+
+  /// Combines another recorder's samples into this one (used to aggregate
+  /// per-sink measurements into one chain-level distribution).
+  void merge(const LatencyRecorder& other) noexcept {
+    if (other.count_ == 0) return;
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  TimeNs min_ = 0;
+  TimeNs max_ = 0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+}  // namespace hw

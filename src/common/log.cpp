@@ -1,0 +1,53 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace hw {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DBG";
+    case LogLevel::kInfo: return "INF";
+    case LogLevel::kWarn: return "WRN";
+    case LogLevel::kError: return "ERR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "???";
+}
+
+}  // namespace
+
+namespace log_internal {
+
+LogLevel get_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void emit(LogLevel level, std::string_view component, std::string_view msg) {
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_tag(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace log_internal
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_printf(LogLevel level, std::string_view component,
+                const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  log_internal::emit(level, component, buf);
+}
+
+}  // namespace hw

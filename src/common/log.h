@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+/// \file log.h
+/// Minimal leveled logger for control-plane diagnostics.
+///
+/// The data plane must never log per packet; logging is for lifecycle
+/// events (port added, bypass established, teardown) and test diagnostics.
+/// Output goes to stderr. Thread-safe at line granularity (single fprintf).
+
+namespace hw {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+namespace log_internal {
+/// Global minimum level; messages below it are discarded.
+LogLevel get_level() noexcept;
+void emit(LogLevel level, std::string_view component, std::string_view msg);
+}  // namespace log_internal
+
+/// Sets the global log level (e.g. LogLevel::kOff in benchmarks).
+void set_log_level(LogLevel level) noexcept;
+
+/// printf-style logging helper used via the HW_LOG macro.
+void log_printf(LogLevel level, std::string_view component,
+                const char* fmt, ...) __attribute__((format(printf, 3, 4)));
+
+}  // namespace hw
+
+/// HW_LOG(kInfo, "vswitch", "port %u added", id);
+#define HW_LOG(level, component, ...)                                     \
+  do {                                                                    \
+    if (::hw::LogLevel::level >= ::hw::log_internal::get_level()) {       \
+      ::hw::log_printf(::hw::LogLevel::level, (component), __VA_ARGS__);  \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.h
+/// Deterministic, fast PRNG for traffic generation and property tests.
+///
+/// xorshift128+ — not cryptographic; chosen for speed and reproducibility.
+/// Every workload in the benchmark harness seeds explicitly so that runs
+/// are bit-for-bit repeatable.
+
+namespace hw {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // SplitMix64 expansion of the seed into two nonzero words.
+    auto mix = [&seed]() noexcept {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = mix();
+    s1_ = mix();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound). bound == 0 returns 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    return next() % bound;
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  [[nodiscard]] std::uint64_t next_in(std::uint64_t lo,
+                                      std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial with probability num/den.
+  [[nodiscard]] bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return next_below(den) < num;
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace hw

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Lightweight error propagation for control-plane code.
+///
+/// The data plane never allocates or throws; control-plane operations
+/// (port creation, FlowMod handling, bypass setup) return Status /
+/// Result<T>. This is a minimal stand-in for std::expected (unavailable in
+/// GCC 12's C++20 mode).
+
+namespace hw {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+};
+
+/// Human-readable name of a status code.
+[[nodiscard]] std::string_view status_code_name(StatusCode code) noexcept;
+
+/// A status code plus an optional diagnostic message.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() noexcept { return {}; }
+  [[nodiscard]] static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  [[nodiscard]] static Status not_found(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  [[nodiscard]] static Status already_exists(std::string msg) {
+    return {StatusCode::kAlreadyExists, std::move(msg)};
+  }
+  [[nodiscard]] static Status resource_exhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  [[nodiscard]] static Status failed_precondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  [[nodiscard]] static Status unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  [[nodiscard]] static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of T or an error Status. Accessing value() on an error is
+/// a programming bug (asserted), mirroring std::expected::value semantics
+/// without exceptions.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).is_ok() &&
+           "Result<T> must not hold an OK status without a value");
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  /// On rvalues, value() returns BY VALUE: `decode(...).value()` must not
+  /// hand out a reference into a dying temporary (e.g. as a range-for
+  /// initializer, whose temporaries are not lifetime-extended in C++20).
+  [[nodiscard]] T value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(data_));
+  }
+  [[nodiscard]] T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace hw
+
+/// Propagates a non-OK Status to the caller, like absl's RETURN_IF_ERROR.
+#define HW_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::hw::Status hw_status_ = (expr);             \
+    if (!hw_status_.is_ok()) return hw_status_;   \
+  } while (false)

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+/// \file units.h
+/// Rate and time conversion helpers used by the NIC model and reporting.
+
+namespace hw {
+
+inline constexpr TimeNs kNsPerSec = 1'000'000'000ULL;
+inline constexpr TimeNs kNsPerMs = 1'000'000ULL;
+inline constexpr TimeNs kNsPerUs = 1'000ULL;
+
+/// Ethernet per-frame wire overhead: 7 B preamble + 1 B SFD + 12 B IFG.
+/// A 64 B frame therefore occupies 84 B of wire time, which is what caps a
+/// 10 GbE link at 14.88 Mpps.
+inline constexpr std::uint32_t kEthWireOverhead = 20;
+
+/// Minimum / maximum Ethernet frame sizes (without wire overhead, with FCS).
+inline constexpr std::uint32_t kMinFrameSize = 64;
+inline constexpr std::uint32_t kMaxFrameSize = 1518;
+
+/// Packets-per-second a link of `bits_per_sec` sustains at `frame_bytes`.
+[[nodiscard]] constexpr double line_rate_pps(std::uint64_t bits_per_sec,
+                                             std::uint32_t frame_bytes) noexcept {
+  const double wire_bits =
+      8.0 * (static_cast<double>(frame_bytes) + kEthWireOverhead);
+  return static_cast<double>(bits_per_sec) / wire_bits;
+}
+
+/// Converts a packet count over a duration to Mpps.
+[[nodiscard]] constexpr double to_mpps(std::uint64_t packets,
+                                       TimeNs duration_ns) noexcept {
+  if (duration_ns == 0) return 0.0;
+  return static_cast<double>(packets) * 1e3 /
+         static_cast<double>(duration_ns);
+}
+
+/// Converts a byte count over a duration to Gbps (payload bits only).
+[[nodiscard]] constexpr double to_gbps(std::uint64_t bytes,
+                                       TimeNs duration_ns) noexcept {
+  if (duration_ns == 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 /
+         static_cast<double>(duration_ns);
+}
+
+static_assert(line_rate_pps(10'000'000'000ULL, 64) > 14.8e6 &&
+                  line_rate_pps(10'000'000'000ULL, 64) < 14.9e6,
+              "10GbE @64B must be ~14.88 Mpps");
+
+}  // namespace hw

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.h"
+
+/// \file context.h
+/// Execution contexts: the unit of "one CPU core busy-polling".
+///
+/// Every active element of the system — a VM's DPDK application, a switch
+/// PMD thread, a NIC, the compute agent — implements Context::poll() as a
+/// single non-blocking iteration of its run loop. The same object can then
+/// be driven by:
+///   * SimRuntime   — one virtual 3 GHz core per context, advancing in
+///                    lock-step epochs with a cycle cost model (benchmarks,
+///                    deterministic);
+///   * ThreadedRuntime — one real std::jthread per context (integration
+///                    smoke tests; costs ignored, wall clock applies).
+
+namespace hw::exec {
+
+/// Accumulates the virtual CPU cycles a context spends. Components charge
+/// costs as they perform operations; the SimRuntime uses the per-epoch
+/// total to bound how much work a virtual core may do per epoch.
+class CycleMeter {
+ public:
+  void charge(Cycles cycles) noexcept {
+    epoch_used_ += cycles;
+    total_used_ += cycles;
+  }
+
+  [[nodiscard]] Cycles epoch_used() const noexcept { return epoch_used_; }
+  [[nodiscard]] Cycles total_used() const noexcept { return total_used_; }
+
+  /// Called by the runtime at each epoch boundary.
+  void begin_epoch() noexcept { epoch_used_ = 0; }
+
+ private:
+  Cycles epoch_used_ = 0;
+  Cycles total_used_ = 0;
+};
+
+/// One virtual core's worth of work. poll() must be non-blocking, must
+/// charge the meter for the work it performs, and returns the number of
+/// items (packets, messages) processed — 0 means idle this iteration.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  virtual std::uint32_t poll(CycleMeter& meter) = 0;
+};
+
+}  // namespace hw::exec

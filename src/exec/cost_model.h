@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+/// \file cost_model.h
+/// Per-operation virtual CPU costs, in cycles on a 3 GHz core (the paper's
+/// Xeon E5-2690 v2 frequency).
+///
+/// Calibration anchors (see EXPERIMENTS.md §calibration):
+///  * OVS-DPDK with EMC hits is widely reported at ~11–16 Mpps per PMD
+///    core for port-to-port forwarding. Our per-packet switch cost is
+///    deq + emc + action + enq ≈ 190 cycles → ~15.8 Mpps/core.
+///  * A trivial DPDK l2fwd-style VM app (ring→ring, touch headers) runs at
+///    several tens of Mpps; our per-packet VM cost ≈ 80 cycles → ~37 Mpps.
+/// Absolute numbers are indicative; the reproduced *shapes* come from which
+/// virtual core executes which per-hop work.
+
+namespace hw::exec {
+
+struct CostModel {
+  std::uint64_t hz = 3'000'000'000ULL;  ///< virtual core frequency
+
+  // Ring I/O (per burst base + per packet), mirroring rte_ring costs.
+  std::uint32_t ring_deq_base = 30;
+  std::uint32_t ring_deq_per_pkt = 10;
+  std::uint32_t ring_enq_base = 30;
+  std::uint32_t ring_enq_per_pkt = 10;
+
+  // Switch datapath.
+  std::uint32_t parse_per_pkt = 25;        ///< key extraction
+  std::uint32_t emc_hit = 55;              ///< exact-match cache hit
+  std::uint32_t classifier_per_rule = 25;  ///< wildcard scan per rule visited
+  std::uint32_t action_per_pkt = 20;       ///< action execution + batching
+
+  // VM application work.
+  std::uint32_t vm_app_per_pkt = 30;   ///< header touch ("move packets")
+  std::uint32_t mbuf_alloc = 25;       ///< generator-side alloc+build
+  std::uint32_t mbuf_free = 15;        ///< sink-side free
+
+  // NIC / misc.
+  std::uint32_t nic_per_pkt = 20;      ///< DMA/MAC handling per frame
+  std::uint32_t idle_poll = 35;        ///< cost of an empty poll iteration
+  std::uint32_t ctrl_poll = 20;        ///< control-channel check
+
+  [[nodiscard]] constexpr double ns_per_cycle() const noexcept {
+    return 1e9 / static_cast<double>(hz);
+  }
+  [[nodiscard]] constexpr Cycles cycles_for_ns(TimeNs ns) const noexcept {
+    return static_cast<Cycles>(static_cast<double>(ns) *
+                               static_cast<double>(hz) / 1e9);
+  }
+
+  /// Aggregate switch cost for one packet that hits the EMC (reporting).
+  [[nodiscard]] constexpr std::uint32_t switch_pkt_cost_emc() const noexcept {
+    return ring_deq_per_pkt + parse_per_pkt + emc_hit + action_per_pkt +
+           ring_enq_per_pkt;
+  }
+};
+
+}  // namespace hw::exec

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "exec/context.h"
+#include "exec/cost_model.h"
+
+/// \file runtime.h
+/// Drivers for Context objects plus a delayed-event facility used by the
+/// control plane (agent RTTs, QEMU hot-plug latencies, virtio-serial
+/// round-trips).
+
+namespace hw::exec {
+
+/// Abstract clock + scheduler. Components hold a Runtime& to stamp packets
+/// and to model control-plane latencies without knowing which driver runs
+/// them.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Current time: virtual ns under SimRuntime, wall ns under
+  /// ThreadedRuntime.
+  [[nodiscard]] virtual TimeNs now_ns() const noexcept = 0;
+
+  /// Runs `fn` once, `delay_ns` from now (epoch-granular under SimRuntime).
+  virtual void schedule(TimeNs delay_ns, std::function<void()> fn) = 0;
+};
+
+/// Per-context accounting exposed after a run.
+struct ContextReport {
+  std::string name;
+  Cycles busy_cycles = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t idle_polls = 0;
+  std::uint64_t items = 0;
+  double utilization = 0.0;  ///< busy cycles / wall cycles
+};
+
+// ---------------------------------------------------------------------
+// SimRuntime: deterministic virtual time.
+// ---------------------------------------------------------------------
+
+struct SimConfig {
+  TimeNs epoch_ns = 1000;  ///< lock-step granularity between virtual cores
+  CostModel cost;
+};
+
+/// Drives every registered context as its own virtual core: per epoch each
+/// context may consume up to epoch_ns worth of cycles; communication
+/// happens through the same rings used in threaded mode. Deterministic:
+/// same inputs → same packet-level schedule.
+class SimRuntime final : public Runtime {
+ public:
+  explicit SimRuntime(SimConfig config = {});
+
+  SimRuntime(const SimRuntime&) = delete;
+  SimRuntime& operator=(const SimRuntime&) = delete;
+
+  /// Registers a context. Must not be called while run_for is active.
+  void add_context(Context* ctx);
+
+  /// Advances virtual time by `duration_ns` (whole epochs).
+  void run_for(TimeNs duration_ns);
+
+  /// Advances until pred() is true or `max_ns` elapsed; returns whether the
+  /// predicate fired. The predicate is evaluated at epoch boundaries.
+  bool run_until(const std::function<bool()>& pred, TimeNs max_ns);
+
+  /// One epoch: fire due events, then step every context.
+  void step_epoch();
+
+  [[nodiscard]] TimeNs now_ns() const noexcept override;
+  void schedule(TimeNs delay_ns, std::function<void()> fn) override;
+
+  [[nodiscard]] const CostModel& cost() const noexcept {
+    return config_.cost;
+  }
+  [[nodiscard]] TimeNs epoch_ns() const noexcept { return config_.epoch_ns; }
+
+  /// Virtual time elapsed since construction.
+  [[nodiscard]] TimeNs elapsed_ns() const noexcept { return epoch_start_; }
+
+  [[nodiscard]] std::vector<ContextReport> reports() const;
+
+ private:
+  struct Slot {
+    Context* ctx;
+    CycleMeter meter;
+    /// Cycles a long poll() overspent beyond its epoch budget; repaid
+    /// before the context runs again, so throughput is exact at 1/hz.
+    Cycles debt = 0;
+    std::uint64_t polls = 0;
+    std::uint64_t idle_polls = 0;
+    std::uint64_t items = 0;
+  };
+  struct Event {
+    TimeNs due;
+    std::uint64_t order;  ///< FIFO among same-time events
+    std::function<void()> fn;
+    bool operator>(const Event& other) const noexcept {
+      return due != other.due ? due > other.due : order > other.order;
+    }
+  };
+
+  SimConfig config_;
+  Cycles cycles_per_epoch_;
+  TimeNs epoch_start_ = 0;
+  std::uint64_t event_order_ = 0;
+  Slot* active_ = nullptr;  ///< context currently inside poll()
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+// ---------------------------------------------------------------------
+// ThreadedRuntime: real threads, wall-clock time.
+// ---------------------------------------------------------------------
+
+/// Runs each context on its own std::jthread, busy-polling with a yield
+/// when idle (the build machine may have fewer cores than contexts). Used
+/// by integration smoke tests to prove the component code is genuinely
+/// thread-safe; throughput numbers from this driver are not meaningful on
+/// an oversubscribed host.
+class ThreadedRuntime final : public Runtime {
+ public:
+  ThreadedRuntime();
+  ~ThreadedRuntime() override;
+
+  void add_context(Context* ctx);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] TimeNs now_ns() const noexcept override;
+  void schedule(TimeNs delay_ns, std::function<void()> fn) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hw::exec

@@ -1,0 +1,114 @@
+#include "flowtable/flow_table.h"
+
+#include <algorithm>
+
+namespace hw::flowtable {
+
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+
+namespace {
+
+/// Sort predicate: priority descending, then id ascending for stability.
+bool entry_order(const FlowEntry& a, const FlowEntry& b) noexcept {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+Result<FlowModResult> FlowTable::apply(const FlowMod& mod, TimeNs now_ns) {
+  FlowModResult result;
+  switch (mod.command) {
+    case FlowModCommand::kAdd: {
+      if (mod.actions.empty()) {
+        return Status::invalid_argument("ADD flowmod with no actions");
+      }
+      // OpenFlow ADD overwrites an entry with identical match + priority.
+      for (FlowEntry& entry : entries_) {
+        if (entry.priority == mod.priority && entry.match == mod.match) {
+          entry.actions = mod.actions;
+          entry.cookie = mod.cookie;
+          entry.packet_count = 0;
+          entry.byte_count = 0;
+          entry.install_time_ns = now_ns;
+          ++result.modified;
+          ++version_;
+          return result;
+        }
+      }
+      FlowEntry entry;
+      entry.id = next_id_++;
+      entry.match = mod.match;
+      entry.priority = mod.priority;
+      entry.cookie = mod.cookie;
+      entry.actions = mod.actions;
+      entry.install_time_ns = now_ns;
+      entries_.push_back(std::move(entry));
+      std::sort(entries_.begin(), entries_.end(), entry_order);
+      ++result.added;
+      ++version_;
+      return result;
+    }
+
+    case FlowModCommand::kModify:
+    case FlowModCommand::kModifyStrict: {
+      if (mod.actions.empty()) {
+        return Status::invalid_argument("MODIFY flowmod with no actions");
+      }
+      const bool strict = mod.command == FlowModCommand::kModifyStrict;
+      for (FlowEntry& entry : entries_) {
+        const bool hit = strict ? (entry.priority == mod.priority &&
+                                   entry.match == mod.match)
+                                : mod.match.contains(entry.match);
+        if (hit) {
+          entry.actions = mod.actions;
+          entry.cookie = mod.cookie;
+          ++result.modified;
+        }
+      }
+      if (result.modified > 0) ++version_;
+      return result;
+    }
+
+    case FlowModCommand::kDelete:
+    case FlowModCommand::kDeleteStrict: {
+      const bool strict = mod.command == FlowModCommand::kDeleteStrict;
+      const auto before = entries_.size();
+      std::erase_if(entries_, [&](const FlowEntry& entry) {
+        return strict ? (entry.priority == mod.priority &&
+                         entry.match == mod.match)
+                      : mod.match.contains(entry.match);
+      });
+      result.removed = static_cast<std::uint32_t>(before - entries_.size());
+      if (result.removed > 0) ++version_;
+      return result;
+    }
+  }
+  return Status::invalid_argument("unknown flowmod command");
+}
+
+FlowEntry* FlowTable::lookup(const pkt::FlowKey& key) noexcept {
+  // entries_ is kept sorted by priority desc, id asc: first hit wins.
+  for (FlowEntry& entry : entries_) {
+    if (entry.match.matches(key)) return &entry;
+  }
+  return nullptr;
+}
+
+void FlowTable::account(RuleId id, std::uint64_t packets,
+                        std::uint64_t bytes) noexcept {
+  if (FlowEntry* entry = find(id)) {
+    entry->packet_count += packets;
+    entry->byte_count += bytes;
+  }
+}
+
+FlowEntry* FlowTable::find(RuleId id) noexcept {
+  for (FlowEntry& entry : entries_) {
+    if (entry.id == id) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace hw::flowtable

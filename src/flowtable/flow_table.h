@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "openflow/messages.h"
+#include "pkt/flow_key.h"
+
+/// \file flow_table.h
+/// The switch's flow table: a priority-ordered wildcard classifier with
+/// OpenFlow add/modify/delete semantics and per-rule counters. This is the
+/// structure the forwarding engine consults per packet and the p-2-p link
+/// detector scans per FlowMod.
+
+namespace hw::flowtable {
+
+struct FlowEntry {
+  RuleId id = kRuleNone;
+  openflow::Match match;
+  std::uint16_t priority = 0;
+  Cookie cookie = 0;
+  openflow::ActionList actions;
+  TimeNs install_time_ns = 0;
+  // Counters updated by the forwarding engine for switched traffic.
+  // Bypassed traffic is counted by the PMDs into the shared-stats region
+  // and merged at stats-request time.
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+/// Result of applying one FlowMod; the detector uses the affected ports.
+struct FlowModResult {
+  std::uint32_t added = 0;
+  std::uint32_t modified = 0;
+  std::uint32_t removed = 0;
+};
+
+class FlowTable {
+ public:
+  FlowTable() = default;
+
+  /// Applies an OpenFlow FlowMod. ADD replaces an entry with identical
+  /// match+priority; MODIFY/DELETE follow non-strict (containment) or
+  /// strict (identity) semantics per the command.
+  [[nodiscard]] Result<FlowModResult> apply(const openflow::FlowMod& mod,
+                                            TimeNs now_ns = 0);
+
+  /// Highest-priority entry matching the key; nullptr on miss. Ties are
+  /// broken by lowest rule id (deterministic, mirrors OVS's "undefined but
+  /// stable" behaviour). Hot path: no allocation.
+  [[nodiscard]] FlowEntry* lookup(const pkt::FlowKey& key) noexcept;
+
+  /// Adds `packets`/`bytes` to the rule's counters (forwarding engine).
+  void account(RuleId id, std::uint64_t packets, std::uint64_t bytes) noexcept;
+
+  /// All live entries, priority-descending. Invalidated by apply().
+  [[nodiscard]] const std::vector<FlowEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] FlowEntry* find(RuleId id) noexcept;
+
+  /// Monotonic version, bumped on every table change; consumed by the
+  /// exact-match cache for O(1) bulk invalidation.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  RuleId next_id_ = 1;
+  std::uint64_t version_ = 1;
+  // Sorted by (priority desc, id asc); linear lookup like OVS's slow path.
+  std::vector<FlowEntry> entries_;
+};
+
+/// Direct-mapped exact-match cache in front of the classifier — the
+/// analogue of the OVS-DPDK EMC. One entry per hash bucket; collisions
+/// overwrite (cheap, good enough for steady flows). A version snapshot
+/// invalidates the whole cache when the table changes.
+class ExactMatchCache {
+ public:
+  explicit ExactMatchCache(std::size_t buckets = 4096)
+      : buckets_(next_power_of_two(buckets)), slots_(buckets_) {}
+
+  /// Returns the cached rule id, or kRuleNone on miss/stale.
+  [[nodiscard]] RuleId lookup(const pkt::FlowKey& key, std::uint32_t hash,
+                              std::uint64_t table_version) noexcept {
+    Slot& slot = slots_[hash & (buckets_ - 1)];
+    if (slot.version == table_version && slot.hash == hash &&
+        slot.key == key) {
+      ++hits_;
+      return slot.rule;
+    }
+    ++misses_;
+    return kRuleNone;
+  }
+
+  void insert(const pkt::FlowKey& key, std::uint32_t hash, RuleId rule,
+              std::uint64_t table_version) noexcept {
+    Slot& slot = slots_[hash & (buckets_ - 1)];
+    slot.key = key;
+    slot.hash = hash;
+    slot.rule = rule;
+    slot.version = table_version;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Slot {
+    pkt::FlowKey key;
+    std::uint32_t hash = 0;
+    RuleId rule = kRuleNone;
+    std::uint64_t version = 0;
+  };
+  std::size_t buckets_;
+  std::vector<Slot> slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hw::flowtable

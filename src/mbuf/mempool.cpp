@@ -1,0 +1,73 @@
+#include "mbuf/mempool.h"
+
+#include <cassert>
+
+namespace hw::mbuf {
+
+Mempool::Mempool(std::string name, std::size_t count)
+    : name_(std::move(name)),
+      capacity_(next_power_of_two(count == 0 ? 1 : count)),
+      buffers_(new Mbuf[capacity_]),
+      // One extra slot tier: Vyukov ring of capacity N holds N entries.
+      free_list_(capacity_) {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    buffers_[i].pool_index = static_cast<std::uint32_t>(i);
+    Mbuf* ptr = &buffers_[i];
+    const bool ok = free_list_->enqueue(ptr);
+    assert(ok && "free list must hold the whole pool");
+    (void)ok;
+  }
+}
+
+Mbuf* Mempool::alloc() noexcept {
+  Mbuf* buf = nullptr;
+  if (!free_list_->dequeue(buf)) {
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  buf->reset();
+  return buf;
+}
+
+std::size_t Mempool::alloc_bulk(std::span<Mbuf*> out) noexcept {
+  std::size_t n = 0;
+  for (Mbuf*& slot : out) {
+    slot = alloc();
+    if (slot == nullptr) break;
+    ++n;
+  }
+  return n;
+}
+
+void Mempool::free(Mbuf* buf) noexcept {
+  assert(buf != nullptr && owns(buf) && "foreign or null mbuf freed");
+  frees_.fetch_add(1, std::memory_order_relaxed);
+  const bool ok = free_list_->enqueue(buf);
+  assert(ok && "free list overflow implies double free");
+  (void)ok;
+}
+
+void Mempool::free_bulk(std::span<Mbuf* const> bufs) noexcept {
+  for (Mbuf* buf : bufs) free(buf);
+}
+
+std::size_t Mempool::in_use() const noexcept {
+  const auto a = allocs_.load(std::memory_order_relaxed);
+  const auto f = frees_.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(a - f);
+}
+
+MempoolStats Mempool::stats() const noexcept {
+  return MempoolStats{
+      .allocs = allocs_.load(std::memory_order_relaxed),
+      .frees = frees_.load(std::memory_order_relaxed),
+      .alloc_failures = alloc_failures_.load(std::memory_order_relaxed),
+  };
+}
+
+bool Mempool::owns(const Mbuf* buf) const noexcept {
+  return buf >= buffers_.get() && buf < buffers_.get() + capacity_;
+}
+
+}  // namespace hw::mbuf

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "mbuf/mbuf.h"
+#include "ring/mpmc_ring.h"
+
+/// \file mempool.h
+/// Fixed-size lock-free packet-buffer pool, modeled on rte_mempool.
+///
+/// In the paper's prototype the mempool lives in hugepage memory shared
+/// with every VM via ivshmem, so that an mbuf pointer produced by one VM is
+/// directly dereferenceable by the next. Here the pool is one contiguous
+/// in-process allocation shared by all simulated VMs — same visibility,
+/// enforced trivially. The free list is an MPMC ring: any context may
+/// allocate or release concurrently.
+///
+/// Conservation invariant (checked by tests and the chain harness): every
+/// mbuf is at all times either (a) in the free list, (b) in exactly one
+/// ring, or (c) owned by exactly one context; `in_use()` returns to zero
+/// once all traffic drains.
+
+namespace hw::mbuf {
+
+struct MempoolStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t alloc_failures = 0;  ///< pool exhausted
+};
+
+class Mempool {
+ public:
+  /// Creates a pool of `count` buffers (rounded up to a power of two).
+  explicit Mempool(std::string name, std::size_t count);
+
+  Mempool(const Mempool&) = delete;
+  Mempool& operator=(const Mempool&) = delete;
+
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Allocates one buffer; nullptr when the pool is exhausted.
+  [[nodiscard]] Mbuf* alloc() noexcept;
+
+  /// Allocates up to out.size() buffers; returns the number provided.
+  /// Partial allocation is possible when the pool is nearly empty.
+  [[nodiscard]] std::size_t alloc_bulk(std::span<Mbuf*> out) noexcept;
+
+  /// Returns a buffer to the pool. `buf` must originate from this pool.
+  void free(Mbuf* buf) noexcept;
+
+  /// Returns all buffers in the span to the pool.
+  void free_bulk(std::span<Mbuf* const> bufs) noexcept;
+
+  /// Buffers currently outside the free list.
+  [[nodiscard]] std::size_t in_use() const noexcept;
+
+  [[nodiscard]] MempoolStats stats() const noexcept;
+
+  /// True iff buf points into this pool's buffer array (diagnostics).
+  [[nodiscard]] bool owns(const Mbuf* buf) const noexcept;
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::unique_ptr<Mbuf[]> buffers_;
+  ring::OwnedMpmcRing<Mbuf*> free_list_;
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> frees_{0};
+  std::atomic<std::uint64_t> alloc_failures_{0};
+};
+
+}  // namespace hw::mbuf

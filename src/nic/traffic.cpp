@@ -1,0 +1,69 @@
+#include "nic/traffic.h"
+
+#include <cstring>
+
+#include "pkt/packet.h"
+
+namespace hw::nic {
+
+TrafficSource::TrafficSource(std::string name, mbuf::Mempool& pool,
+                             const pkt::TrafficProfile& profile,
+                             exec::Runtime& runtime)
+    : name_(std::move(name)),
+      pool_(&pool),
+      runtime_(&runtime),
+      frame_len_(profile.frame_len) {
+  mbuf::Mbuf scratch;
+  for (const pkt::FrameSpec& spec : profile.make_flows()) {
+    const bool ok = pkt::build_frame(scratch, spec);
+    (void)ok;
+    templates_.emplace_back(scratch.data, scratch.data + scratch.data_len);
+  }
+  if (templates_.empty()) {
+    // Degenerate profile: fall back to one default flow.
+    const bool ok = pkt::build_frame(scratch, pkt::FrameSpec{});
+    (void)ok;
+    templates_.emplace_back(scratch.data, scratch.data + scratch.data_len);
+  }
+}
+
+std::size_t TrafficSource::produce(std::span<mbuf::Mbuf*> out) noexcept {
+  const TimeNs now = runtime_->now_ns();
+  std::size_t n = 0;
+  for (; n < out.size(); ++n) {
+    mbuf::Mbuf* buf = pool_->alloc();
+    if (buf == nullptr) {
+      ++alloc_failures_;
+      break;
+    }
+    const auto& image = templates_[next_flow_];
+    next_flow_ = (next_flow_ + 1) % templates_.size();
+    std::memcpy(buf->data, image.data(), image.size());
+    buf->data_len = static_cast<std::uint32_t>(image.size());
+    buf->seq = next_seq_++;
+    buf->ts_ns = now;
+    out[n] = buf;
+  }
+  generated_ += n;
+  return n;
+}
+
+TrafficSink::TrafficSink(std::string name, mbuf::Mempool& pool,
+                         exec::Runtime& runtime)
+    : name_(std::move(name)), pool_(&pool), runtime_(&runtime) {}
+
+void TrafficSink::consume(std::span<mbuf::Mbuf* const> pkts) noexcept {
+  const TimeNs now = runtime_->now_ns();
+  for (mbuf::Mbuf* buf : pkts) {
+    ++received_;
+    bytes_ += buf->data_len;
+    if (buf->ts_ns <= now) latency_.record(now - buf->ts_ns);
+    if (buf->seq != 0) {
+      if (buf->seq < last_seq_) ++reorders_;
+      last_seq_ = std::max(last_seq_, buf->seq);
+    }
+    pool_->free(buf);
+  }
+}
+
+}  // namespace hw::nic

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/latency.h"
+#include "common/types.h"
+#include "exec/runtime.h"
+#include "mbuf/mempool.h"
+#include "pkt/traffic_profile.h"
+
+/// \file traffic.h
+/// Wire-side endpoints of a simulated NIC: an (infinitely fast) traffic
+/// generator and a measuring sink. They stand in for the hardware tester
+/// that feeds/drains the paper's 10 G ports; the NIC's token bucket is
+/// what enforces line rate, not these endpoints.
+
+namespace hw::nic {
+
+/// Generates frames from a TrafficProfile, cycling its flows round-robin.
+/// Each frame is stamped with a monotonic sequence number and the current
+/// (virtual) time for loss and latency accounting downstream.
+class TrafficSource {
+ public:
+  TrafficSource(std::string name, mbuf::Mempool& pool,
+                const pkt::TrafficProfile& profile, exec::Runtime& runtime);
+
+  /// Fills up to out.size() frames; returns how many were produced
+  /// (bounded by mempool availability).
+  std::size_t produce(std::span<mbuf::Mbuf*> out) noexcept;
+
+  [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
+  [[nodiscard]] std::uint64_t alloc_failures() const noexcept {
+    return alloc_failures_;
+  }
+  [[nodiscard]] std::uint32_t frame_len() const noexcept { return frame_len_; }
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  mbuf::Mempool* pool_;
+  exec::Runtime* runtime_;
+  std::uint32_t frame_len_;
+  // Pre-built frame images, one per flow (templates are memcpy'd into
+  // fresh mbufs — the per-packet cost a real generator pays).
+  std::vector<std::vector<std::byte>> templates_;
+  std::size_t next_flow_ = 0;
+  SeqNo next_seq_ = 1;
+  std::uint64_t generated_ = 0;
+  std::uint64_t alloc_failures_ = 0;
+};
+
+/// Counts, measures, and frees delivered frames.
+class TrafficSink {
+ public:
+  TrafficSink(std::string name, mbuf::Mempool& pool, exec::Runtime& runtime);
+
+  void consume(std::span<mbuf::Mbuf* const> pkts) noexcept;
+
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t reorders() const noexcept { return reorders_; }
+  [[nodiscard]] const LatencyRecorder& latency() const noexcept {
+    return latency_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+
+  /// Starts a fresh measurement window (counters keep running totals;
+  /// callers snapshot; latency is reset here).
+  void reset_latency() noexcept { latency_.reset(); }
+
+ private:
+  std::string name_;
+  mbuf::Mempool* pool_;
+  exec::Runtime* runtime_;
+  std::uint64_t received_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t reorders_ = 0;
+  SeqNo last_seq_ = 0;
+  LatencyRecorder latency_;
+};
+
+}  // namespace hw::nic

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "openflow/messages.h"
+
+/// \file codec.h
+/// Binary wire codec for the OpenFlow-subset control channel.
+///
+/// The paper's transparency claim includes the controller side: an
+/// unmodified OpenFlow controller talks to the patched switch over the
+/// usual wire protocol. This codec models that boundary — the example
+/// controller and the integration tests drive the switch through encoded
+/// bytes rather than in-process structs, proving no extra information is
+/// needed on the wire.
+///
+/// Framing: every message starts with a fixed 8-byte header
+///   { u8 version, u8 type, u16 length (total, BE), u32 xid (BE) }
+/// mirroring the OpenFlow header layout.
+
+namespace hw::openflow {
+
+inline constexpr std::uint8_t kWireVersion = 0x04;  // OpenFlow 1.3 flavour
+
+enum class MsgType : std::uint8_t {
+  kHello = 0,
+  kEchoRequest = 2,
+  kEchoReply = 3,
+  kFlowMod = 14,
+  kPacketOut = 13,
+  kFlowStatsRequest = 18,
+  kFlowStatsReply = 19,
+  kPortStatsRequest = 20,
+  kPortStatsReply = 21,
+};
+
+struct MsgHeader {
+  std::uint8_t version = kWireVersion;
+  MsgType type = MsgType::kHello;
+  std::uint16_t length = 0;
+  std::uint32_t xid = 0;
+};
+inline constexpr std::size_t kMsgHeaderLen = 8;
+
+/// Reads a message header; fails on short input or version mismatch.
+[[nodiscard]] Result<MsgHeader> decode_header(
+    std::span<const std::byte> data);
+
+// --- per-message encoders (header included) ---
+[[nodiscard]] std::vector<std::byte> encode_flow_mod(const FlowMod& mod,
+                                                     std::uint32_t xid = 0);
+[[nodiscard]] std::vector<std::byte> encode_packet_out(const PacketOut& po,
+                                                       std::uint32_t xid = 0);
+[[nodiscard]] std::vector<std::byte> encode_flow_stats_request(
+    std::uint32_t xid = 0);
+[[nodiscard]] std::vector<std::byte> encode_flow_stats_reply(
+    std::span<const FlowStatsEntry> entries, std::uint32_t xid = 0);
+[[nodiscard]] std::vector<std::byte> encode_port_stats_request(
+    PortId port, std::uint32_t xid = 0);
+[[nodiscard]] std::vector<std::byte> encode_port_stats_reply(
+    std::span<const PortStats> entries, std::uint32_t xid = 0);
+
+// --- per-message decoders (expect the full message incl. header) ---
+[[nodiscard]] Result<FlowMod> decode_flow_mod(std::span<const std::byte> data);
+[[nodiscard]] Result<PacketOut> decode_packet_out(
+    std::span<const std::byte> data);
+[[nodiscard]] Result<std::vector<FlowStatsEntry>> decode_flow_stats_reply(
+    std::span<const std::byte> data);
+[[nodiscard]] Result<std::vector<PortStats>> decode_port_stats_reply(
+    std::span<const std::byte> data);
+[[nodiscard]] Result<PortId> decode_port_stats_request(
+    std::span<const std::byte> data);
+
+}  // namespace hw::openflow

@@ -1,0 +1,62 @@
+#include "openflow/messages.h"
+
+#include <cstdio>
+
+namespace hw::openflow {
+
+bool is_single_output(const ActionList& actions, PortId* out_port) noexcept {
+  if (actions.size() != 1) return false;
+  const Action& action = actions.front();
+  if (action.type != ActionType::kOutput) return false;
+  if (action.port >= kMaxPorts) return false;  // controller/drop sentinels
+  if (out_port != nullptr) *out_port = action.port;
+  return true;
+}
+
+FlowMod make_p2p_flowmod(PortId from, PortId to, std::uint16_t priority,
+                         Cookie cookie) noexcept {
+  FlowMod mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.priority = priority;
+  mod.cookie = cookie;
+  mod.match.in_port(from);
+  mod.actions = {Action::output(to)};
+  return mod;
+}
+
+std::string FlowMod::to_string() const {
+  const char* cmd = "?";
+  switch (command) {
+    case FlowModCommand::kAdd: cmd = "add"; break;
+    case FlowModCommand::kModify: cmd = "mod"; break;
+    case FlowModCommand::kModifyStrict: cmd = "mod_strict"; break;
+    case FlowModCommand::kDelete: cmd = "del"; break;
+    case FlowModCommand::kDeleteStrict: cmd = "del_strict"; break;
+  }
+  std::string out = cmd;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " prio=%u cookie=%llu match=[%s] actions=[",
+                priority, static_cast<unsigned long long>(cookie),
+                match.to_string().c_str());
+  out += buf;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) out += ",";
+    switch (actions[i].type) {
+      case ActionType::kOutput:
+        std::snprintf(buf, sizeof(buf), "output:%u", actions[i].port);
+        out += buf;
+        break;
+      case ActionType::kDrop:
+        out += "drop";
+        break;
+      case ActionType::kSetTtl:
+        std::snprintf(buf, sizeof(buf), "set_ttl:%u", actions[i].ttl);
+        out += buf;
+        break;
+    }
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace hw::openflow

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "openflow/match.h"
+
+/// \file messages.h
+/// OpenFlow-subset control messages exchanged between a controller and the
+/// switch: FlowMod, PacketOut, and statistics requests/replies. These are
+/// the inputs the p-2-p link detector analyses ("analyses each flowmod
+/// received by the vSwitch").
+
+namespace hw::openflow {
+
+// ------------------------------------------------------------------ Action
+
+enum class ActionType : std::uint8_t {
+  kOutput = 0,      ///< forward to a port (or kPortController)
+  kDrop = 1,        ///< explicit drop
+  kSetTtl = 2,      ///< rewrite IPv4 TTL (exercises non-forward actions)
+};
+
+struct Action {
+  ActionType type = ActionType::kDrop;
+  PortId port = kPortNone;   ///< for kOutput
+  std::uint8_t ttl = 0;      ///< for kSetTtl
+
+  [[nodiscard]] static Action output(PortId port) noexcept {
+    return Action{.type = ActionType::kOutput, .port = port, .ttl = 0};
+  }
+  [[nodiscard]] static Action drop() noexcept { return Action{}; }
+  [[nodiscard]] static Action set_ttl(std::uint8_t ttl) noexcept {
+    return Action{.type = ActionType::kSetTtl, .port = kPortNone, .ttl = ttl};
+  }
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+using ActionList = std::vector<Action>;
+
+/// True iff the action list is exactly one OUTPUT to a real port — the
+/// action shape of a p-2-p steering rule.
+[[nodiscard]] bool is_single_output(const ActionList& actions,
+                                    PortId* out_port = nullptr) noexcept;
+
+// ----------------------------------------------------------------- FlowMod
+
+enum class FlowModCommand : std::uint8_t {
+  kAdd = 0,
+  kModify = 1,        ///< non-strict: all rules contained by match
+  kModifyStrict = 2,  ///< exact match + priority
+  kDelete = 3,        ///< non-strict
+  kDeleteStrict = 4,
+};
+
+struct FlowMod {
+  FlowModCommand command = FlowModCommand::kAdd;
+  std::uint16_t priority = 0;
+  Cookie cookie = 0;
+  Match match;
+  ActionList actions;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Convenience constructor for the dominant use case: "steer everything
+/// from port A to port B at this priority".
+[[nodiscard]] FlowMod make_p2p_flowmod(PortId from, PortId to,
+                                       std::uint16_t priority,
+                                       Cookie cookie) noexcept;
+
+// --------------------------------------------------------------- PacketOut
+
+struct PacketOut {
+  PortId out_port = kPortNone;
+  std::vector<std::byte> frame;  ///< raw L2 frame to inject
+};
+
+// ------------------------------------------------------------------- Stats
+
+struct FlowStatsEntry {
+  Match match;
+  std::uint16_t priority = 0;
+  Cookie cookie = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  TimeNs duration_ns = 0;
+  ActionList actions;
+};
+
+struct PortStats {
+  PortId port = kPortNone;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_dropped = 0;
+  std::uint64_t tx_dropped = 0;
+
+  PortStats& operator+=(const PortStats& other) noexcept {
+    rx_packets += other.rx_packets;
+    rx_bytes += other.rx_bytes;
+    tx_packets += other.tx_packets;
+    tx_bytes += other.tx_bytes;
+    rx_dropped += other.rx_dropped;
+    tx_dropped += other.tx_dropped;
+    return *this;
+  }
+};
+
+}  // namespace hw::openflow

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file byteorder.h
+/// Network byte-order (big-endian) load/store helpers. Header fields are
+/// stored as raw bytes and accessed through these functions, making header
+/// structs layout-portable and strict-aliasing safe.
+
+namespace hw::pkt {
+
+inline void store_be16(std::byte* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::byte>(v >> 8);
+  p[1] = static_cast<std::byte>(v & 0xff);
+}
+
+inline void store_be32(std::byte* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::byte>(v >> 24);
+  p[1] = static_cast<std::byte>((v >> 16) & 0xff);
+  p[2] = static_cast<std::byte>((v >> 8) & 0xff);
+  p[3] = static_cast<std::byte>(v & 0xff);
+}
+
+[[nodiscard]] inline std::uint16_t load_be16(const std::byte* p) noexcept {
+  return static_cast<std::uint16_t>(
+      (std::to_integer<std::uint16_t>(p[0]) << 8) |
+      std::to_integer<std::uint16_t>(p[1]));
+}
+
+[[nodiscard]] inline std::uint32_t load_be32(const std::byte* p) noexcept {
+  return (std::to_integer<std::uint32_t>(p[0]) << 24) |
+         (std::to_integer<std::uint32_t>(p[1]) << 16) |
+         (std::to_integer<std::uint32_t>(p[2]) << 8) |
+         std::to_integer<std::uint32_t>(p[3]);
+}
+
+}  // namespace hw::pkt

@@ -1,0 +1,29 @@
+#include "pkt/checksum.h"
+
+namespace hw::pkt {
+
+std::uint16_t checksum_partial(std::span<const std::byte> data) noexcept {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (std::to_integer<std::uint64_t>(data[i]) << 8) |
+           std::to_integer<std::uint64_t>(data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += std::to_integer<std::uint64_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(sum);
+}
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept {
+  return static_cast<std::uint16_t>(~checksum_partial(data));
+}
+
+bool checksum_ok(std::span<const std::byte> data) noexcept {
+  return checksum_partial(data) == 0xffff;
+}
+
+}  // namespace hw::pkt

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+/// \file checksum.h
+/// RFC 1071 Internet checksum, used for the IPv4 header.
+
+namespace hw::pkt {
+
+/// One's-complement sum of the span, folded to 16 bits (not inverted).
+[[nodiscard]] std::uint16_t checksum_partial(
+    std::span<const std::byte> data) noexcept;
+
+/// Full Internet checksum (inverted fold) of the span. The checksum field
+/// inside the span must be zero when computing.
+[[nodiscard]] std::uint16_t internet_checksum(
+    std::span<const std::byte> data) noexcept;
+
+/// True iff the span (with its embedded checksum field) verifies.
+[[nodiscard]] bool checksum_ok(std::span<const std::byte> data) noexcept;
+
+}  // namespace hw::pkt

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+/// \file flow_key.h
+/// Canonical flow tuple extracted from a packet, used as the exact-match
+/// cache key in the switch classifier (the analogue of OVS's miniflow /
+/// EMC key).
+
+namespace hw::pkt {
+
+struct FlowKey {
+  PortId in_port = 0;
+  std::uint16_t ether_type = 0;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint8_t ip_proto = 0;
+  std::uint16_t src_port = 0;  ///< L4, host order; 0 when not TCP/UDP
+  std::uint16_t dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+/// 64→32 bit mix (splitmix-style) over the packed tuple. Good avalanche,
+/// cheap enough for the per-packet path.
+[[nodiscard]] inline std::uint32_t flow_key_hash(const FlowKey& key) noexcept {
+  std::uint64_t h = (static_cast<std::uint64_t>(key.src_ip) << 32) |
+                    key.dst_ip;
+  h ^= (static_cast<std::uint64_t>(key.in_port) << 48) |
+       (static_cast<std::uint64_t>(key.ether_type) << 32) |
+       (static_cast<std::uint64_t>(key.ip_proto) << 24);
+  h ^= (static_cast<std::uint64_t>(key.src_port) << 8) ^
+       (static_cast<std::uint64_t>(key.dst_port) << 16);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  const auto out = static_cast<std::uint32_t>(h ^ (h >> 32));
+  return out == 0 ? 1 : out;  // 0 is "not computed" in Mbuf::flow_hash
+}
+
+}  // namespace hw::pkt
+
+template <>
+struct std::hash<hw::pkt::FlowKey> {
+  std::size_t operator()(const hw::pkt::FlowKey& key) const noexcept {
+    return hw::pkt::flow_key_hash(key);
+  }
+};

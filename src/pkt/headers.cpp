@@ -1,0 +1,21 @@
+#include "pkt/headers.h"
+
+#include <cstdio>
+
+namespace hw::pkt {
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+std::string ipv4_to_string(std::uint32_t addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+}  // namespace hw::pkt

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pkt/byteorder.h"
+
+/// \file headers.h
+/// Wire-format protocol headers (Ethernet / IPv4 / UDP / TCP) as
+/// byte-accurate structs with accessor methods. Multi-byte fields are kept
+/// as raw byte arrays and converted on access, so the structs can be
+/// overlaid on packet buffers without alignment or endianness traps.
+
+namespace hw::pkt {
+
+// ---------------------------------------------------------------- Ethernet
+
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  [[nodiscard]] static constexpr MacAddr of(std::uint8_t a, std::uint8_t b,
+                                            std::uint8_t c, std::uint8_t d,
+                                            std::uint8_t e,
+                                            std::uint8_t f) noexcept {
+    return MacAddr{{a, b, c, d, e, f}};
+  }
+  /// Deterministic locally-administered MAC derived from an index.
+  [[nodiscard]] static constexpr MacAddr from_index(std::uint32_t i) noexcept {
+    return MacAddr{{0x02, 0x00,
+                    static_cast<std::uint8_t>(i >> 24),
+                    static_cast<std::uint8_t>(i >> 16),
+                    static_cast<std::uint8_t>(i >> 8),
+                    static_cast<std::uint8_t>(i)}};
+  }
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const MacAddr&, const MacAddr&) = default;
+};
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+
+struct EthernetHeader {
+  std::byte dst[6];
+  std::byte src[6];
+  std::byte ethertype[2];
+
+  [[nodiscard]] MacAddr dst_mac() const noexcept {
+    MacAddr m;
+    for (int i = 0; i < 6; ++i) m.bytes[i] = std::to_integer<std::uint8_t>(dst[i]);
+    return m;
+  }
+  [[nodiscard]] MacAddr src_mac() const noexcept {
+    MacAddr m;
+    for (int i = 0; i < 6; ++i) m.bytes[i] = std::to_integer<std::uint8_t>(src[i]);
+    return m;
+  }
+  void set_dst(const MacAddr& m) noexcept {
+    for (int i = 0; i < 6; ++i) dst[i] = static_cast<std::byte>(m.bytes[i]);
+  }
+  void set_src(const MacAddr& m) noexcept {
+    for (int i = 0; i < 6; ++i) src[i] = static_cast<std::byte>(m.bytes[i]);
+  }
+  [[nodiscard]] std::uint16_t ether_type() const noexcept {
+    return load_be16(ethertype);
+  }
+  void set_ether_type(std::uint16_t t) noexcept { store_be16(ethertype, t); }
+};
+static_assert(sizeof(EthernetHeader) == 14);
+
+// -------------------------------------------------------------------- IPv4
+
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+struct Ipv4Header {
+  std::byte version_ihl;   ///< 0x45 for a 20-byte header
+  std::byte tos;
+  std::byte total_length[2];
+  std::byte identification[2];
+  std::byte flags_fragment[2];
+  std::byte ttl;
+  std::byte protocol;
+  std::byte checksum[2];
+  std::byte src[4];
+  std::byte dst[4];
+
+  [[nodiscard]] std::uint8_t version() const noexcept {
+    return std::to_integer<std::uint8_t>(version_ihl) >> 4;
+  }
+  [[nodiscard]] std::uint8_t header_len() const noexcept {
+    return static_cast<std::uint8_t>(
+        (std::to_integer<std::uint8_t>(version_ihl) & 0x0f) * 4);
+  }
+  [[nodiscard]] std::uint16_t total_len() const noexcept {
+    return load_be16(total_length);
+  }
+  void set_total_len(std::uint16_t len) noexcept {
+    store_be16(total_length, len);
+  }
+  [[nodiscard]] std::uint8_t proto() const noexcept {
+    return std::to_integer<std::uint8_t>(protocol);
+  }
+  void set_proto(std::uint8_t p) noexcept {
+    protocol = static_cast<std::byte>(p);
+  }
+  [[nodiscard]] std::uint8_t time_to_live() const noexcept {
+    return std::to_integer<std::uint8_t>(ttl);
+  }
+  void set_ttl(std::uint8_t t) noexcept { ttl = static_cast<std::byte>(t); }
+  [[nodiscard]] std::uint32_t src_addr() const noexcept {
+    return load_be32(src);
+  }
+  [[nodiscard]] std::uint32_t dst_addr() const noexcept {
+    return load_be32(dst);
+  }
+  void set_src_addr(std::uint32_t a) noexcept { store_be32(src, a); }
+  void set_dst_addr(std::uint32_t a) noexcept { store_be32(dst, a); }
+  [[nodiscard]] std::uint16_t hdr_checksum() const noexcept {
+    return load_be16(checksum);
+  }
+  void set_hdr_checksum(std::uint16_t c) noexcept { store_be16(checksum, c); }
+};
+static_assert(sizeof(Ipv4Header) == 20);
+
+/// Renders an IPv4 address as dotted-quad text.
+[[nodiscard]] std::string ipv4_to_string(std::uint32_t addr);
+
+/// Builds an IPv4 address from octets (a.b.c.d).
+[[nodiscard]] constexpr std::uint32_t ipv4(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c,
+                                           std::uint8_t d) noexcept {
+  return (static_cast<std::uint32_t>(a) << 24) |
+         (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | d;
+}
+
+// --------------------------------------------------------------- UDP / TCP
+
+struct UdpHeader {
+  std::byte src_port[2];
+  std::byte dst_port[2];
+  std::byte length[2];
+  std::byte checksum[2];
+
+  [[nodiscard]] std::uint16_t sport() const noexcept {
+    return load_be16(src_port);
+  }
+  [[nodiscard]] std::uint16_t dport() const noexcept {
+    return load_be16(dst_port);
+  }
+  void set_sport(std::uint16_t p) noexcept { store_be16(src_port, p); }
+  void set_dport(std::uint16_t p) noexcept { store_be16(dst_port, p); }
+  [[nodiscard]] std::uint16_t len() const noexcept { return load_be16(length); }
+  void set_len(std::uint16_t l) noexcept { store_be16(length, l); }
+};
+static_assert(sizeof(UdpHeader) == 8);
+
+struct TcpHeader {
+  std::byte src_port[2];
+  std::byte dst_port[2];
+  std::byte seq[4];
+  std::byte ack[4];
+  std::byte data_off_flags[2];
+  std::byte window[2];
+  std::byte checksum[2];
+  std::byte urgent[2];
+
+  [[nodiscard]] std::uint16_t sport() const noexcept {
+    return load_be16(src_port);
+  }
+  [[nodiscard]] std::uint16_t dport() const noexcept {
+    return load_be16(dst_port);
+  }
+  void set_sport(std::uint16_t p) noexcept { store_be16(src_port, p); }
+  void set_dport(std::uint16_t p) noexcept { store_be16(dst_port, p); }
+};
+static_assert(sizeof(TcpHeader) == 20);
+
+}  // namespace hw::pkt

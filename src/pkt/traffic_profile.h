@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "pkt/packet.h"
+
+/// \file traffic_profile.h
+/// Describes the synthetic workloads offered to a chain: how many distinct
+/// flows, frame size, and the L3/L4 identity of each flow. The paper's
+/// evaluation uses 64 B frames; the web/non-web split of Figure 1 is
+/// expressed as a profile with a TCP-port-80 subset.
+
+namespace hw::pkt {
+
+struct TrafficProfile {
+  std::uint32_t frame_len = 64;
+  std::uint32_t flow_count = 16;  ///< distinct 5-tuples cycled round-robin
+  std::uint16_t base_src_port = 1000;
+  std::uint16_t base_dst_port = 2000;
+  std::uint32_t src_ip_base = ipv4(10, 0, 0, 1);
+  std::uint32_t dst_ip_base = ipv4(10, 1, 0, 1);
+  /// Fraction (percent) of flows that are TCP port 80 ("web" traffic in
+  /// the Figure 1 service graph); the rest are UDP.
+  std::uint32_t web_percent = 0;
+  std::uint64_t seed = 42;
+
+  /// Materializes the per-flow frame specs.
+  [[nodiscard]] std::vector<FrameSpec> make_flows() const {
+    std::vector<FrameSpec> flows;
+    flows.reserve(flow_count);
+    Rng rng(seed);
+    for (std::uint32_t i = 0; i < flow_count; ++i) {
+      FrameSpec spec;
+      spec.frame_len = frame_len;
+      spec.src_mac = MacAddr::from_index(100 + i);
+      spec.dst_mac = MacAddr::from_index(200 + i);
+      spec.src_ip = src_ip_base + i;
+      spec.dst_ip = dst_ip_base + i;
+      const bool web = rng.chance(web_percent, 100);
+      if (web) {
+        spec.ip_proto = kIpProtoTcp;
+        spec.src_port = static_cast<std::uint16_t>(base_src_port + i);
+        spec.dst_port = 80;
+      } else {
+        spec.ip_proto = kIpProtoUdp;
+        spec.src_port = static_cast<std::uint16_t>(base_src_port + i);
+        spec.dst_port = static_cast<std::uint16_t>(base_dst_port + i);
+      }
+      flows.push_back(spec);
+    }
+    return flows;
+  }
+};
+
+}  // namespace hw::pkt

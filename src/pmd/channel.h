@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "mbuf/mbuf.h"
+#include "ring/spsc_ring.h"
+#include "shm/shm.h"
+
+/// \file channel.h
+/// The shared-memory layout of a dpdkr channel: a validated header plus a
+/// pair of SPSC mbuf-pointer rings, one per direction. Both the *normal
+/// channel* (VM <-> switch) and the *bypass channel* (VM <-> VM) use this
+/// layout — that symmetry is what lets the modified PMD treat either as
+/// "the place I enqueue/dequeue packets".
+
+namespace hw::pmd {
+
+using MbufRing = ring::SpscRing<mbuf::Mbuf*>;
+
+inline constexpr std::uint32_t kChannelMagic = 0x44504b52;  // "DPKR"
+
+/// Header at offset 0 of a channel region. The epoch lets an attaching PMD
+/// reject a stale mapping after teardown/re-setup races.
+struct ChannelHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t ring_capacity = 0;
+  std::uint64_t epoch = 0;
+  PortId port_a = kPortNone;  ///< switch port on the "a" end
+  PortId port_b = kPortNone;  ///< switch port on the "b" end
+};
+
+/// View over a channel region. Direction naming: `a2b` carries packets
+/// from endpoint A to endpoint B. For a normal channel A = vSwitch,
+/// B = VM. For a bypass channel A = the port named first at creation.
+class ChannelView {
+ public:
+  ChannelView() = default;
+
+  /// Bytes a region must have to host a channel with the given capacity.
+  [[nodiscard]] static std::size_t bytes_required(
+      std::size_t ring_capacity) noexcept;
+
+  /// Initializes header + both rings inside `region` (creator side: the
+  /// vSwitch for both normal and bypass channels).
+  [[nodiscard]] static Result<ChannelView> create_in(shm::ShmRegion& region,
+                                                     std::size_t ring_capacity,
+                                                     PortId port_a,
+                                                     PortId port_b,
+                                                     std::uint64_t epoch);
+
+  /// Attaches to an already-initialized channel (peer side). Validates
+  /// magic and, if `expect_epoch` is nonzero, the epoch.
+  [[nodiscard]] static Result<ChannelView> attach(
+      shm::ShmRegion& region, std::uint64_t expect_epoch = 0);
+
+  [[nodiscard]] bool valid() const noexcept { return header_ != nullptr; }
+  [[nodiscard]] const ChannelHeader& header() const noexcept {
+    return *header_;
+  }
+  [[nodiscard]] MbufRing& a2b() const noexcept { return *a2b_; }
+  [[nodiscard]] MbufRing& b2a() const noexcept { return *b2a_; }
+
+  /// Total mbufs currently queued in both directions.
+  [[nodiscard]] std::size_t occupancy() const noexcept {
+    return a2b_->size() + b2a_->size();
+  }
+
+ private:
+  ChannelHeader* header_ = nullptr;
+  MbufRing* a2b_ = nullptr;
+  MbufRing* b2a_ = nullptr;
+};
+
+/// Conventional region names, so diagnostics and tests can find channels.
+[[nodiscard]] std::string normal_channel_region(PortId port);
+[[nodiscard]] std::string bypass_channel_region(PortId from, PortId to);
+[[nodiscard]] std::string control_channel_region(PortId port);
+
+}  // namespace hw::pmd

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ring/spsc_ring.h"
+#include "shm/shm.h"
+
+/// \file control.h
+/// The virtio-serial control channel between the compute agent and one
+/// guest PMD instance. The agent uses it to (re)configure which channels
+/// the PMD drives; the PMD acknowledges every command. Messages are small
+/// trivially-copyable records carried over a pair of SPSC rings inside a
+/// per-port control region (cmd: agent→PMD, ack: PMD→agent).
+
+namespace hw::pmd {
+
+enum class CtrlOp : std::uint8_t {
+  kNop = 0,
+  /// Start *receiving* from the bypass channel named in `region`. Sent to
+  /// the RX-side PMD first, so no packet is ever enqueued into an
+  /// unpolled ring.
+  kAttachBypassRx = 1,
+  /// Start *transmitting* into the bypass channel (TX-side PMD). Carries
+  /// the shared-stats rule slot to account bypassed traffic against.
+  kAttachBypassTx = 2,
+  /// Stop transmitting into the bypass (revert TX to the normal channel).
+  kDetachBypassTx = 3,
+  /// Stop polling the bypass RX (sent only after the ring drained).
+  kDetachBypassRx = 4,
+};
+
+inline constexpr std::size_t kCtrlRegionNameLen = 48;
+
+struct CtrlMsg {
+  CtrlOp op = CtrlOp::kNop;
+  std::uint8_t ok = 1;        ///< in acks: 1 = success
+  std::uint16_t seq = 0;      ///< echoed in the ack
+  PortId peer_port = kPortNone;
+  std::uint32_t rule_slot = 0xffffffff;
+  std::uint64_t epoch = 0;    ///< channel epoch to validate on attach
+  char region[kCtrlRegionNameLen] = {};
+
+  void set_region(std::string_view name) noexcept {
+    const std::size_t n =
+        name.size() < kCtrlRegionNameLen - 1 ? name.size()
+                                             : kCtrlRegionNameLen - 1;
+    std::memcpy(region, name.data(), n);
+    region[n] = '\0';
+  }
+  [[nodiscard]] std::string_view region_name() const noexcept {
+    return region;
+  }
+};
+static_assert(std::is_trivially_copyable_v<CtrlMsg>);
+
+using CtrlRing = ring::SpscRing<CtrlMsg>;
+
+inline constexpr std::size_t kCtrlRingCapacity = 64;
+inline constexpr std::uint32_t kCtrlMagic = 0x56534552;  // "VSER"
+
+/// View over a control region: command ring (agent→PMD) + ack ring
+/// (PMD→agent).
+class ControlChannel {
+ public:
+  ControlChannel() = default;
+
+  [[nodiscard]] static std::size_t bytes_required() noexcept {
+    return align_up(sizeof(std::uint32_t), kCacheLineSize) +
+           2 * align_up(CtrlRing::bytes_required(kCtrlRingCapacity),
+                        kCacheLineSize);
+  }
+
+  [[nodiscard]] static Result<ControlChannel> create_in(
+      shm::ShmRegion& region) {
+    if (region.size() < bytes_required()) {
+      return Status::invalid_argument("region too small for control channel");
+    }
+    std::byte* base = region.data();
+    const std::size_t hdr = align_up(sizeof(std::uint32_t), kCacheLineSize);
+    const std::size_t span =
+        align_up(CtrlRing::bytes_required(kCtrlRingCapacity), kCacheLineSize);
+    ControlChannel channel;
+    channel.cmd_ = CtrlRing::init_at(base + hdr, kCtrlRingCapacity);
+    channel.ack_ = CtrlRing::init_at(base + hdr + span, kCtrlRingCapacity);
+    *reinterpret_cast<std::uint32_t*>(base) = kCtrlMagic;
+    return channel;
+  }
+
+  [[nodiscard]] static Result<ControlChannel> attach(shm::ShmRegion& region) {
+    if (region.size() < bytes_required() ||
+        *reinterpret_cast<std::uint32_t*>(region.data()) != kCtrlMagic) {
+      return Status::failed_precondition("control channel not initialized");
+    }
+    std::byte* base = region.data();
+    const std::size_t hdr = align_up(sizeof(std::uint32_t), kCacheLineSize);
+    const std::size_t span =
+        align_up(CtrlRing::bytes_required(kCtrlRingCapacity), kCacheLineSize);
+    ControlChannel channel;
+    channel.cmd_ = CtrlRing::attach_at(base + hdr);
+    channel.ack_ = CtrlRing::attach_at(base + hdr + span);
+    if (channel.cmd_ == nullptr || channel.ack_ == nullptr) {
+      return Status::internal("control ring attach failed");
+    }
+    return channel;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return cmd_ != nullptr; }
+  [[nodiscard]] CtrlRing& cmd() noexcept { return *cmd_; }
+  [[nodiscard]] CtrlRing& ack() noexcept { return *ack_; }
+
+ private:
+  CtrlRing* cmd_ = nullptr;
+  CtrlRing* ack_ = nullptr;
+};
+
+}  // namespace hw::pmd

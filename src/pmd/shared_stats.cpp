@@ -1,0 +1,33 @@
+#include "pmd/shared_stats.h"
+
+namespace hw::pmd {
+
+std::size_t SharedStats::bytes_required() noexcept {
+  return align_up(sizeof(Layout), kCacheLineSize);
+}
+
+Result<SharedStats> SharedStats::create_in(shm::ShmRegion& region) {
+  if (region.size() < bytes_required()) {
+    return Status::invalid_argument("region too small for shared stats");
+  }
+  auto* layout = new (region.data()) Layout;
+  layout->magic = kStatsMagic;
+  SharedStats stats;
+  stats.layout_ = layout;
+  return stats;
+}
+
+Result<SharedStats> SharedStats::attach(shm::ShmRegion& region) {
+  if (region.size() < bytes_required()) {
+    return Status::invalid_argument("region too small for shared stats");
+  }
+  auto* layout = reinterpret_cast<Layout*>(region.data());
+  if (layout->magic != kStatsMagic) {
+    return Status::failed_precondition("stats region not initialized");
+  }
+  SharedStats stats;
+  stats.layout_ = layout;
+  return stats;
+}
+
+}  // namespace hw::pmd

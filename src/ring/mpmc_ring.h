@@ -1,0 +1,173 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+
+#include "common/types.h"
+
+/// \file mpmc_ring.h
+/// Bounded multi-producer / multi-consumer queue (Vyukov's algorithm),
+/// modeled on rte_ring in MP/MC mode.
+///
+/// Used for the shared mempool free list: any VM app, the switch, or a NIC
+/// context may allocate or free mbufs concurrently. Like SpscRing it is
+/// placement-constructible inside a shared-memory region.
+
+namespace hw::ring {
+
+inline constexpr std::uint32_t kMpmcMagic = 0x4d504d51;  // "MPMQ"
+
+template <typename T>
+class MpmcRing {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  struct Cell {
+    std::atomic<std::uint64_t> seq;
+    T value;
+  };
+
+ public:
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  [[nodiscard]] static std::size_t bytes_required(
+      std::size_t capacity) noexcept {
+    return align_up(sizeof(MpmcRing), kCacheLineSize) +
+           capacity * sizeof(Cell);
+  }
+
+  static MpmcRing* init_at(void* mem, std::size_t capacity) noexcept {
+    if (!is_power_of_two(capacity)) return nullptr;
+    auto* ring = new (mem) MpmcRing(static_cast<std::uint32_t>(capacity));
+    Cell* cells = ring->cells();
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells[i].seq.store(i, std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+    return ring;
+  }
+
+  static MpmcRing* attach_at(void* mem) noexcept {
+    auto* ring = static_cast<MpmcRing*>(mem);
+    return ring->magic_ == kMpmcMagic ? ring : nullptr;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    const auto tail = tail_.value.load(std::memory_order_acquire);
+    const auto head = head_.value.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  /// Enqueues one item; returns false when full.
+  bool enqueue(const T& item) noexcept {
+    Cell* cell;
+    std::uint64_t pos = tail_.value.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells()[pos & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::int64_t>(seq) -
+                        static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (tail_.value.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.value.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = item;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues one item; returns false when empty.
+  bool dequeue(T& out) noexcept {
+    Cell* cell;
+    std::uint64_t pos = head_.value.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells()[pos & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::int64_t>(seq) -
+                        static_cast<std::int64_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.value.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.value.load(std::memory_order_relaxed);
+      }
+    }
+    out = cell->value;
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Burst enqueue: items are admitted individually; returns count accepted.
+  std::size_t enqueue_burst(std::span<const T> items) noexcept {
+    std::size_t n = 0;
+    for (const T& item : items) {
+      if (!enqueue(item)) break;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Burst dequeue: returns count produced.
+  std::size_t dequeue_burst(std::span<T> out) noexcept {
+    std::size_t n = 0;
+    for (T& slot : out) {
+      if (!dequeue(slot)) break;
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  explicit MpmcRing(std::uint32_t capacity) noexcept
+      : magic_(kMpmcMagic), mask_(capacity - 1) {}
+
+  [[nodiscard]] Cell* cells() noexcept {
+    return reinterpret_cast<Cell*>(reinterpret_cast<std::byte*>(this) +
+                                   align_up(sizeof(MpmcRing), kCacheLineSize));
+  }
+
+  std::uint32_t magic_;
+  std::uint32_t mask_;
+  CacheAligned<std::atomic<std::uint64_t>> head_;
+  CacheAligned<std::atomic<std::uint64_t>> tail_;
+};
+
+/// Heap-backed owner, mirroring OwnedSpscRing.
+template <typename T>
+class OwnedMpmcRing {
+ public:
+  explicit OwnedMpmcRing(std::size_t capacity)
+      : storage_(new std::byte[MpmcRing<T>::bytes_required(capacity) +
+                               kCacheLineSize]) {
+    auto addr = reinterpret_cast<std::uintptr_t>(storage_.get());
+    void* base = storage_.get() + (align_up(addr, kCacheLineSize) - addr);
+    ring_ = MpmcRing<T>::init_at(base, capacity);
+  }
+
+  [[nodiscard]] MpmcRing<T>* get() noexcept { return ring_; }
+  [[nodiscard]] MpmcRing<T>& operator*() noexcept { return *ring_; }
+  [[nodiscard]] MpmcRing<T>* operator->() noexcept { return ring_; }
+
+ private:
+  std::unique_ptr<std::byte[]> storage_;
+  MpmcRing<T>* ring_ = nullptr;
+};
+
+}  // namespace hw::ring

@@ -1,0 +1,96 @@
+#include "shm/shm.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hw::shm {
+
+ShmRegion::ShmRegion(std::string name, std::size_t size)
+    : name_(std::move(name)), size_(size) {
+  storage_ = std::make_unique<std::byte[]>(size + kCacheLineSize);
+  auto addr = reinterpret_cast<std::uintptr_t>(storage_.get());
+  data_ = storage_.get() + (align_up(addr, kCacheLineSize) - addr);
+}
+
+Result<ShmRegion*> ShmManager::create(std::string_view name,
+                                      std::size_t size) {
+  if (size == 0) {
+    return Status::invalid_argument("shm region size must be > 0");
+  }
+  std::string key{name};
+  if (regions_.contains(key)) {
+    return Status::already_exists("shm region '" + key + "' exists");
+  }
+  auto region = std::make_unique<ShmRegion>(key, size);
+  ShmRegion* raw = region.get();
+  regions_.emplace(std::move(key), std::move(region));
+  stats_.regions_created++;
+  stats_.bytes_live += size;
+  stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
+  HW_LOG(kDebug, "shm", "created region '%.*s' (%zu bytes)",
+         static_cast<int>(name.size()), name.data(), size);
+  return raw;
+}
+
+Status ShmManager::destroy(std::string_view name) {
+  auto it = regions_.find(std::string{name});
+  if (it == regions_.end()) {
+    return Status::not_found("shm region not found");
+  }
+  if (it->second->plug_count() != 0) {
+    return Status::failed_precondition(
+        "shm region still plugged into a VM");
+  }
+  stats_.bytes_live -= it->second->size();
+  stats_.regions_destroyed++;
+  regions_.erase(it);
+  return Status::ok();
+}
+
+ShmRegion* ShmManager::find(std::string_view name) noexcept {
+  auto it = regions_.find(std::string{name});
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+Status ShmManager::plug(std::string_view name, VmId vm) {
+  ShmRegion* region = find(name);
+  if (region == nullptr) return Status::not_found("shm region not found");
+  if (region->plugged_vms_.contains(vm)) {
+    return Status::already_exists("region already plugged into VM");
+  }
+  region->plugged_vms_.insert(vm);
+  stats_.plug_ops++;
+  return Status::ok();
+}
+
+Status ShmManager::unplug(std::string_view name, VmId vm) {
+  ShmRegion* region = find(name);
+  if (region == nullptr) return Status::not_found("shm region not found");
+  if (!region->plugged_vms_.contains(vm)) {
+    return Status::failed_precondition("region not plugged into VM");
+  }
+  region->plugged_vms_.erase(vm);
+  stats_.unplug_ops++;
+  return Status::ok();
+}
+
+Result<ShmRegion*> ShmManager::guest_map(std::string_view name, VmId vm) {
+  ShmRegion* region = find(name);
+  if (region == nullptr) return Status::not_found("shm region not found");
+  if (!region->is_plugged(vm)) {
+    return Status::failed_precondition(
+        "ivshmem device not plugged into this VM");
+  }
+  return region;
+}
+
+std::vector<std::string> ShmManager::region_names() const {
+  std::vector<std::string> names;
+  names.reserve(regions_.size());
+  for (const auto& [name, region] : regions_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace hw::shm

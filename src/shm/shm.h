@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+/// \file shm.h
+/// Simulation of the host shared memory used by dpdkr ports and bypass
+/// channels.
+///
+/// In the paper, dpdkr rings live in hugepage memory that QEMU exposes to
+/// guests as ivshmem PCI devices; a guest can only touch a region after the
+/// compute agent hot-plugs it. Here regions are named, aligned in-process
+/// allocations, and the *visibility* rule is enforced by bookkeeping: a VM
+/// obtains a region pointer only through `guest_map()`, which fails unless
+/// the region was plugged into that VM. This preserves the paper's
+/// lifecycle (create → plug → use → unplug → destroy) and lets tests assert
+/// that no component bypasses the hot-plug protocol.
+
+namespace hw::shm {
+
+/// One named shared-memory region ("a piece of memory shared by both
+/// communicating VMs" in the paper's wording).
+class ShmRegion {
+ public:
+  ShmRegion(std::string name, std::size_t size);
+
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::byte* data() noexcept { return data_; }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+
+  /// Number of VMs the region is currently plugged into.
+  [[nodiscard]] std::size_t plug_count() const noexcept {
+    return plugged_vms_.size();
+  }
+  [[nodiscard]] bool is_plugged(VmId vm) const noexcept {
+    return plugged_vms_.contains(vm);
+  }
+
+ private:
+  friend class ShmManager;
+
+  std::string name_;
+  std::size_t size_;
+  std::unique_ptr<std::byte[]> storage_;  // over-allocated for alignment
+  std::byte* data_;                       // cache-line aligned view
+  std::unordered_set<VmId> plugged_vms_;
+};
+
+/// Aggregate accounting, exposed for tests and capacity planning.
+struct ShmStats {
+  std::uint64_t regions_created = 0;
+  std::uint64_t regions_destroyed = 0;
+  std::uint64_t plug_ops = 0;
+  std::uint64_t unplug_ops = 0;
+  std::uint64_t bytes_live = 0;
+  std::uint64_t bytes_peak = 0;
+};
+
+/// Owns all regions on one simulated host. Not thread-safe: all calls are
+/// control-plane operations serialized by the agent/switch control context.
+class ShmManager {
+ public:
+  ShmManager() = default;
+
+  /// Allocates a new region. Fails with kAlreadyExists on name collision
+  /// and kInvalidArgument on zero size.
+  [[nodiscard]] Result<ShmRegion*> create(std::string_view name,
+                                          std::size_t size);
+
+  /// Destroys a region. Fails with kFailedPrecondition while any VM still
+  /// has it plugged (mirrors QEMU refusing to free a mapped ivshmem BAR).
+  [[nodiscard]] Status destroy(std::string_view name);
+
+  /// Host-side lookup (the vSwitch maps everything, like ovs-vswitchd).
+  [[nodiscard]] ShmRegion* find(std::string_view name) noexcept;
+
+  /// Simulates the QEMU ivshmem hot-plug: after this, `guest_map` succeeds
+  /// for `vm`.
+  [[nodiscard]] Status plug(std::string_view name, VmId vm);
+
+  /// Reverse of plug. Fails with kFailedPrecondition if not plugged.
+  [[nodiscard]] Status unplug(std::string_view name, VmId vm);
+
+  /// Guest-side mapping: returns the region only if plugged into `vm`.
+  [[nodiscard]] Result<ShmRegion*> guest_map(std::string_view name, VmId vm);
+
+  [[nodiscard]] const ShmStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t region_count() const noexcept {
+    return regions_.size();
+  }
+  /// Names of all live regions (sorted), for diagnostics.
+  [[nodiscard]] std::vector<std::string> region_names() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<ShmRegion>> regions_;
+  ShmStats stats_;
+};
+
+}  // namespace hw::shm

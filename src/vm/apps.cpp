@@ -1,0 +1,145 @@
+#include "vm/apps.h"
+
+#include <cstring>
+
+#include "pkt/packet.h"
+
+namespace hw::vm {
+
+// ----------------------------------------------------------- ForwarderApp
+
+ForwarderApp::ForwarderApp(std::string name, pmd::GuestPmd& left,
+                           pmd::GuestPmd& right, mbuf::Mempool& pool,
+                           const exec::CostModel& cost,
+                           std::uint32_t extra_cycles, std::uint32_t burst)
+    : name_(std::move(name)),
+      left_(&left),
+      right_(&right),
+      pool_(&pool),
+      cost_(&cost),
+      extra_cycles_(extra_cycles),
+      burst_(burst) {
+  buf_.resize(burst_);
+}
+
+std::uint32_t ForwarderApp::pump(pmd::GuestPmd& from, pmd::GuestPmd& to,
+                                 exec::CycleMeter& meter) {
+  const std::uint16_t n =
+      from.rx_burst(std::span(buf_.data(), burst_), meter);
+  if (n == 0) return 0;
+  // Per-packet VNF work: touch the frame (swap nothing, read headers).
+  meter.charge(static_cast<Cycles>(n) *
+               (cost_->vm_app_per_pkt + extra_cycles_));
+  const std::uint16_t sent =
+      to.tx_burst(std::span<mbuf::Mbuf* const>(buf_.data(), n), meter);
+  for (std::uint16_t i = sent; i < n; ++i) {
+    pool_->free(buf_[i]);
+    ++counters_.tx_drops;
+  }
+  counters_.forwarded += sent;
+  return n;
+}
+
+std::uint32_t ForwarderApp::poll(exec::CycleMeter& meter) {
+  std::uint32_t work = 0;
+  work += pump(*left_, *right_, meter);   // forward direction
+  work += pump(*right_, *left_, meter);   // reverse direction
+  if (work == 0) meter.charge(cost_->idle_poll);
+  return work;
+}
+
+// ------------------------------------------------------------- GenSinkApp
+
+GenSinkApp::GenSinkApp(std::string name, pmd::GuestPmd& port,
+                       mbuf::Mempool& pool,
+                       const pkt::TrafficProfile& profile,
+                       exec::Runtime& runtime, const exec::CostModel& cost,
+                       bool generate, std::uint32_t burst,
+                       std::uint64_t rate_pps)
+    : name_(std::move(name)),
+      port_(&port),
+      pool_(&pool),
+      runtime_(&runtime),
+      cost_(&cost),
+      generate_(generate),
+      burst_(burst),
+      rate_pps_(rate_pps) {
+  buf_.resize(burst_);
+  mbuf::Mbuf scratch;
+  for (const pkt::FrameSpec& spec : profile.make_flows()) {
+    if (pkt::build_frame(scratch, spec)) {
+      templates_.emplace_back(scratch.data, scratch.data + scratch.data_len);
+    }
+  }
+  if (templates_.empty()) {
+    (void)pkt::build_frame(scratch, pkt::FrameSpec{});
+    templates_.emplace_back(scratch.data, scratch.data + scratch.data_len);
+  }
+}
+
+std::uint32_t GenSinkApp::poll(exec::CycleMeter& meter) {
+  std::uint32_t work = 0;
+
+  // Sink whatever arrived (reverse-direction traffic, or packet-out).
+  const std::uint16_t n =
+      port_->rx_burst(std::span(buf_.data(), burst_), meter);
+  if (n > 0) {
+    const TimeNs now = runtime_->now_ns();
+    for (std::uint16_t i = 0; i < n; ++i) {
+      mbuf::Mbuf* pkt = buf_[i];
+      if (pkt->ts_ns != 0 && pkt->ts_ns <= now) {
+        latency_.record(now - pkt->ts_ns);
+      }
+      if (pkt->seq != 0) {
+        if (pkt->seq < last_rx_seq_) ++counters_.reorders;
+        last_rx_seq_ = std::max(last_rx_seq_, pkt->seq);
+      }
+      meter.charge(cost_->mbuf_free);
+      pool_->free(pkt);
+    }
+    counters_.delivered += n;
+    work += n;
+  }
+
+  // Generate a fresh burst (token-paced when a rate is configured).
+  std::size_t want = burst_;
+  if (generate_ && rate_pps_ != 0) {
+    const TimeNs now = runtime_->now_ns();
+    if (last_refill_ns_ == 0) last_refill_ns_ = now;
+    tokens_ += static_cast<double>(now - last_refill_ns_) *
+               static_cast<double>(rate_pps_) / 1e9;
+    last_refill_ns_ = now;
+    tokens_ = std::min(tokens_, 4.0 * burst_);
+    want = std::min<std::size_t>(burst_, static_cast<std::size_t>(tokens_));
+  }
+  if (generate_ && want > 0) {
+    const std::size_t got =
+        pool_->alloc_bulk(std::span(buf_.data(), want));
+    if (got > 0) {
+      const TimeNs now = runtime_->now_ns();
+      for (std::size_t i = 0; i < got; ++i) {
+        const auto& image = templates_[next_flow_];
+        next_flow_ = (next_flow_ + 1) % templates_.size();
+        std::memcpy(buf_[i]->data, image.data(), image.size());
+        buf_[i]->data_len = static_cast<std::uint32_t>(image.size());
+        buf_[i]->seq = next_seq_++;
+        buf_[i]->ts_ns = now;
+        meter.charge(cost_->mbuf_alloc);
+      }
+      const std::uint16_t sent = port_->tx_burst(
+          std::span<mbuf::Mbuf* const>(buf_.data(), got), meter);
+      for (std::size_t i = sent; i < got; ++i) {
+        // Backpressure at the source: the chain is saturated. Not a loss.
+        pool_->free(buf_[i]);
+      }
+      if (rate_pps_ != 0) tokens_ -= static_cast<double>(sent);
+      counters_.generated += sent;
+      work += sent;
+    }
+  }
+
+  if (work == 0) meter.charge(cost_->idle_poll);
+  return work;
+}
+
+}  // namespace hw::vm

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/latency.h"
+#include "exec/context.h"
+#include "exec/cost_model.h"
+#include "exec/runtime.h"
+#include "mbuf/mempool.h"
+#include "pkt/traffic_profile.h"
+#include "pmd/guest_pmd.h"
+
+/// \file apps.h
+/// DPDK-style applications running inside VMs. Each is a single-core
+/// poll loop over GuestPmd ports — the paper's workload is "a single core
+/// DPDK application that moves packets from one port to another", which is
+/// ForwarderApp; GenSinkApp provides the source/sink role the first and
+/// last VM of a memory-only chain play in Figure 3(a).
+
+namespace hw::vm {
+
+struct AppCounters {
+  std::uint64_t forwarded = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;   ///< sunk packets
+  std::uint64_t tx_drops = 0;    ///< destination ring full, frame freed
+  std::uint64_t reorders = 0;
+};
+
+/// Bidirectional port-to-port forwarder (the chain VNF): everything
+/// received on `left` goes out `right` and vice versa. `extra_cycles`
+/// models heavier per-packet VNF work (firewall rules, DPI, ...).
+class ForwarderApp final : public exec::Context {
+ public:
+  ForwarderApp(std::string name, pmd::GuestPmd& left, pmd::GuestPmd& right,
+               mbuf::Mempool& pool, const exec::CostModel& cost,
+               std::uint32_t extra_cycles = 0, std::uint32_t burst = 32);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  std::uint32_t poll(exec::CycleMeter& meter) override;
+
+  [[nodiscard]] const AppCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  std::uint32_t pump(pmd::GuestPmd& from, pmd::GuestPmd& to,
+                     exec::CycleMeter& meter);
+
+  std::string name_;
+  pmd::GuestPmd* left_;
+  pmd::GuestPmd* right_;
+  mbuf::Mempool* pool_;
+  const exec::CostModel* cost_;
+  std::uint32_t extra_cycles_;
+  std::uint32_t burst_;
+  std::vector<mbuf::Mbuf*> buf_;
+  AppCounters counters_;
+};
+
+/// Endpoint app for memory-only chains: generates traffic out of one port
+/// at core speed and sinks whatever arrives on it (the reverse direction),
+/// measuring latency from the embedded timestamps.
+class GenSinkApp final : public exec::Context {
+ public:
+  /// `rate_pps` == 0 generates at core speed (saturation); a nonzero rate
+  /// paces generation with a token bucket in virtual time — used for
+  /// latency measurements below saturation.
+  GenSinkApp(std::string name, pmd::GuestPmd& port, mbuf::Mempool& pool,
+             const pkt::TrafficProfile& profile, exec::Runtime& runtime,
+             const exec::CostModel& cost, bool generate = true,
+             std::uint32_t burst = 32, std::uint64_t rate_pps = 0);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  std::uint32_t poll(exec::CycleMeter& meter) override;
+
+  [[nodiscard]] const AppCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const LatencyRecorder& latency() const noexcept {
+    return latency_;
+  }
+  void reset_latency() noexcept { latency_.reset(); }
+  void set_generate(bool on) noexcept { generate_ = on; }
+
+ private:
+  std::string name_;
+  pmd::GuestPmd* port_;
+  mbuf::Mempool* pool_;
+  exec::Runtime* runtime_;
+  const exec::CostModel* cost_;
+  bool generate_;
+  std::uint32_t burst_;
+  std::uint64_t rate_pps_;
+  double tokens_ = 0;
+  TimeNs last_refill_ns_ = 0;
+  std::vector<std::vector<std::byte>> templates_;
+  std::size_t next_flow_ = 0;
+  SeqNo next_seq_ = 1;
+  SeqNo last_rx_seq_ = 0;
+  std::vector<mbuf::Mbuf*> buf_;
+  AppCounters counters_;
+  LatencyRecorder latency_;
+};
+
+}  // namespace hw::vm

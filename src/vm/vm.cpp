@@ -1,0 +1,52 @@
+#include "vm/vm.h"
+
+#include "common/log.h"
+#include "pmd/channel.h"
+
+namespace hw::vm {
+
+pmd::GuestPmd* Vm::pmd_for_port(PortId port) noexcept {
+  for (auto& pmd : pmds_) {
+    if (pmd->port() == port) return pmd.get();
+  }
+  return nullptr;
+}
+
+Vm& Hypervisor::create_vm(const std::string& name) {
+  auto vm = std::make_unique<Vm>(next_vm_++, name);
+  // Boot-time device: the shared statistics region is visible to every
+  // VM (it is part of the dpdkr memory the prototype maps via ivshmem).
+  const Status plugged =
+      shm_->plug(pmd::SharedStats::region_name(), vm->id());
+  if (!plugged.is_ok()) {
+    HW_LOG(kWarn, "hypervisor", "stats region plug for %s: %s",
+           name.c_str(), plugged.to_string().c_str());
+  }
+  vms_.push_back(std::move(vm));
+  HW_LOG(kInfo, "hypervisor", "booted VM %s", name.c_str());
+  return *vms_.back();
+}
+
+Status Hypervisor::attach_port(Vm& vm, PortId port) {
+  HW_RETURN_IF_ERROR(shm_->plug(pmd::normal_channel_region(port), vm.id()));
+  HW_RETURN_IF_ERROR(shm_->plug(pmd::control_channel_region(port), vm.id()));
+
+  auto stats_region = shm_->guest_map(pmd::SharedStats::region_name(),
+                                      vm.id());
+  if (!stats_region.is_ok()) return stats_region.status();
+  auto stats = pmd::SharedStats::attach(*stats_region.value());
+  if (!stats.is_ok()) return stats.status();
+
+  auto guest_pmd =
+      pmd::GuestPmd::attach(*shm_, vm.id(), port, stats.value(), *cost_);
+  if (!guest_pmd.is_ok()) return guest_pmd.status();
+
+  vm.pmds_.push_back(
+      std::make_unique<pmd::GuestPmd>(std::move(guest_pmd).take()));
+  agent_->register_port(port, vm.id());
+  HW_LOG(kInfo, "hypervisor", "attached port %u to VM %.*s", port,
+         static_cast<int>(vm.name().size()), vm.name().data());
+  return Status::ok();
+}
+
+}  // namespace hw::vm

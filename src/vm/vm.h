@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/compute_agent.h"
+#include "common/status.h"
+#include "exec/cost_model.h"
+#include "pmd/guest_pmd.h"
+#include "shm/shm.h"
+
+/// \file vm.h
+/// Virtual machine simulation: a Vm owns the guest PMD instances for its
+/// dpdkr ports; the Hypervisor stands in for QEMU/libvirt — it boots VMs,
+/// plugs the boot-time devices (normal channel, control channel, shared
+/// stats) and registers the port→VM mapping with the compute agent.
+/// Run-time ivshmem hot-plug of bypass regions is the agent's job.
+
+namespace hw::vm {
+
+class Vm {
+ public:
+  Vm(VmId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  [[nodiscard]] VmId id() const noexcept { return id_; }
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+
+  [[nodiscard]] std::size_t port_count() const noexcept {
+    return pmds_.size();
+  }
+  [[nodiscard]] pmd::GuestPmd& pmd(std::size_t index) noexcept {
+    return *pmds_[index];
+  }
+  /// Guest PMD by switch port id; nullptr when not attached to this VM.
+  [[nodiscard]] pmd::GuestPmd* pmd_for_port(PortId port) noexcept;
+
+ private:
+  friend class Hypervisor;
+
+  VmId id_;
+  std::string name_;
+  std::vector<std::unique_ptr<pmd::GuestPmd>> pmds_;
+};
+
+class Hypervisor {
+ public:
+  Hypervisor(shm::ShmManager& shm, agent::ComputeAgent& agent,
+             const exec::CostModel& cost)
+      : shm_(&shm), agent_(&agent), cost_(&cost) {}
+
+  /// Boots a new VM (no devices yet).
+  [[nodiscard]] Vm& create_vm(const std::string& name);
+
+  /// Attaches an existing dpdkr port (created by the switch) to the VM:
+  /// plugs the normal-channel, control-channel and shared-stats regions,
+  /// instantiates the guest PMD, and registers the mapping with the
+  /// compute agent.
+  [[nodiscard]] Status attach_port(Vm& vm, PortId port);
+
+  [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
+  [[nodiscard]] Vm& vm(std::size_t index) noexcept { return *vms_[index]; }
+
+ private:
+  shm::ShmManager* shm_;
+  agent::ComputeAgent* agent_;
+  const exec::CostModel* cost_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  VmId next_vm_ = 1;
+};
+
+}  // namespace hw::vm

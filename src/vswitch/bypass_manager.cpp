@@ -1,0 +1,267 @@
+#include "vswitch/bypass_manager.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "pmd/channel.h"
+
+namespace hw::vswitch {
+
+BypassManager::BypassManager(shm::ShmManager& shm,
+                             flowtable::FlowTable& table,
+                             pmd::SharedStats stats, P2pDetector detector,
+                             BypassManagerConfig config)
+    : shm_(&shm),
+      table_(&table),
+      stats_(stats),
+      detector_(std::move(detector)),
+      config_(config) {}
+
+void BypassManager::add_candidate_port(PortId port) {
+  candidate_ports_.push_back(port);
+}
+
+std::optional<std::uint32_t> BypassManager::alloc_slot() noexcept {
+  for (std::uint32_t i = 0; i < slot_used_.size(); ++i) {
+    if (!slot_used_[i]) {
+      slot_used_[i] = true;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t BypassManager::region_users(const std::string& region) const {
+  return static_cast<std::size_t>(
+      std::count_if(links_.begin(), links_.end(), [&](const auto& kv) {
+        return kv.second.region == region;
+      }));
+}
+
+void BypassManager::on_table_change() {
+  if (in_reconcile_) {
+    reconcile_pending_ = true;
+    return;
+  }
+  in_reconcile_ = true;
+  do {
+    reconcile_pending_ = false;
+
+    std::map<PortId, P2pLink> desired;
+    for (const P2pLink& link :
+         detector_.evaluate_all(*table_, candidate_ports_)) {
+      desired.emplace(link.from, link);
+    }
+
+    // Reconcile existing links against the desired set.
+    for (auto& [from, info] : links_) {
+      auto it = desired.find(from);
+      const bool still_wanted =
+          it != desired.end() && it->second.to == info.link.to;
+      if (still_wanted) {
+        // Same direction; the rule may have been replaced — track the new
+        // rule id/cookie so statistics keep merging correctly.
+        info.link = it->second;
+        info.cancel_after_setup = false;
+        desired.erase(it);
+        continue;
+      }
+      // No longer desired (or destination changed).
+      if (it != desired.end()) desired.erase(it);
+      switch (info.state) {
+        case LinkState::kActive:
+          initiate_teardown(info);
+          break;
+        case LinkState::kSettingUp:
+          info.cancel_after_setup = true;
+          break;
+        case LinkState::kTearingDown:
+          break;  // already on its way out
+      }
+    }
+
+    // New links. A `from` port still tearing down is picked up by the
+    // reconcile that runs on teardown completion.
+    for (const auto& [from, link] : desired) {
+      if (links_.contains(from)) continue;
+      initiate_setup(link);
+    }
+  } while (reconcile_pending_);
+  in_reconcile_ = false;
+}
+
+void BypassManager::initiate_setup(const P2pLink& link) {
+  if (agent_ == nullptr) {
+    HW_LOG(kWarn, "bypass", "no compute agent; link %u->%u ignored",
+           link.from, link.to);
+    return;
+  }
+  const auto slot = alloc_slot();
+  if (!slot.has_value()) {
+    HW_LOG(kWarn, "bypass", "out of stats slots; link %u->%u ignored",
+           link.from, link.to);
+    return;
+  }
+
+  const PortId lo = std::min(link.from, link.to);
+  const PortId hi = std::max(link.from, link.to);
+  const std::string region_name = pmd::bypass_channel_region(lo, hi);
+
+  shm::ShmRegion* region = shm_->find(region_name);
+  bool plug_required = false;
+  if (region == nullptr) {
+    auto created = shm_->create(
+        region_name, pmd::ChannelView::bytes_required(config_.ring_capacity));
+    if (!created.is_ok()) {
+      HW_LOG(kError, "bypass", "region create failed: %s",
+             created.status().to_string().c_str());
+      slot_used_[*slot] = false;
+      return;
+    }
+    region = created.value();
+    auto channel = pmd::ChannelView::create_in(
+        *region, config_.ring_capacity, lo, hi, next_epoch_++);
+    if (!channel.is_ok()) {
+      slot_used_[*slot] = false;
+      (void)shm_->destroy(region_name);
+      return;
+    }
+    plug_required = true;
+  }
+
+  auto channel = pmd::ChannelView::attach(*region);
+  const std::uint64_t epoch =
+      channel.is_ok() ? channel.value().header().epoch : 0;
+
+  LinkInfo info;
+  info.link = link;
+  info.state = LinkState::kSettingUp;
+  info.rule_slot = *slot;
+  info.region = region_name;
+  links_[link.from] = info;
+
+  ++counters_.setups_requested;
+  HW_LOG(kInfo, "bypass", "setup %u->%u region=%s slot=%u plug=%d",
+         link.from, link.to, region_name.c_str(), *slot,
+         plug_required ? 1 : 0);
+  agent_->request_bypass_setup(BypassSetupRequest{
+      .from = link.from,
+      .to = link.to,
+      .region = region_name,
+      .epoch = epoch,
+      .rule_slot = *slot,
+      .plug_required = plug_required,
+  });
+}
+
+void BypassManager::initiate_teardown(LinkInfo& info) {
+  info.state = LinkState::kTearingDown;
+  ++counters_.teardowns_requested;
+  // Unplug when this is the last direction still holding the region:
+  // siblings already tearing down do not count, otherwise two concurrent
+  // direction teardowns would each defer to the other and the region
+  // would stay plugged (and therefore undestroyable) forever.
+  const bool unplug_after =
+      std::count_if(links_.begin(), links_.end(), [&](const auto& kv) {
+        return kv.second.region == info.region &&
+               kv.second.state != LinkState::kTearingDown;
+      }) == 0;
+  HW_LOG(kInfo, "bypass", "teardown %u->%u region=%s unplug=%d",
+         info.link.from, info.link.to, info.region.c_str(),
+         unplug_after ? 1 : 0);
+  agent_->request_bypass_teardown(BypassTeardownRequest{
+      .from = info.link.from,
+      .to = info.link.to,
+      .region = info.region,
+      .unplug_after = unplug_after,
+  });
+}
+
+void BypassManager::fold_and_release_slot(LinkInfo& info) {
+  const auto [pkts, bytes] = stats_.read_rule(info.rule_slot);
+  if (pkts != 0 || bytes != 0) {
+    // Fold bypassed counters back into the (possibly still live) rule so
+    // history is preserved once the shared slot is recycled.
+    table_->account(info.link.rule, pkts, bytes);
+  }
+  stats_.clear_rule(info.rule_slot);
+  slot_used_[info.rule_slot] = false;
+}
+
+void BypassManager::on_bypass_ready(PortId from, PortId to, bool ok) {
+  auto it = links_.find(from);
+  if (it == links_.end() || it->second.link.to != to) {
+    HW_LOG(kWarn, "bypass", "stray setup completion %u->%u", from, to);
+    return;
+  }
+  LinkInfo& info = it->second;
+  if (!ok) {
+    ++counters_.setups_failed;
+    HW_LOG(kWarn, "bypass", "setup failed %u->%u", from, to);
+    fold_and_release_slot(info);
+    const std::string region = info.region;
+    links_.erase(it);
+    if (region_users(region) == 0) {
+      (void)shm_->destroy(region);  // agent rolled back its plugs
+    }
+    return;
+  }
+  if (info.cancel_after_setup) {
+    // The link stopped being desired while the agent was plugging.
+    info.cancel_after_setup = false;
+    initiate_teardown(info);
+    return;
+  }
+  info.state = LinkState::kActive;
+  ++counters_.setups_completed;
+  HW_LOG(kInfo, "bypass", "ACTIVE %u->%u", from, to);
+}
+
+void BypassManager::on_bypass_torn_down(PortId from, PortId to) {
+  auto it = links_.find(from);
+  if (it == links_.end() || it->second.link.to != to) {
+    HW_LOG(kWarn, "bypass", "stray teardown completion %u->%u", from, to);
+    return;
+  }
+  fold_and_release_slot(it->second);
+  const std::string region = it->second.region;
+  links_.erase(it);
+  ++counters_.teardowns_completed;
+  if (region_users(region) == 0) {
+    const Status status = shm_->destroy(region);
+    if (!status.is_ok()) {
+      HW_LOG(kWarn, "bypass", "region %s destroy: %s", region.c_str(),
+             status.to_string().c_str());
+    }
+  }
+  HW_LOG(kInfo, "bypass", "torn down %u->%u", from, to);
+  // A different link for this source port may now be possible.
+  on_table_change();
+}
+
+std::pair<std::uint64_t, std::uint64_t> BypassManager::rule_extra(
+    RuleId rule) const noexcept {
+  for (const auto& [from, info] : links_) {
+    if (info.link.rule == rule) return stats_.read_rule(info.rule_slot);
+  }
+  return {0, 0};
+}
+
+std::size_t BypassManager::active_links() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(links_.begin(), links_.end(), [](const auto& kv) {
+        return kv.second.state == LinkState::kActive;
+      }));
+}
+
+std::size_t BypassManager::pending_links() const noexcept {
+  return links_.size() - active_links();
+}
+
+bool BypassManager::link_active(PortId from, PortId to) const noexcept {
+  auto it = links_.find(from);
+  return it != links_.end() && it->second.link.to == to &&
+         it->second.state == LinkState::kActive;
+}
+
+}  // namespace hw::vswitch

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pmd/shared_stats.h"
+#include "shm/shm.h"
+#include "vswitch/p2p_detector.h"
+
+/// \file bypass_manager.h
+/// Owns the lifecycle of bypass channels: reacts to detector output,
+/// creates/destroys the shared-memory channel regions, drives the compute
+/// agent, and keeps OpenFlow statistics truthful across transitions.
+///
+/// A *bidirectional pair of ports* shares one channel region ("a new pair
+/// of dpdkr bypass channels mapped on the same piece of memory"): the
+/// first direction to be detected creates and hot-plugs the region; the
+/// second direction only reconfigures PMDs. Teardown is per-direction; the
+/// region is unplugged and destroyed when its last direction deactivates.
+
+namespace hw::vswitch {
+
+/// What the manager asks of the compute agent. All calls are asynchronous:
+/// the agent answers through BypassEventSink.
+struct BypassSetupRequest {
+  PortId from = kPortNone;
+  PortId to = kPortNone;
+  std::string region;        ///< channel region (already created + init'd)
+  std::uint64_t epoch = 0;   ///< channel epoch for stale-mapping detection
+  std::uint32_t rule_slot = 0;  ///< shared-stats slot for the rule
+  bool plug_required = false;   ///< first direction: hot-plug into both VMs
+};
+
+struct BypassTeardownRequest {
+  PortId from = kPortNone;
+  PortId to = kPortNone;
+  std::string region;
+  bool unplug_after = false;  ///< last direction: unplug + allow destroy
+};
+
+class AgentInterface {
+ public:
+  virtual ~AgentInterface() = default;
+  virtual void request_bypass_setup(const BypassSetupRequest& request) = 0;
+  virtual void request_bypass_teardown(
+      const BypassTeardownRequest& request) = 0;
+};
+
+/// Completion callbacks, invoked by the agent.
+class BypassEventSink {
+ public:
+  virtual ~BypassEventSink() = default;
+  virtual void on_bypass_ready(PortId from, PortId to, bool ok) = 0;
+  virtual void on_bypass_torn_down(PortId from, PortId to) = 0;
+};
+
+enum class LinkState : std::uint8_t {
+  kSettingUp,
+  kActive,
+  kTearingDown,
+};
+
+struct LinkInfo {
+  P2pLink link;
+  LinkState state = LinkState::kSettingUp;
+  std::uint32_t rule_slot = 0;
+  std::string region;
+  /// Set when the link stopped being desired while setup was in flight;
+  /// triggers teardown as soon as setup completes.
+  bool cancel_after_setup = false;
+};
+
+struct BypassManagerConfig {
+  std::size_t ring_capacity = 1024;
+};
+
+struct BypassCounters {
+  std::uint64_t setups_requested = 0;
+  std::uint64_t setups_completed = 0;
+  std::uint64_t setups_failed = 0;
+  std::uint64_t teardowns_requested = 0;
+  std::uint64_t teardowns_completed = 0;
+};
+
+class BypassManager final : public BypassEventSink {
+ public:
+  BypassManager(shm::ShmManager& shm, flowtable::FlowTable& table,
+                pmd::SharedStats stats, P2pDetector detector,
+                BypassManagerConfig config);
+
+  void set_agent(AgentInterface* agent) noexcept { agent_ = agent; }
+
+  /// Registers a dpdkr port as a candidate bypass endpoint.
+  void add_candidate_port(PortId port);
+
+  /// Re-evaluates the table and reconciles link state. Called by OfSwitch
+  /// after every FlowMod.
+  void on_table_change();
+
+  // BypassEventSink:
+  void on_bypass_ready(PortId from, PortId to, bool ok) override;
+  void on_bypass_torn_down(PortId from, PortId to) override;
+
+  /// Bypassed (packets, bytes) to merge into a rule's OpenFlow counters.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> rule_extra(
+      RuleId rule) const noexcept;
+
+  [[nodiscard]] std::size_t active_links() const noexcept;
+  [[nodiscard]] std::size_t pending_links() const noexcept;
+  [[nodiscard]] bool link_active(PortId from, PortId to) const noexcept;
+  [[nodiscard]] const BypassCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<PortId, LinkInfo>& links() const noexcept {
+    return links_;
+  }
+
+ private:
+  void initiate_setup(const P2pLink& link);
+  void initiate_teardown(LinkInfo& info);
+  void fold_and_release_slot(LinkInfo& info);
+  [[nodiscard]] std::optional<std::uint32_t> alloc_slot() noexcept;
+  /// Directions (this or reverse) currently holding the region.
+  [[nodiscard]] std::size_t region_users(const std::string& region) const;
+
+  shm::ShmManager* shm_;
+  flowtable::FlowTable* table_;
+  pmd::SharedStats stats_;
+  P2pDetector detector_;
+  BypassManagerConfig config_;
+  AgentInterface* agent_ = nullptr;
+
+  std::vector<PortId> candidate_ports_;
+  std::map<PortId, LinkInfo> links_;  ///< keyed by `from` port
+  std::vector<bool> slot_used_ = std::vector<bool>(pmd::kStatsMaxRules);
+  std::uint64_t next_epoch_ = 1;
+  bool reconcile_pending_ = false;
+  bool in_reconcile_ = false;
+  BypassCounters counters_;
+};
+
+}  // namespace hw::vswitch

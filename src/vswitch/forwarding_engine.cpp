@@ -1,0 +1,190 @@
+#include "vswitch/forwarding_engine.h"
+
+#include "pkt/headers.h"
+#include "pkt/packet.h"
+
+namespace hw::vswitch {
+
+using flowtable::FlowEntry;
+
+ForwardingEngine::ForwardingEngine(std::string name,
+                                   flowtable::FlowTable& table,
+                                   mbuf::Mempool& pool,
+                                   const exec::CostModel& cost,
+                                   bool emc_enabled, std::uint32_t burst)
+    : name_(std::move(name)),
+      table_(&table),
+      pool_(&pool),
+      cost_(&cost),
+      emc_enabled_(emc_enabled),
+      burst_(burst) {
+  rx_buf_.resize(burst_);
+  tx_buf_.reserve(burst_);
+}
+
+void ForwardingEngine::assign_port(SwitchPort* port) {
+  ports_.push_back(port);
+  register_output(port);
+}
+
+void ForwardingEngine::register_output(SwitchPort* port) {
+  if (by_id_.size() <= port->id()) by_id_.resize(port->id() + 1, nullptr);
+  by_id_[port->id()] = port;
+}
+
+SwitchPort* ForwardingEngine::port_by_id(PortId id) noexcept {
+  return id < by_id_.size() ? by_id_[id] : nullptr;
+}
+
+std::uint32_t ForwardingEngine::poll(exec::CycleMeter& meter) {
+  std::uint32_t total = 0;
+  for (SwitchPort* port : ports_) {
+    if (!port->enabled()) continue;
+    meter.charge(cost_->ring_deq_base);
+    const std::size_t n = port->rx_burst(std::span(rx_buf_.data(), burst_));
+    if (n == 0) continue;
+    meter.charge(static_cast<Cycles>(n) * cost_->ring_deq_per_pkt);
+    port->stats().rx_packets += n;
+    process_burst(*port, std::span(rx_buf_.data(), n), meter);
+    total += static_cast<std::uint32_t>(n);
+  }
+  if (total == 0) meter.charge(cost_->idle_poll);
+  return total;
+}
+
+FlowEntry* ForwardingEngine::classify(mbuf::Mbuf& buf,
+                                      exec::CycleMeter& meter) {
+  meter.charge(cost_->parse_per_pkt);
+  const pkt::FlowKey key = pkt::extract_flow_key(buf);
+  const std::uint32_t hash = pkt::flow_key_hash(key);
+  const std::uint64_t version = table_->version();
+
+  if (emc_enabled_) {
+    meter.charge(cost_->emc_hit);
+    if (const RuleId id = emc_.lookup(key, hash, version); id != kRuleNone) {
+      ++counters_.emc_hits;
+      return table_->find(id);
+    }
+    ++counters_.emc_misses;
+  }
+
+  // Wildcard table scan; cost grows with the number of rules visited.
+  std::uint32_t visited = 0;
+  FlowEntry* hit = nullptr;
+  for (FlowEntry& entry :
+       const_cast<std::vector<FlowEntry>&>(table_->entries())) {
+    ++visited;
+    if (entry.match.matches(key)) {
+      hit = &entry;
+      break;
+    }
+  }
+  meter.charge(static_cast<Cycles>(visited) * cost_->classifier_per_rule);
+  if (emc_enabled_ && hit != nullptr) {
+    emc_.insert(key, hash, hit->id, version);
+  }
+  return hit;
+}
+
+void ForwardingEngine::process_burst(SwitchPort& in_port,
+                                     std::span<mbuf::Mbuf*> pkts,
+                                     exec::CycleMeter& meter) {
+  counters_.rx_packets += pkts.size();
+
+  // Sequential batching: consecutive packets to the same output are
+  // flushed as one burst (the common case — an entire burst follows one
+  // steering rule).
+  PortId pending_out = kPortNone;
+  tx_buf_.clear();
+
+  auto flush_pending = [&] {
+    if (!tx_buf_.empty()) {
+      flush_to(pending_out, tx_buf_, meter);
+      tx_buf_.clear();
+    }
+    pending_out = kPortNone;
+  };
+
+  for (mbuf::Mbuf* buf : pkts) {
+    buf->in_port = in_port.id();
+    buf->flow_hash = 0;  // in_port participates in the key; recompute
+    in_port.stats().rx_bytes += buf->data_len;
+
+    FlowEntry* entry = classify(*buf, meter);
+    if (entry == nullptr) {
+      ++counters_.misses;
+      ++in_port.stats().rx_dropped;
+      pool_->free(buf);
+      continue;
+    }
+    entry->packet_count += 1;
+    entry->byte_count += buf->data_len;
+
+    bool consumed = false;
+    for (const openflow::Action& action : entry->actions) {
+      meter.charge(cost_->action_per_pkt);
+      switch (action.type) {
+        case openflow::ActionType::kOutput: {
+          if (action.port == kPortController) {
+            // Punt accounting only; packet-in payload delivery is out of
+            // scope (the paper's datapath never punts on p-2-p links).
+            ++counters_.controller_punts;
+            pool_->free(buf);
+            consumed = true;
+            break;
+          }
+          if (action.port != pending_out) {
+            flush_pending();
+            pending_out = action.port;
+          }
+          tx_buf_.push_back(buf);
+          consumed = true;
+          break;
+        }
+        case openflow::ActionType::kDrop: {
+          ++counters_.action_drops;
+          pool_->free(buf);
+          consumed = true;
+          break;
+        }
+        case openflow::ActionType::kSetTtl: {
+          if (auto view = pkt::parse(*buf); view && view->ip != nullptr) {
+            const_cast<pkt::Ipv4Header*>(view->ip)->set_ttl(action.ttl);
+          }
+          continue;  // non-terminal action
+        }
+      }
+      if (consumed) break;
+    }
+    if (!consumed) {
+      // Action list without a terminal action: OpenFlow drops.
+      ++counters_.action_drops;
+      pool_->free(buf);
+    }
+  }
+  flush_pending();
+}
+
+void ForwardingEngine::flush_to(PortId out_port,
+                                std::span<mbuf::Mbuf* const> pkts,
+                                exec::CycleMeter& meter) {
+  SwitchPort* dst = port_by_id(out_port);
+  meter.charge(cost_->ring_enq_base);
+  std::size_t accepted = 0;
+  if (dst != nullptr && dst->enabled()) {
+    accepted = dst->tx_burst(pkts);
+    meter.charge(static_cast<Cycles>(accepted) * cost_->ring_enq_per_pkt);
+    dst->stats().tx_packets += accepted;
+    for (std::size_t i = 0; i < accepted; ++i) {
+      dst->stats().tx_bytes += pkts[i]->data_len;
+    }
+  }
+  counters_.tx_packets += accepted;
+  for (std::size_t i = accepted; i < pkts.size(); ++i) {
+    ++counters_.tx_ring_full;
+    if (dst != nullptr) ++dst->stats().tx_dropped;
+    pool_->free(pkts[i]);
+  }
+}
+
+}  // namespace hw::vswitch

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/context.h"
+#include "exec/cost_model.h"
+#include "flowtable/flow_table.h"
+#include "mbuf/mempool.h"
+#include "vswitch/switch_port.h"
+
+/// \file forwarding_engine.h
+/// One OVS-DPDK PMD thread: polls its assigned ports in round-robin
+/// bursts, classifies each frame (exact-match cache, then the wildcard
+/// table), executes actions, and flushes per-destination bursts. Every
+/// per-hop cost of the "traditional approach" lives here — which is
+/// exactly the work the bypass channel removes.
+
+namespace hw::vswitch {
+
+struct EngineCounters {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t misses = 0;        ///< no matching rule → dropped
+  std::uint64_t action_drops = 0;  ///< explicit DROP action
+  std::uint64_t tx_ring_full = 0;  ///< destination could not accept
+  std::uint64_t controller_punts = 0;
+  std::uint64_t emc_hits = 0;
+  std::uint64_t emc_misses = 0;
+};
+
+class ForwardingEngine final : public exec::Context {
+ public:
+  ForwardingEngine(std::string name, flowtable::FlowTable& table,
+                   mbuf::Mempool& pool, const exec::CostModel& cost,
+                   bool emc_enabled, std::uint32_t burst);
+
+  /// Assigns a port's rx queue to this engine (OVS rxq affinity).
+  void assign_port(SwitchPort* port);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  std::uint32_t poll(exec::CycleMeter& meter) override;
+
+  [[nodiscard]] const EngineCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const flowtable::ExactMatchCache& emc() const noexcept {
+    return emc_;
+  }
+  [[nodiscard]] std::size_t port_count() const noexcept {
+    return ports_.size();
+  }
+
+ private:
+  /// Processes one received burst from `in_port`.
+  void process_burst(SwitchPort& in_port, std::span<mbuf::Mbuf*> pkts,
+                     exec::CycleMeter& meter);
+  /// Classifier lookup with cost accounting.
+  flowtable::FlowEntry* classify(mbuf::Mbuf& buf, exec::CycleMeter& meter);
+  void flush_to(PortId out_port, std::span<mbuf::Mbuf* const> pkts,
+                exec::CycleMeter& meter);
+  [[nodiscard]] SwitchPort* port_by_id(PortId id) noexcept;
+
+  std::string name_;
+  flowtable::FlowTable* table_;
+  mbuf::Mempool* pool_;
+  const exec::CostModel* cost_;
+  bool emc_enabled_;
+  std::uint32_t burst_;
+
+  std::vector<SwitchPort*> ports_;
+  // Dense id→port map for O(1) output action resolution.
+  std::vector<SwitchPort*> by_id_;
+  flowtable::ExactMatchCache emc_;
+  EngineCounters counters_;
+
+  std::vector<mbuf::Mbuf*> rx_buf_;
+  std::vector<mbuf::Mbuf*> tx_buf_;
+
+ public:
+  /// Registers a port reachable as an output destination (all switch
+  /// ports, not only the ones polled by this engine).
+  void register_output(SwitchPort* port);
+};
+
+}  // namespace hw::vswitch

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/runtime.h"
+#include "flowtable/flow_table.h"
+#include "mbuf/mempool.h"
+#include "openflow/codec.h"
+#include "openflow/messages.h"
+#include "pmd/shared_stats.h"
+#include "shm/shm.h"
+#include "vswitch/bypass_manager.h"
+#include "vswitch/forwarding_engine.h"
+#include "vswitch/switch_port.h"
+
+/// \file of_switch.h
+/// The modified Open vSwitch: OpenFlow endpoint + flow table + forwarding
+/// engines (PMD contexts) + the p-2-p link detector and bypass manager.
+///
+/// Transparency guarantees implemented here:
+///  * controllers talk the ordinary wire protocol (handle_message) and see
+///    ordinary ports — normal and bypass channels are never exposed;
+///  * flow and port statistics merge the shared-memory counters written by
+///    PMDs, so bypassed traffic is reported exactly as if the switch had
+///    forwarded it;
+///  * packet-out works on bypassed ports (delivered via the normal
+///    channel, which PMDs always poll).
+
+namespace hw::vswitch {
+
+struct SwitchConfig {
+  std::size_t ring_capacity = 1024;  ///< normal + bypass channel rings
+  std::uint32_t burst = 32;
+  bool emc_enabled = true;
+  std::uint32_t engine_count = 1;    ///< PMD threads (OVS pmd-cpu-mask)
+  bool bypass_enabled = true;        ///< false = vanilla OVS-DPDK baseline
+};
+
+struct SwitchCounters {
+  std::uint64_t flow_mods = 0;
+  std::uint64_t packet_outs = 0;
+  std::uint64_t packet_out_failures = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t message_errors = 0;
+};
+
+class OfSwitch {
+ public:
+  OfSwitch(shm::ShmManager& shm, mbuf::Mempool& pool, exec::Runtime& runtime,
+           const exec::CostModel& cost, SwitchConfig config);
+
+  OfSwitch(const OfSwitch&) = delete;
+  OfSwitch& operator=(const OfSwitch&) = delete;
+
+  // ----------------------------------------------------------- ports
+  /// Creates a dpdkr port: shared-memory normal channel + control channel
+  /// regions, switch-side endpoint, engine assignment. Returns the port id.
+  [[nodiscard]] Result<PortId> add_dpdkr_port(const std::string& name);
+
+  /// Attaches a simulated NIC as a physical port.
+  [[nodiscard]] Result<PortId> add_phy_port(const std::string& name,
+                                            nic::SimNic& nic);
+
+  [[nodiscard]] Status set_port_enabled(PortId port, bool enabled);
+  [[nodiscard]] SwitchPort* port(PortId id) noexcept;
+  [[nodiscard]] bool is_dpdkr(PortId id) const noexcept;
+  [[nodiscard]] std::vector<PortId> dpdkr_ports() const;
+
+  // ------------------------------------------------- OpenFlow control
+  [[nodiscard]] Status handle_flow_mod(const openflow::FlowMod& mod);
+  [[nodiscard]] Status handle_packet_out(const openflow::PacketOut& po);
+  [[nodiscard]] std::vector<openflow::FlowStatsEntry> flow_stats() const;
+  [[nodiscard]] Result<openflow::PortStats> port_stats(PortId id) const;
+
+  /// Wire-protocol endpoint: decodes one message, executes it, returns the
+  /// encoded reply (empty vector when the message has no reply).
+  [[nodiscard]] Result<std::vector<std::byte>> handle_message(
+      std::span<const std::byte> data);
+
+  // --------------------------------------------------------- plumbing
+  /// PMD contexts to register with a Runtime.
+  [[nodiscard]] std::vector<exec::Context*> engine_contexts();
+  [[nodiscard]] std::span<const std::unique_ptr<ForwardingEngine>> engines()
+      const noexcept {
+    return engines_;
+  }
+  [[nodiscard]] BypassManager& bypass_manager() noexcept { return *bypass_; }
+  [[nodiscard]] flowtable::FlowTable& table() noexcept { return table_; }
+  [[nodiscard]] pmd::SharedStats shared_stats() const noexcept {
+    return shared_stats_;
+  }
+  [[nodiscard]] const SwitchConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const SwitchCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  shm::ShmManager* shm_;
+  mbuf::Mempool* pool_;
+  exec::Runtime* runtime_;
+  const exec::CostModel* cost_;
+  SwitchConfig config_;
+
+  flowtable::FlowTable table_;
+  pmd::SharedStats shared_stats_;
+  std::vector<std::unique_ptr<SwitchPort>> ports_;  // index = id - 1
+  std::vector<std::unique_ptr<ForwardingEngine>> engines_;
+  std::unique_ptr<BypassManager> bypass_;
+  PortId next_port_ = 1;
+  SwitchCounters counters_;
+};
+
+}  // namespace hw::vswitch

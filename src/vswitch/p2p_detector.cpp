@@ -1,0 +1,63 @@
+#include "vswitch/p2p_detector.h"
+
+#include "openflow/messages.h"
+
+namespace hw::vswitch {
+
+std::optional<P2pLink> P2pDetector::evaluate_port(
+    const flowtable::FlowTable& table, PortId from) const {
+  const flowtable::FlowEntry* candidate = nullptr;
+  PortId candidate_out = kPortNone;
+  // Highest priority among *other* rules that could match port `from`.
+  bool any_other = false;
+  std::uint16_t top_other = 0;
+
+  for (const flowtable::FlowEntry& entry : table.entries()) {
+    const bool could_match_port =
+        !entry.match.has(openflow::kMatchInPort) ||
+        entry.match.in_port_value() == from;
+    if (!could_match_port) continue;
+
+    PortId out = kPortNone;
+    const bool is_candidate = entry.match.is_in_port_only() &&
+                              entry.match.in_port_value() == from &&
+                              openflow::is_single_output(entry.actions, &out) &&
+                              out != from && is_dpdkr_(out);
+    if (is_candidate) {
+      // Entries are priority-descending; the first candidate is the
+      // highest-priority one. Later candidates are dominated: count them
+      // as "others" only if they tie the chosen candidate (ambiguity).
+      if (candidate == nullptr) {
+        candidate = &entry;
+        candidate_out = out;
+        continue;
+      }
+    }
+    if (candidate != &entry) {
+      any_other = true;
+      top_other = std::max(top_other, entry.priority);
+    }
+  }
+
+  if (candidate == nullptr) return std::nullopt;
+  if (any_other && top_other >= candidate->priority) return std::nullopt;
+
+  return P2pLink{.from = from,
+                 .to = candidate_out,
+                 .rule = candidate->id,
+                 .cookie = candidate->cookie,
+                 .priority = candidate->priority};
+}
+
+std::vector<P2pLink> P2pDetector::evaluate_all(
+    const flowtable::FlowTable& table, std::span<const PortId> ports) const {
+  std::vector<P2pLink> links;
+  for (const PortId port : ports) {
+    if (auto link = evaluate_port(table, port)) {
+      links.push_back(*link);
+    }
+  }
+  return links;
+}
+
+}  // namespace hw::vswitch

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "flowtable/flow_table.h"
+
+/// \file p2p_detector.h
+/// The p-2-p link detector — the paper's core control-plane contribution.
+///
+/// After every FlowMod the detector re-derives, from the rule set alone,
+/// the set of *directed point-to-point links*: port pairs (A, B) such that
+/// every packet entering A is unconditionally output to B. Such traffic
+/// can safely skip the forwarding engine via a bypass channel.
+///
+/// Soundness condition for a link A→B:
+///   1. there is a rule R with match == {in_port=A} (nothing else) and
+///      actions == [OUTPUT(B)], with B a dpdkr port, B != A; and
+///   2. every *other* rule that could match a packet entering A (i.e.
+///      whose match wildcards in_port or pins it to A) has priority
+///      strictly lower than R's.
+/// (2) guarantees R dominates: no packet from A can hit another rule, so
+/// diverting at the source cannot change forwarding behaviour. The check
+/// is conservative — ambiguous same-priority overlaps disable the link —
+/// and complete for the catch-all steering rules NFV orchestrators emit.
+
+namespace hw::vswitch {
+
+struct P2pLink {
+  PortId from = kPortNone;
+  PortId to = kPortNone;
+  RuleId rule = kRuleNone;
+  Cookie cookie = 0;
+  std::uint16_t priority = 0;
+
+  friend bool operator==(const P2pLink&, const P2pLink&) = default;
+};
+
+class P2pDetector {
+ public:
+  using PortPredicate = std::function<bool(PortId)>;
+
+  /// `is_dpdkr` must return true for ports eligible as bypass endpoints
+  /// (VM-attached dpdkr ports; NIC ports are not eligible).
+  explicit P2pDetector(PortPredicate is_dpdkr)
+      : is_dpdkr_(std::move(is_dpdkr)) {}
+
+  /// Evaluates one candidate source port against the table.
+  [[nodiscard]] std::optional<P2pLink> evaluate_port(
+      const flowtable::FlowTable& table, PortId from) const;
+
+  /// Evaluates every port in `ports`; returns all currently valid links.
+  [[nodiscard]] std::vector<P2pLink> evaluate_all(
+      const flowtable::FlowTable& table,
+      std::span<const PortId> ports) const;
+
+ private:
+  PortPredicate is_dpdkr_;
+};
+
+}  // namespace hw::vswitch

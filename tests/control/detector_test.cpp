@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "flowtable/flow_table.h"
+#include "pkt/headers.h"
+#include "vswitch/p2p_detector.h"
+
+namespace hw::vswitch {
+namespace {
+
+using flowtable::FlowTable;
+using openflow::Action;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+
+/// Everything below port 100 counts as a dpdkr port; 100+ is "phy".
+P2pDetector detector_all() {
+  return P2pDetector([](PortId port) { return port < 100; });
+}
+
+void apply_ok(FlowTable& table, const FlowMod& mod) {
+  ASSERT_TRUE(table.apply(mod).is_ok());
+}
+
+TEST(P2pDetector, EmptyTableHasNoLinks) {
+  FlowTable table;
+  EXPECT_FALSE(detector_all().evaluate_port(table, 1).has_value());
+}
+
+TEST(P2pDetector, BasicCatchAllIsALink) {
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 2, 100, 7));
+  const auto link = detector_all().evaluate_port(table, 1);
+  ASSERT_TRUE(link.has_value());
+  EXPECT_EQ(link->from, 1);
+  EXPECT_EQ(link->to, 2);
+  EXPECT_EQ(link->cookie, 7u);
+  EXPECT_EQ(link->priority, 100);
+  // Port 2 has no steering rule of its own.
+  EXPECT_FALSE(detector_all().evaluate_port(table, 2).has_value());
+}
+
+TEST(P2pDetector, RefinedMatchIsNotALink) {
+  // A rule constraining more than in_port cannot prove "all traffic".
+  FlowTable table;
+  FlowMod mod;
+  mod.priority = 100;
+  mod.match.in_port(1).eth_type(pkt::kEtherTypeIpv4);
+  mod.actions = {Action::output(2)};
+  apply_ok(table, mod);
+  EXPECT_FALSE(detector_all().evaluate_port(table, 1).has_value());
+}
+
+TEST(P2pDetector, MultiActionIsNotALink) {
+  FlowTable table;
+  FlowMod mod;
+  mod.priority = 100;
+  mod.match.in_port(1);
+  mod.actions = {Action::set_ttl(3), Action::output(2)};
+  apply_ok(table, mod);
+  EXPECT_FALSE(detector_all().evaluate_port(table, 1).has_value());
+}
+
+TEST(P2pDetector, DropOrControllerIsNotALink) {
+  FlowTable table;
+  FlowMod drop;
+  drop.priority = 100;
+  drop.match.in_port(1);
+  drop.actions = {Action::drop()};
+  apply_ok(table, drop);
+  EXPECT_FALSE(detector_all().evaluate_port(table, 1).has_value());
+
+  FlowMod punt;
+  punt.priority = 100;
+  punt.match.in_port(2);
+  punt.actions = {Action::output(kPortController)};
+  apply_ok(table, punt);
+  EXPECT_FALSE(detector_all().evaluate_port(table, 2).has_value());
+}
+
+TEST(P2pDetector, NonDpdkrDestinationIsNotALink) {
+  // Bypass channels connect VMs; a phy port destination stays on the
+  // normal path (the paper's NIC edges).
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 100, 50, 0));
+  EXPECT_FALSE(detector_all().evaluate_port(table, 1).has_value());
+}
+
+TEST(P2pDetector, SelfLoopIsNotALink) {
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 1, 50, 0));
+  EXPECT_FALSE(detector_all().evaluate_port(table, 1).has_value());
+}
+
+TEST(P2pDetector, HigherPriorityDivertingRuleBlocksLink) {
+  // The paper's dynamicity scenario: a more specific, higher-priority
+  // rule means some packets from port 1 do NOT go to port 2.
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 2, 100, 0));
+  ASSERT_TRUE(detector_all().evaluate_port(table, 1).has_value());
+
+  FlowMod divert;
+  divert.priority = 200;
+  divert.match.in_port(1).ip_proto(pkt::kIpProtoTcp).l4_dst(80);
+  divert.actions = {Action::output(3)};
+  apply_ok(table, divert);
+  EXPECT_FALSE(detector_all().evaluate_port(table, 1).has_value());
+
+  // Removing the diverting rule restores the link.
+  divert.command = FlowModCommand::kDeleteStrict;
+  apply_ok(table, divert);
+  EXPECT_TRUE(detector_all().evaluate_port(table, 1).has_value());
+}
+
+TEST(P2pDetector, EqualPriorityOverlapIsAmbiguousAndBlocks) {
+  // OpenFlow leaves equal-priority overlap undefined; the detector must
+  // be conservative.
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 2, 100, 0));
+  FlowMod same_prio;
+  same_prio.priority = 100;
+  same_prio.match.in_port(1).l4_dst(443);
+  same_prio.actions = {Action::output(4)};
+  apply_ok(table, same_prio);
+  EXPECT_FALSE(detector_all().evaluate_port(table, 1).has_value());
+}
+
+TEST(P2pDetector, LowerPriorityRulesAreShadowedAndHarmless) {
+  // The catch-all dominates: anything below it can never fire for this
+  // port, so the link stands.
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 2, 100, 0));
+  FlowMod shadowed;
+  shadowed.priority = 50;
+  shadowed.match.in_port(1).l4_dst(80);
+  shadowed.actions = {Action::output(9)};
+  apply_ok(table, shadowed);
+  const auto link = detector_all().evaluate_port(table, 1);
+  ASSERT_TRUE(link.has_value());
+  EXPECT_EQ(link->to, 2);
+}
+
+TEST(P2pDetector, WildcardInPortRuleBlocksEveryPort) {
+  // A table-wide rule (no in_port) could match traffic from any port at
+  // higher priority: no port may be bypassed.
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 2, 100, 0));
+  FlowMod global;
+  global.priority = 300;
+  global.match.ip_proto(pkt::kIpProtoTcp);
+  global.actions = {Action::output(kPortController)};
+  apply_ok(table, global);
+  EXPECT_FALSE(detector_all().evaluate_port(table, 1).has_value());
+}
+
+TEST(P2pDetector, WildcardBelowCatchAllDoesNotBlock) {
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 2, 100, 0));
+  FlowMod fallback;
+  fallback.priority = 1;  // default drop below everything
+  fallback.actions = {Action::drop()};
+  apply_ok(table, fallback);
+  EXPECT_TRUE(detector_all().evaluate_port(table, 1).has_value());
+}
+
+TEST(P2pDetector, RulesForOtherPortsDoNotInterfere) {
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 2, 100, 0));
+  FlowMod other;
+  other.priority = 500;  // higher, but pinned to a different port
+  other.match.in_port(5).l4_dst(80);
+  other.actions = {Action::output(6)};
+  apply_ok(table, other);
+  EXPECT_TRUE(detector_all().evaluate_port(table, 1).has_value());
+}
+
+TEST(P2pDetector, TwoCandidatesHighestPriorityWins) {
+  // Two catch-alls for the same port at different priorities (e.g. a
+  // route change installed before the old rule is removed): the
+  // higher-priority one defines the link.
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 2, 100, 0));
+  apply_ok(table, openflow::make_p2p_flowmod(1, 3, 200, 0));
+  const auto link = detector_all().evaluate_port(table, 1);
+  ASSERT_TRUE(link.has_value());
+  EXPECT_EQ(link->to, 3);
+}
+
+TEST(P2pDetector, MultipleUpstreamsToOneDestinationAllLink) {
+  // Two sources both steering everything to port 9: both are links (the
+  // destination port simply has two bypass RX channels).
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 9, 100, 0));
+  apply_ok(table, openflow::make_p2p_flowmod(2, 9, 100, 0));
+  EXPECT_TRUE(detector_all().evaluate_port(table, 1).has_value());
+  EXPECT_TRUE(detector_all().evaluate_port(table, 2).has_value());
+}
+
+TEST(P2pDetector, EvaluateAllFindsChainLinks) {
+  // The paper's chain: R_i → L_{i+1} plus reverse, 4 VMs → 6 links.
+  FlowTable table;
+  const PortId left[4] = {1, 3, 5, 7};
+  const PortId right[4] = {2, 4, 6, 8};
+  for (int i = 0; i < 3; ++i) {
+    apply_ok(table,
+             openflow::make_p2p_flowmod(right[i], left[i + 1], 100, 0));
+    apply_ok(table,
+             openflow::make_p2p_flowmod(left[i + 1], right[i], 100, 0));
+  }
+  const PortId ports[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto links = detector_all().evaluate_all(table, ports);
+  EXPECT_EQ(links.size(), 6u);
+}
+
+TEST(P2pDetector, DeleteRemovesLink) {
+  FlowTable table;
+  FlowMod mod = openflow::make_p2p_flowmod(1, 2, 100, 0);
+  apply_ok(table, mod);
+  ASSERT_TRUE(detector_all().evaluate_port(table, 1).has_value());
+  mod.command = FlowModCommand::kDeleteStrict;
+  apply_ok(table, mod);
+  EXPECT_FALSE(detector_all().evaluate_port(table, 1).has_value());
+}
+
+TEST(P2pDetector, ModifyActionRetargetsLink) {
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 2, 100, 0));
+  FlowMod mod;
+  mod.command = FlowModCommand::kModifyStrict;
+  mod.priority = 100;
+  mod.match.in_port(1);
+  mod.actions = {Action::output(5)};
+  apply_ok(table, mod);
+  const auto link = detector_all().evaluate_port(table, 1);
+  ASSERT_TRUE(link.has_value());
+  EXPECT_EQ(link->to, 5);
+}
+
+TEST(P2pDetector, RuleIdTracksReplacedRule) {
+  FlowTable table;
+  apply_ok(table, openflow::make_p2p_flowmod(1, 2, 100, 10));
+  const auto before = detector_all().evaluate_port(table, 1);
+  ASSERT_TRUE(before.has_value());
+  // ADD with identical match+priority replaces in place: same rule id,
+  // new cookie — the stats slot must follow the cookie change.
+  apply_ok(table, openflow::make_p2p_flowmod(1, 2, 100, 20));
+  const auto after = detector_all().evaluate_port(table, 1);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->rule, before->rule);
+  EXPECT_EQ(after->cookie, 20u);
+}
+
+}  // namespace
+}  // namespace hw::vswitch

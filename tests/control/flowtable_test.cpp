@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "flowtable/flow_table.h"
+#include "pkt/headers.h"
+
+namespace hw::flowtable {
+namespace {
+
+using openflow::Action;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+
+FlowMod add_rule(PortId in, PortId out, std::uint16_t priority,
+                 Cookie cookie = 0) {
+  FlowMod mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.priority = priority;
+  mod.cookie = cookie;
+  mod.match.in_port(in);
+  mod.actions = {Action::output(out)};
+  return mod;
+}
+
+pkt::FlowKey key_on_port(PortId port) {
+  pkt::FlowKey key;
+  key.in_port = port;
+  key.ether_type = pkt::kEtherTypeIpv4;
+  key.ip_proto = pkt::kIpProtoUdp;
+  key.src_port = 1;
+  key.dst_port = 2;
+  return key;
+}
+
+TEST(FlowTable, AddAndLookup) {
+  FlowTable table;
+  auto result = table.apply(add_rule(1, 2, 10), 100);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().added, 1u);
+  EXPECT_EQ(table.size(), 1u);
+
+  FlowEntry* hit = table.lookup(key_on_port(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->install_time_ns, 100u);
+  EXPECT_EQ(table.lookup(key_on_port(9)), nullptr);
+}
+
+TEST(FlowTable, AddRejectsEmptyActions) {
+  FlowTable table;
+  FlowMod mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.match.in_port(1);
+  EXPECT_FALSE(table.apply(mod).is_ok());
+}
+
+TEST(FlowTable, AddIdenticalMatchReplaces) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10, 111)).is_ok());
+  const RuleId original_id = table.entries()[0].id;
+  table.account(original_id, 5, 300);
+
+  auto result = table.apply(add_rule(1, 3, 10, 222));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().modified, 1u);
+  EXPECT_EQ(table.size(), 1u);
+  const FlowEntry& entry = table.entries()[0];
+  EXPECT_EQ(entry.id, original_id);  // identity survives the overwrite
+  EXPECT_EQ(entry.cookie, 222u);
+  EXPECT_EQ(entry.actions[0].port, 3);
+  EXPECT_EQ(entry.packet_count, 0u);  // OpenFlow ADD resets counters
+}
+
+TEST(FlowTable, PriorityOrderWins) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  FlowMod high;
+  high.command = FlowModCommand::kAdd;
+  high.priority = 100;
+  high.match.in_port(1);
+  high.match.l4_dst(2);
+  high.actions = {Action::output(7)};
+  ASSERT_TRUE(table.apply(high).is_ok());
+
+  FlowEntry* hit = table.lookup(key_on_port(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actions[0].port, 7);  // the narrower, higher-prio rule
+}
+
+TEST(FlowTable, TieBreaksByInsertionOrder) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  FlowMod second;
+  second.command = FlowModCommand::kAdd;
+  second.priority = 10;
+  second.match.in_port(1);
+  second.match.ip_proto(pkt::kIpProtoUdp);
+  second.actions = {Action::output(9)};
+  ASSERT_TRUE(table.apply(second).is_ok());
+  // Both match; the earlier rule (lower id) wins deterministically.
+  FlowEntry* hit = table.lookup(key_on_port(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actions[0].port, 2);
+}
+
+TEST(FlowTable, DeleteStrictRequiresExactIdentity) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  FlowMod del;
+  del.command = FlowModCommand::kDeleteStrict;
+  del.priority = 11;  // wrong priority
+  del.match.in_port(1);
+  auto result = table.apply(del);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().removed, 0u);
+  del.priority = 10;
+  result = table.apply(del);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().removed, 1u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, DeleteNonStrictUsesContainment) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  ASSERT_TRUE(table.apply(add_rule(2, 3, 10)).is_ok());
+  FlowMod narrow;
+  narrow.command = FlowModCommand::kAdd;
+  narrow.priority = 99;
+  narrow.match.in_port(1);
+  narrow.match.l4_dst(80);
+  narrow.actions = {Action::output(5)};
+  ASSERT_TRUE(table.apply(narrow).is_ok());
+
+  // Delete everything with in_port=1 (any priority, any extra fields).
+  FlowMod del;
+  del.command = FlowModCommand::kDelete;
+  del.match.in_port(1);
+  auto result = table.apply(del);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().removed, 2u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.entries()[0].match.in_port_value(), 2);
+}
+
+TEST(FlowTable, DeleteAllWithWildcard) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  ASSERT_TRUE(table.apply(add_rule(2, 3, 20)).is_ok());
+  FlowMod del;
+  del.command = FlowModCommand::kDelete;  // empty match: contains all
+  auto result = table.apply(del);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().removed, 2u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, ModifyStrictAndNonStrict) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  ASSERT_TRUE(table.apply(add_rule(1, 3, 20)).is_ok());
+
+  FlowMod mod;
+  mod.command = FlowModCommand::kModify;
+  mod.match.in_port(1);
+  mod.actions = {Action::output(9)};
+  auto result = table.apply(mod);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().modified, 2u);
+  for (const FlowEntry& entry : table.entries()) {
+    EXPECT_EQ(entry.actions[0].port, 9);
+  }
+
+  FlowMod strict;
+  strict.command = FlowModCommand::kModifyStrict;
+  strict.priority = 10;
+  strict.match.in_port(1);
+  strict.actions = {Action::output(4)};
+  result = table.apply(strict);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().modified, 1u);
+}
+
+TEST(FlowTable, VersionBumpsOnEveryChange) {
+  FlowTable table;
+  const std::uint64_t v0 = table.version();
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  const std::uint64_t v1 = table.version();
+  EXPECT_GT(v1, v0);
+  FlowMod del;
+  del.command = FlowModCommand::kDelete;
+  ASSERT_TRUE(table.apply(del).is_ok());
+  EXPECT_GT(table.version(), v1);
+  // A no-op delete does not bump.
+  const std::uint64_t v2 = table.version();
+  ASSERT_TRUE(table.apply(del).is_ok());
+  EXPECT_EQ(table.version(), v2);
+}
+
+TEST(FlowTable, AccountAddsCounters) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  const RuleId id = table.entries()[0].id;
+  table.account(id, 10, 640);
+  table.account(id, 5, 320);
+  EXPECT_EQ(table.find(id)->packet_count, 15u);
+  EXPECT_EQ(table.find(id)->byte_count, 960u);
+  table.account(kRuleNone, 1, 1);  // unknown rule: silently ignored
+}
+
+TEST(FlowTable, EntriesSortedByPriority) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 5)).is_ok());
+  ASSERT_TRUE(table.apply(add_rule(2, 3, 50)).is_ok());
+  ASSERT_TRUE(table.apply(add_rule(3, 4, 20)).is_ok());
+  const auto& entries = table.entries();
+  EXPECT_TRUE(std::is_sorted(
+      entries.begin(), entries.end(),
+      [](const FlowEntry& a, const FlowEntry& b) {
+        return a.priority > b.priority;
+      }));
+}
+
+// ------------------------------------------------------------------- EMC
+
+TEST(ExactMatchCache, HitAfterInsert) {
+  ExactMatchCache emc(64);
+  const pkt::FlowKey key = key_on_port(1);
+  const std::uint32_t hash = pkt::flow_key_hash(key);
+  EXPECT_EQ(emc.lookup(key, hash, 1), kRuleNone);
+  emc.insert(key, hash, 42, 1);
+  EXPECT_EQ(emc.lookup(key, hash, 1), 42u);
+  EXPECT_EQ(emc.hits(), 1u);
+  EXPECT_EQ(emc.misses(), 1u);
+}
+
+TEST(ExactMatchCache, VersionChangeInvalidates) {
+  ExactMatchCache emc(64);
+  const pkt::FlowKey key = key_on_port(1);
+  const std::uint32_t hash = pkt::flow_key_hash(key);
+  emc.insert(key, hash, 42, 1);
+  EXPECT_EQ(emc.lookup(key, hash, 2), kRuleNone);  // stale version
+}
+
+TEST(ExactMatchCache, DifferentKeySameBucketMisses) {
+  ExactMatchCache emc(1);  // single bucket: every key collides
+  const pkt::FlowKey key1 = key_on_port(1);
+  const pkt::FlowKey key2 = key_on_port(2);
+  emc.insert(key1, pkt::flow_key_hash(key1), 1, 1);
+  EXPECT_EQ(emc.lookup(key2, pkt::flow_key_hash(key2), 1), kRuleNone);
+  // The colliding insert overwrites.
+  emc.insert(key2, pkt::flow_key_hash(key2), 2, 1);
+  EXPECT_EQ(emc.lookup(key2, pkt::flow_key_hash(key2), 1), 2u);
+}
+
+/// Property: lookup() equals a brute-force reference over random tables.
+class FlowTableModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableModelTest, LookupMatchesBruteForce) {
+  Rng rng(GetParam());
+  FlowTable table;
+  for (int i = 0; i < 60; ++i) {
+    FlowMod mod;
+    mod.command = FlowModCommand::kAdd;
+    mod.priority = static_cast<std::uint16_t>(rng.next_below(8));
+    mod.match.in_port(static_cast<PortId>(rng.next_below(4)));
+    if (rng.chance(1, 2)) {
+      mod.match.l4_dst(static_cast<std::uint16_t>(rng.next_below(3)));
+    }
+    if (rng.chance(1, 3)) {
+      mod.match.ip_proto(rng.chance(1, 2) ? pkt::kIpProtoUdp
+                                          : pkt::kIpProtoTcp);
+    }
+    mod.actions = {Action::output(static_cast<PortId>(rng.next_below(8)))};
+    ASSERT_TRUE(table.apply(mod).is_ok());
+  }
+
+  for (int i = 0; i < 2000; ++i) {
+    pkt::FlowKey key;
+    key.in_port = static_cast<PortId>(rng.next_below(4));
+    key.ether_type = pkt::kEtherTypeIpv4;
+    key.ip_proto = rng.chance(1, 2) ? pkt::kIpProtoUdp : pkt::kIpProtoTcp;
+    key.dst_port = static_cast<std::uint16_t>(rng.next_below(3));
+
+    // Brute-force reference: max priority, then min id.
+    const FlowEntry* expected = nullptr;
+    for (const FlowEntry& entry : table.entries()) {
+      if (!entry.match.matches(key)) continue;
+      if (expected == nullptr || entry.priority > expected->priority ||
+          (entry.priority == expected->priority &&
+           entry.id < expected->id)) {
+        expected = &entry;
+      }
+    }
+    FlowEntry* actual = table.lookup(key);
+    if (expected == nullptr) {
+      ASSERT_EQ(actual, nullptr);
+    } else {
+      ASSERT_NE(actual, nullptr);
+      ASSERT_EQ(actual->id, expected->id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableModelTest,
+                         ::testing::Values(7, 19, 31, 53));
+
+}  // namespace
+}  // namespace hw::flowtable

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "common/latency.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace hw {
+namespace {
+
+// ------------------------------------------------------------------ types
+
+TEST(Types, PowerOfTwo) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(1023));
+  EXPECT_TRUE(is_power_of_two(1ULL << 40));
+}
+
+TEST(Types, NextPowerOfTwo) {
+  EXPECT_EQ(next_power_of_two(0), 1u);
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1000), 1024u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+}
+
+TEST(Types, AlignUp) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+  EXPECT_EQ(align_up(100, 8), 104u);
+}
+
+TEST(Types, CacheAlignedOccupiesFullLines) {
+  EXPECT_EQ(sizeof(CacheAligned<std::uint8_t>) % kCacheLineSize, 0u);
+  EXPECT_EQ(alignof(CacheAligned<std::uint64_t>), kCacheLineSize);
+}
+
+// ----------------------------------------------------------------- status
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::not_found("port 7");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.to_string(), "NOT_FOUND: port 7");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::internal("a"), Status::internal("b"));
+  EXPECT_FALSE(Status::internal("a") == Status::not_found("a"));
+}
+
+TEST(Status, AllCodeNamesResolve) {
+  for (const auto code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kResourceExhausted,
+        StatusCode::kFailedPrecondition, StatusCode::kUnavailable,
+        StatusCode::kInternal}) {
+    EXPECT_NE(status_code_name(code), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result(Status::unavailable("down"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_FALSE(result);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> result(std::string("hello"));
+  const std::string moved = std::move(result).take();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(Result, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return Status::internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    HW_RETURN_IF_ERROR(fails());
+    return Status::ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(30, 100);
+  EXPECT_GT(hits, 2600);
+  EXPECT_LT(hits, 3400);
+}
+
+// ---------------------------------------------------------------- latency
+
+TEST(LatencyRecorder, BasicStats) {
+  LatencyRecorder recorder;
+  EXPECT_EQ(recorder.count(), 0u);
+  EXPECT_EQ(recorder.mean(), 0.0);
+  recorder.record(100);
+  recorder.record(200);
+  recorder.record(300);
+  EXPECT_EQ(recorder.count(), 3u);
+  EXPECT_EQ(recorder.min(), 100u);
+  EXPECT_EQ(recorder.max(), 300u);
+  EXPECT_DOUBLE_EQ(recorder.mean(), 200.0);
+}
+
+TEST(LatencyRecorder, QuantilesAreMonotonic) {
+  LatencyRecorder recorder;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    recorder.record(rng.next_in(100, 100000));
+  }
+  EXPECT_LE(recorder.quantile(0.5), recorder.quantile(0.9));
+  EXPECT_LE(recorder.quantile(0.9), recorder.quantile(0.99));
+  EXPECT_LE(recorder.quantile(0.99), recorder.max() * 2);
+}
+
+TEST(LatencyRecorder, QuantileBoundsSample) {
+  LatencyRecorder recorder;
+  recorder.record(1000);  // single sample: every quantile covers it
+  EXPECT_GE(recorder.quantile(0.5), 1000u);
+  EXPECT_GE(recorder.quantile(0.99), 1000u);
+}
+
+TEST(LatencyRecorder, ResetClears) {
+  LatencyRecorder recorder;
+  recorder.record(5);
+  recorder.reset();
+  EXPECT_EQ(recorder.count(), 0u);
+  EXPECT_EQ(recorder.max(), 0u);
+}
+
+TEST(LatencyRecorder, MergeCombines) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  a.record(100);
+  b.record(300);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 300u);
+  EXPECT_DOUBLE_EQ(a.mean(), 200.0);
+}
+
+TEST(LatencyRecorder, MergeWithEmptyIsIdentity) {
+  LatencyRecorder a;
+  LatencyRecorder empty;
+  a.record(42);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42u);
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(Units, TenGigLineRate) {
+  EXPECT_NEAR(line_rate_pps(10'000'000'000ULL, 64), 14.88e6, 0.01e6);
+  EXPECT_NEAR(line_rate_pps(10'000'000'000ULL, 1518), 812743.8, 1000);
+}
+
+TEST(Units, ToMpps) {
+  EXPECT_DOUBLE_EQ(to_mpps(1'000'000, kNsPerSec), 1.0);
+  EXPECT_DOUBLE_EQ(to_mpps(500, 1'000'000), 0.5);
+  EXPECT_DOUBLE_EQ(to_mpps(100, 0), 0.0);
+}
+
+TEST(Units, ToGbps) {
+  EXPECT_DOUBLE_EQ(to_gbps(1'250'000'000, kNsPerSec), 10.0);
+  EXPECT_DOUBLE_EQ(to_gbps(1, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace hw

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "mbuf/mempool.h"
+
+namespace hw::mbuf {
+namespace {
+
+TEST(Mbuf, SizeTilesCacheLines) {
+  EXPECT_EQ(sizeof(Mbuf) % kCacheLineSize, 0u);
+  EXPECT_GE(kMbufDataRoom, 1518u);  // max Ethernet frame fits
+}
+
+TEST(Mbuf, ResetClearsMetadataOnly) {
+  Mbuf buf;
+  buf.data_len = 100;
+  buf.in_port = 4;
+  buf.seq = 9;
+  buf.ts_ns = 7;
+  buf.flow_hash = 3;
+  buf.pool_index = 55;
+  buf.reset();
+  EXPECT_EQ(buf.data_len, 0u);
+  EXPECT_EQ(buf.in_port, kPortNone);
+  EXPECT_EQ(buf.seq, 0u);
+  EXPECT_EQ(buf.ts_ns, 0u);
+  EXPECT_EQ(buf.flow_hash, 0u);
+  EXPECT_EQ(buf.pool_index, 55u);  // pool identity survives reset
+}
+
+TEST(Mempool, CapacityRoundsToPowerOfTwo) {
+  Mempool pool("p", 1000);
+  EXPECT_EQ(pool.capacity(), 1024u);
+}
+
+TEST(Mempool, AllocFreeCycle) {
+  Mempool pool("p", 16);
+  Mbuf* buf = pool.alloc();
+  ASSERT_NE(buf, nullptr);
+  EXPECT_TRUE(pool.owns(buf));
+  EXPECT_EQ(pool.in_use(), 1u);
+  pool.free(buf);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(Mempool, AllocResetsBuffer) {
+  Mempool pool("p", 4);
+  Mbuf* buf = pool.alloc();
+  buf->data_len = 64;
+  buf->seq = 77;
+  pool.free(buf);
+  // Drain until we get the same buffer back.
+  for (int i = 0; i < 4; ++i) {
+    Mbuf* again = pool.alloc();
+    if (again == buf) {
+      EXPECT_EQ(again->data_len, 0u);
+      EXPECT_EQ(again->seq, 0u);
+      return;
+    }
+  }
+  FAIL() << "buffer never recycled";
+}
+
+TEST(Mempool, ExhaustionReturnsNull) {
+  Mempool pool("p", 4);
+  std::vector<Mbuf*> held;
+  for (std::size_t i = 0; i < pool.capacity(); ++i) {
+    Mbuf* buf = pool.alloc();
+    ASSERT_NE(buf, nullptr);
+    held.push_back(buf);
+  }
+  EXPECT_EQ(pool.alloc(), nullptr);
+  EXPECT_EQ(pool.stats().alloc_failures, 1u);
+  pool.free_bulk(held);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_NE(pool.alloc(), nullptr);
+}
+
+TEST(Mempool, BulkAllocPartial) {
+  Mempool pool("p", 4);
+  std::vector<Mbuf*> out(10, nullptr);
+  const std::size_t got = pool.alloc_bulk(out);
+  EXPECT_EQ(got, 4u);
+  for (std::size_t i = 0; i < got; ++i) EXPECT_NE(out[i], nullptr);
+  pool.free_bulk(std::span<Mbuf* const>(out.data(), got));
+}
+
+TEST(Mempool, UniqueBuffersHandedOut) {
+  Mempool pool("p", 64);
+  std::vector<Mbuf*> held;
+  for (std::size_t i = 0; i < 64; ++i) held.push_back(pool.alloc());
+  std::sort(held.begin(), held.end());
+  EXPECT_EQ(std::adjacent_find(held.begin(), held.end()), held.end());
+  pool.free_bulk(held);
+}
+
+TEST(Mempool, OwnsRejectsForeignPointers) {
+  Mempool pool("p", 4);
+  Mbuf foreign;
+  EXPECT_FALSE(pool.owns(&foreign));
+}
+
+TEST(Mempool, StatsCount) {
+  Mempool pool("p", 8);
+  Mbuf* a = pool.alloc();
+  Mbuf* b = pool.alloc();
+  pool.free(a);
+  pool.free(b);
+  EXPECT_EQ(pool.stats().allocs, 2u);
+  EXPECT_EQ(pool.stats().frees, 2u);
+  EXPECT_EQ(pool.stats().alloc_failures, 0u);
+}
+
+/// Conservation property under random alloc/free sequences.
+class MempoolConservationTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MempoolConservationTest, NeverLosesBuffers) {
+  Rng rng(GetParam());
+  Mempool pool("p", 128);
+  std::vector<Mbuf*> held;
+  for (int step = 0; step < 50000; ++step) {
+    if (rng.chance(1, 2) && held.size() < 200) {
+      if (Mbuf* buf = pool.alloc()) held.push_back(buf);
+    } else if (!held.empty()) {
+      const std::size_t index = rng.next_below(held.size());
+      pool.free(held[index]);
+      held[index] = held.back();
+      held.pop_back();
+    }
+    ASSERT_EQ(pool.in_use(), held.size());
+  }
+  pool.free_bulk(held);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MempoolConservationTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace hw::mbuf

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <unordered_set>
+
+#include "pkt/checksum.h"
+#include "pkt/flow_key.h"
+#include "pkt/headers.h"
+#include "pkt/packet.h"
+#include "pkt/traffic_profile.h"
+
+namespace hw::pkt {
+namespace {
+
+// -------------------------------------------------------------- byteorder
+
+TEST(ByteOrder, RoundTrips) {
+  std::byte buf[4];
+  store_be16(buf, 0xabcd);
+  EXPECT_EQ(load_be16(buf), 0xabcd);
+  EXPECT_EQ(std::to_integer<unsigned>(buf[0]), 0xabu);  // big-endian on wire
+  store_be32(buf, 0x01020304);
+  EXPECT_EQ(load_be32(buf), 0x01020304u);
+  EXPECT_EQ(std::to_integer<unsigned>(buf[0]), 0x01u);
+}
+
+// ---------------------------------------------------------------- headers
+
+TEST(Headers, MacFormatting) {
+  const MacAddr mac = MacAddr::of(0xde, 0xad, 0xbe, 0xef, 0x00, 0x01);
+  EXPECT_EQ(mac.to_string(), "de:ad:be:ef:00:01");
+}
+
+TEST(Headers, MacFromIndexIsLocallyAdministered) {
+  const MacAddr mac = MacAddr::from_index(0x01020304);
+  EXPECT_EQ(mac.bytes[0], 0x02);
+  EXPECT_EQ(mac.bytes[2], 0x01);
+  EXPECT_EQ(mac.bytes[5], 0x04);
+  EXPECT_NE(MacAddr::from_index(1), MacAddr::from_index(2));
+}
+
+TEST(Headers, Ipv4Formatting) {
+  EXPECT_EQ(ipv4_to_string(ipv4(10, 0, 0, 1)), "10.0.0.1");
+  EXPECT_EQ(ipv4_to_string(ipv4(255, 255, 255, 255)), "255.255.255.255");
+}
+
+TEST(Headers, EthernetAccessors) {
+  EthernetHeader eth{};
+  eth.set_src(MacAddr::from_index(7));
+  eth.set_dst(MacAddr::from_index(9));
+  eth.set_ether_type(kEtherTypeIpv4);
+  EXPECT_EQ(eth.src_mac(), MacAddr::from_index(7));
+  EXPECT_EQ(eth.dst_mac(), MacAddr::from_index(9));
+  EXPECT_EQ(eth.ether_type(), kEtherTypeIpv4);
+}
+
+// --------------------------------------------------------------- checksum
+
+TEST(Checksum, KnownVector) {
+  // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 → sum 0xddf2, cksum 0x220d.
+  const std::uint8_t raw[] = {0x00, 0x01, 0xf2, 0x03,
+                              0xf4, 0xf5, 0xf6, 0xf7};
+  std::byte data[8];
+  std::memcpy(data, raw, 8);
+  EXPECT_EQ(checksum_partial(data), 0xddf2);
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  const std::byte data[3] = {std::byte{0x01}, std::byte{0x02},
+                             std::byte{0x03}};
+  // 0x0102 + 0x0300 = 0x0402
+  EXPECT_EQ(checksum_partial(data), 0x0402);
+}
+
+TEST(Checksum, VerifyAfterEmbed) {
+  std::byte data[20] = {};
+  data[0] = std::byte{0x45};
+  data[9] = std::byte{17};
+  const std::uint16_t sum = internet_checksum(data);
+  store_be16(data + 10, sum);
+  EXPECT_TRUE(checksum_ok(data));
+  data[12] = std::byte{0xff};  // corrupt
+  EXPECT_FALSE(checksum_ok(data));
+}
+
+// ------------------------------------------------------------ build/parse
+
+TEST(Packet, BuildUdpRoundTrip) {
+  mbuf::Mbuf buf;
+  FrameSpec spec;
+  spec.frame_len = 64;
+  spec.src_ip = ipv4(10, 0, 0, 1);
+  spec.dst_ip = ipv4(10, 0, 0, 2);
+  spec.src_port = 1111;
+  spec.dst_port = 2222;
+  ASSERT_TRUE(build_frame(buf, spec));
+  EXPECT_EQ(buf.data_len, 64u);
+
+  const auto view = parse(buf);
+  ASSERT_TRUE(view.has_value());
+  ASSERT_NE(view->eth, nullptr);
+  ASSERT_NE(view->ip, nullptr);
+  ASSERT_NE(view->udp, nullptr);
+  EXPECT_EQ(view->tcp, nullptr);
+  EXPECT_EQ(view->eth->ether_type(), kEtherTypeIpv4);
+  EXPECT_EQ(view->ip->src_addr(), spec.src_ip);
+  EXPECT_EQ(view->ip->dst_addr(), spec.dst_ip);
+  EXPECT_EQ(view->ip->proto(), kIpProtoUdp);
+  EXPECT_EQ(view->udp->sport(), 1111);
+  EXPECT_EQ(view->udp->dport(), 2222);
+  // IP header checksum must verify.
+  EXPECT_TRUE(checksum_ok(
+      {reinterpret_cast<const std::byte*>(view->ip), sizeof(Ipv4Header)}));
+}
+
+TEST(Packet, BuildTcpRoundTrip) {
+  mbuf::Mbuf buf;
+  FrameSpec spec;
+  spec.ip_proto = kIpProtoTcp;
+  spec.frame_len = 74;
+  spec.dst_port = 80;
+  ASSERT_TRUE(build_frame(buf, spec));
+  const auto view = parse(buf);
+  ASSERT_TRUE(view.has_value());
+  ASSERT_NE(view->tcp, nullptr);
+  EXPECT_EQ(view->udp, nullptr);
+  EXPECT_EQ(view->tcp->dport(), 80);
+}
+
+TEST(Packet, BuildRejectsBadSizes) {
+  mbuf::Mbuf buf;
+  FrameSpec spec;
+  spec.frame_len = 10;  // smaller than headers
+  EXPECT_FALSE(build_frame(buf, spec));
+  spec.frame_len = static_cast<std::uint32_t>(mbuf::kMbufDataRoom + 1);
+  EXPECT_FALSE(build_frame(buf, spec));
+}
+
+TEST(Packet, ParseRejectsTruncated) {
+  mbuf::Mbuf buf;
+  FrameSpec spec;
+  ASSERT_TRUE(build_frame(buf, spec));
+  buf.data_len = 10;  // truncated below Ethernet header
+  EXPECT_FALSE(parse(buf).has_value());
+  buf.data_len = 20;  // Ethernet ok, IPv4 truncated
+  EXPECT_FALSE(parse(buf).has_value());
+}
+
+TEST(Packet, ParseNonIpv4StopsAtEthernet) {
+  mbuf::Mbuf buf;
+  FrameSpec spec;
+  ASSERT_TRUE(build_frame(buf, spec));
+  auto* eth = reinterpret_cast<EthernetHeader*>(buf.data);
+  eth->set_ether_type(kEtherTypeArp);
+  const auto view = parse(buf);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_NE(view->eth, nullptr);
+  EXPECT_EQ(view->ip, nullptr);
+}
+
+// --------------------------------------------------------------- flow key
+
+TEST(FlowKey, ExtractionMatchesSpec) {
+  mbuf::Mbuf buf;
+  FrameSpec spec;
+  spec.src_ip = ipv4(1, 2, 3, 4);
+  spec.dst_ip = ipv4(5, 6, 7, 8);
+  spec.src_port = 10;
+  spec.dst_port = 20;
+  ASSERT_TRUE(build_frame(buf, spec));
+  buf.in_port = 3;
+  const FlowKey key = extract_flow_key(buf);
+  EXPECT_EQ(key.in_port, 3);
+  EXPECT_EQ(key.ether_type, kEtherTypeIpv4);
+  EXPECT_EQ(key.src_ip, spec.src_ip);
+  EXPECT_EQ(key.dst_ip, spec.dst_ip);
+  EXPECT_EQ(key.ip_proto, kIpProtoUdp);
+  EXPECT_EQ(key.src_port, 10);
+  EXPECT_EQ(key.dst_port, 20);
+}
+
+TEST(FlowKey, HashNeverZeroAndStable) {
+  FlowKey key;
+  key.src_ip = ipv4(10, 0, 0, 1);
+  const std::uint32_t h1 = flow_key_hash(key);
+  const std::uint32_t h2 = flow_key_hash(key);
+  EXPECT_NE(h1, 0u);
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(FlowKey, HashSpreadsAcrossFlows) {
+  std::unordered_set<std::uint32_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    FlowKey key;
+    key.in_port = static_cast<PortId>(i % 7);
+    key.src_ip = ipv4(10, 0, 0, 1) + i;
+    key.dst_port = static_cast<std::uint16_t>(i);
+    hashes.insert(flow_key_hash(key));
+  }
+  EXPECT_GT(hashes.size(), 990u);  // near-perfect spread
+}
+
+TEST(FlowKey, InPortChangesHash) {
+  FlowKey a;
+  a.src_ip = ipv4(10, 0, 0, 1);
+  FlowKey b = a;
+  b.in_port = 5;
+  EXPECT_NE(flow_key_hash(a), flow_key_hash(b));
+}
+
+TEST(FlowKey, CachedHashReused) {
+  mbuf::Mbuf buf;
+  ASSERT_TRUE(build_frame(buf, FrameSpec{}));
+  buf.in_port = 1;
+  const std::uint32_t first = flow_hash_of(buf);
+  EXPECT_EQ(buf.flow_hash, first);
+  // Second call must not recompute differently.
+  EXPECT_EQ(flow_hash_of(buf), first);
+}
+
+// ---------------------------------------------------------------- profile
+
+TEST(TrafficProfile, GeneratesRequestedFlows) {
+  TrafficProfile profile;
+  profile.flow_count = 12;
+  const auto flows = profile.make_flows();
+  ASSERT_EQ(flows.size(), 12u);
+  std::unordered_set<std::uint32_t> srcs;
+  for (const auto& flow : flows) srcs.insert(flow.src_ip);
+  EXPECT_EQ(srcs.size(), 12u);  // distinct tuples
+}
+
+TEST(TrafficProfile, WebPercentProducesTcp80) {
+  TrafficProfile profile;
+  profile.flow_count = 200;
+  profile.web_percent = 50;
+  int web = 0;
+  for (const auto& flow : profile.make_flows()) {
+    if (flow.ip_proto == kIpProtoTcp) {
+      EXPECT_EQ(flow.dst_port, 80);
+      ++web;
+    }
+  }
+  EXPECT_GT(web, 60);
+  EXPECT_LT(web, 140);
+}
+
+TEST(TrafficProfile, DeterministicForSeed) {
+  TrafficProfile profile;
+  profile.web_percent = 30;
+  const auto a = profile.make_flows();
+  const auto b = profile.make_flows();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ip_proto, b[i].ip_proto);
+    EXPECT_EQ(a[i].dst_port, b[i].dst_port);
+  }
+}
+
+}  // namespace
+}  // namespace hw::pkt

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "shm/shm.h"
+
+namespace hw::shm {
+namespace {
+
+TEST(ShmManager, CreateAndFind) {
+  ShmManager manager;
+  auto region = manager.create("r0", 4096);
+  ASSERT_TRUE(region.is_ok());
+  EXPECT_EQ(region.value()->name(), "r0");
+  EXPECT_EQ(region.value()->size(), 4096u);
+  EXPECT_EQ(manager.find("r0"), region.value());
+  EXPECT_EQ(manager.find("nope"), nullptr);
+  EXPECT_EQ(manager.region_count(), 1u);
+}
+
+TEST(ShmManager, DataIsCacheLineAligned) {
+  ShmManager manager;
+  auto region = manager.create("r0", 128);
+  ASSERT_TRUE(region.is_ok());
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(region.value()->data()) %
+                kCacheLineSize,
+            0u);
+}
+
+TEST(ShmManager, RejectsZeroSize) {
+  ShmManager manager;
+  EXPECT_EQ(manager.create("r0", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShmManager, RejectsDuplicateName) {
+  ShmManager manager;
+  ASSERT_TRUE(manager.create("r0", 64).is_ok());
+  EXPECT_EQ(manager.create("r0", 64).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ShmManager, DestroyRemovesRegion) {
+  ShmManager manager;
+  ASSERT_TRUE(manager.create("r0", 64).is_ok());
+  EXPECT_TRUE(manager.destroy("r0").is_ok());
+  EXPECT_EQ(manager.find("r0"), nullptr);
+  EXPECT_EQ(manager.destroy("r0").code(), StatusCode::kNotFound);
+}
+
+TEST(ShmManager, DestroyRefusedWhilePlugged) {
+  ShmManager manager;
+  ASSERT_TRUE(manager.create("r0", 64).is_ok());
+  ASSERT_TRUE(manager.plug("r0", 1).is_ok());
+  EXPECT_EQ(manager.destroy("r0").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(manager.unplug("r0", 1).is_ok());
+  EXPECT_TRUE(manager.destroy("r0").is_ok());
+}
+
+TEST(ShmManager, PlugSemantics) {
+  ShmManager manager;
+  ASSERT_TRUE(manager.create("r0", 64).is_ok());
+  EXPECT_EQ(manager.plug("missing", 1).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(manager.plug("r0", 1).is_ok());
+  EXPECT_EQ(manager.plug("r0", 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(manager.plug("r0", 2).is_ok());
+  EXPECT_EQ(manager.find("r0")->plug_count(), 2u);
+  EXPECT_TRUE(manager.find("r0")->is_plugged(1));
+  EXPECT_FALSE(manager.find("r0")->is_plugged(3));
+}
+
+TEST(ShmManager, UnplugSemantics) {
+  ShmManager manager;
+  ASSERT_TRUE(manager.create("r0", 64).is_ok());
+  EXPECT_EQ(manager.unplug("r0", 1).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(manager.plug("r0", 1).is_ok());
+  EXPECT_TRUE(manager.unplug("r0", 1).is_ok());
+  EXPECT_EQ(manager.find("r0")->plug_count(), 0u);
+}
+
+TEST(ShmManager, GuestMapEnforcesHotplug) {
+  // The central ivshmem visibility rule: a VM sees a region only after
+  // the agent plugged it.
+  ShmManager manager;
+  ASSERT_TRUE(manager.create("bypass", 256).is_ok());
+  EXPECT_EQ(manager.guest_map("bypass", 7).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(manager.plug("bypass", 7).is_ok());
+  auto mapped = manager.guest_map("bypass", 7);
+  ASSERT_TRUE(mapped.is_ok());
+  EXPECT_EQ(mapped.value(), manager.find("bypass"));
+  // Another VM still cannot.
+  EXPECT_FALSE(manager.guest_map("bypass", 8).is_ok());
+}
+
+TEST(ShmManager, StatsTrackLifecycle) {
+  ShmManager manager;
+  ASSERT_TRUE(manager.create("a", 100).is_ok());
+  ASSERT_TRUE(manager.create("b", 200).is_ok());
+  ASSERT_TRUE(manager.plug("a", 1).is_ok());
+  ASSERT_TRUE(manager.unplug("a", 1).is_ok());
+  ASSERT_TRUE(manager.destroy("a").is_ok());
+  const ShmStats& stats = manager.stats();
+  EXPECT_EQ(stats.regions_created, 2u);
+  EXPECT_EQ(stats.regions_destroyed, 1u);
+  EXPECT_EQ(stats.plug_ops, 1u);
+  EXPECT_EQ(stats.unplug_ops, 1u);
+  EXPECT_EQ(stats.bytes_live, 200u);
+  EXPECT_EQ(stats.bytes_peak, 300u);
+}
+
+TEST(ShmManager, RegionNamesSorted) {
+  ShmManager manager;
+  ASSERT_TRUE(manager.create("zeta", 64).is_ok());
+  ASSERT_TRUE(manager.create("alpha", 64).is_ok());
+  const auto names = manager.region_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(ShmRegion, MemoryIsWritable) {
+  ShmManager manager;
+  auto region = manager.create("rw", 1024);
+  ASSERT_TRUE(region.is_ok());
+  std::byte* data = region.value()->data();
+  for (std::size_t i = 0; i < 1024; ++i) {
+    data[i] = static_cast<std::byte>(i & 0xff);
+  }
+  for (std::size_t i = 0; i < 1024; ++i) {
+    EXPECT_EQ(std::to_integer<unsigned>(data[i]), i & 0xff);
+  }
+}
+
+}  // namespace
+}  // namespace hw::shm

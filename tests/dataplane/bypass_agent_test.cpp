@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "chain/chain.h"
+#include "common/log.h"
+#include "vswitch/bypass_manager.h"
+
+namespace hw::vswitch {
+namespace {
+
+/// Records requests instead of performing them; completions are driven by
+/// the test. Isolates BypassManager from the real agent.
+class FakeAgent final : public AgentInterface {
+ public:
+  void request_bypass_setup(const BypassSetupRequest& request) override {
+    setups.push_back(request);
+  }
+  void request_bypass_teardown(
+      const BypassTeardownRequest& request) override {
+    teardowns.push_back(request);
+  }
+  std::vector<BypassSetupRequest> setups;
+  std::vector<BypassTeardownRequest> teardowns;
+};
+
+class BypassManagerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::kError); }
+
+  BypassManagerTest()
+      : stats_region_(*shm_.create(pmd::SharedStats::region_name(),
+                                   pmd::SharedStats::bytes_required())
+                           .value()),
+        stats_(pmd::SharedStats::create_in(stats_region_).value()),
+        manager_(shm_, table_, stats_,
+                 P2pDetector([](PortId port) { return port < 100; }),
+                 BypassManagerConfig{.ring_capacity = 64}) {
+    manager_.set_agent(&agent_);
+    for (PortId port = 1; port <= 8; ++port) {
+      manager_.add_candidate_port(port);
+    }
+  }
+
+  void add_p2p(PortId from, PortId to, std::uint16_t priority = 100,
+               Cookie cookie = 1) {
+    ASSERT_TRUE(
+        table_.apply(openflow::make_p2p_flowmod(from, to, priority, cookie))
+            .is_ok());
+    manager_.on_table_change();
+  }
+
+  void del_p2p(PortId from, PortId to, std::uint16_t priority = 100) {
+    openflow::FlowMod mod = openflow::make_p2p_flowmod(from, to, priority, 0);
+    mod.command = openflow::FlowModCommand::kDeleteStrict;
+    ASSERT_TRUE(table_.apply(mod).is_ok());
+    manager_.on_table_change();
+  }
+
+  shm::ShmManager shm_;
+  flowtable::FlowTable table_;
+  shm::ShmRegion& stats_region_;
+  pmd::SharedStats stats_;
+  FakeAgent agent_;
+  BypassManager manager_;
+};
+
+TEST_F(BypassManagerTest, SetupRequestedOnLinkDetection) {
+  add_p2p(1, 2);
+  ASSERT_EQ(agent_.setups.size(), 1u);
+  const auto& request = agent_.setups[0];
+  EXPECT_EQ(request.from, 1);
+  EXPECT_EQ(request.to, 2);
+  EXPECT_EQ(request.region, "bypass.1-2");
+  EXPECT_TRUE(request.plug_required);
+  EXPECT_NE(shm_.find("bypass.1-2"), nullptr);  // channel pre-created
+  EXPECT_EQ(manager_.pending_links(), 1u);
+  EXPECT_EQ(manager_.active_links(), 0u);
+}
+
+TEST_F(BypassManagerTest, LinkActivatesOnAgentCompletion) {
+  add_p2p(1, 2);
+  manager_.on_bypass_ready(1, 2, true);
+  EXPECT_EQ(manager_.active_links(), 1u);
+  EXPECT_TRUE(manager_.link_active(1, 2));
+  EXPECT_EQ(manager_.counters().setups_completed, 1u);
+}
+
+TEST_F(BypassManagerTest, SecondDirectionSharesRegion) {
+  add_p2p(1, 2);
+  add_p2p(2, 1, 100, 2);
+  ASSERT_EQ(agent_.setups.size(), 2u);
+  EXPECT_EQ(agent_.setups[1].region, "bypass.1-2");
+  EXPECT_FALSE(agent_.setups[1].plug_required);  // same piece of memory
+  // Distinct stats slots per direction.
+  EXPECT_NE(agent_.setups[0].rule_slot, agent_.setups[1].rule_slot);
+}
+
+TEST_F(BypassManagerTest, TeardownOnRuleDelete) {
+  add_p2p(1, 2);
+  manager_.on_bypass_ready(1, 2, true);
+  del_p2p(1, 2);
+  ASSERT_EQ(agent_.teardowns.size(), 1u);
+  EXPECT_TRUE(agent_.teardowns[0].unplug_after);
+  // Region is destroyed only after the agent confirms.
+  EXPECT_NE(shm_.find("bypass.1-2"), nullptr);
+  manager_.on_bypass_torn_down(1, 2);
+  EXPECT_EQ(shm_.find("bypass.1-2"), nullptr);
+  EXPECT_EQ(manager_.links().size(), 0u);
+}
+
+TEST_F(BypassManagerTest, BidirectionalTeardownUnplugsExactlyOnce) {
+  add_p2p(1, 2, 100, 1);
+  add_p2p(2, 1, 100, 2);
+  manager_.on_bypass_ready(1, 2, true);
+  manager_.on_bypass_ready(2, 1, true);
+
+  openflow::FlowMod del;
+  del.command = openflow::FlowModCommand::kDelete;  // everything
+  ASSERT_TRUE(table_.apply(del).is_ok());
+  manager_.on_table_change();
+
+  ASSERT_EQ(agent_.teardowns.size(), 2u);
+  // Exactly one of the two teardowns carries the unplug.
+  EXPECT_NE(agent_.teardowns[0].unplug_after,
+            agent_.teardowns[1].unplug_after);
+  manager_.on_bypass_torn_down(1, 2);
+  EXPECT_NE(shm_.find("bypass.1-2"), nullptr);  // sibling still live
+  manager_.on_bypass_torn_down(2, 1);
+  EXPECT_EQ(shm_.find("bypass.1-2"), nullptr);
+}
+
+TEST_F(BypassManagerTest, CancelDuringSetupTriggersTeardownAfterReady) {
+  add_p2p(1, 2);
+  // Rule disappears while the agent is still plugging.
+  del_p2p(1, 2);
+  EXPECT_TRUE(agent_.teardowns.empty());  // not yet: setup in flight
+  manager_.on_bypass_ready(1, 2, true);
+  ASSERT_EQ(agent_.teardowns.size(), 1u);  // immediately dismantled
+  manager_.on_bypass_torn_down(1, 2);
+  EXPECT_TRUE(manager_.links().empty());
+}
+
+TEST_F(BypassManagerTest, SetupFailureReleasesEverything) {
+  add_p2p(1, 2);
+  manager_.on_bypass_ready(1, 2, false);
+  EXPECT_EQ(manager_.counters().setups_failed, 1u);
+  EXPECT_TRUE(manager_.links().empty());
+  EXPECT_EQ(shm_.find("bypass.1-2"), nullptr);
+}
+
+TEST_F(BypassManagerTest, DestinationChangeRewiresAfterTeardown) {
+  add_p2p(1, 2);
+  manager_.on_bypass_ready(1, 2, true);
+  // Higher-priority catch-all to a different destination.
+  add_p2p(1, 3, 200, 9);
+  ASSERT_EQ(agent_.teardowns.size(), 1u);  // old link dismantled first
+  EXPECT_EQ(agent_.setups.size(), 1u);     // no premature new setup
+  manager_.on_bypass_torn_down(1, 2);
+  // Teardown completion re-evaluates: new link 1→3 requested.
+  ASSERT_EQ(agent_.setups.size(), 2u);
+  EXPECT_EQ(agent_.setups[1].to, 3);
+  EXPECT_EQ(agent_.setups[1].region, "bypass.1-3");
+}
+
+TEST_F(BypassManagerTest, RuleExtraMergesSharedCounters) {
+  add_p2p(1, 2, 100, 42);
+  manager_.on_bypass_ready(1, 2, true);
+  const auto slot = agent_.setups[0].rule_slot;
+  stats_.account_bypass(1, 2, slot, 1000, 64000);
+  const RuleId rule = manager_.links().at(1).link.rule;
+  const auto [pkts, bytes] = manager_.rule_extra(rule);
+  EXPECT_EQ(pkts, 1000u);
+  EXPECT_EQ(bytes, 64000u);
+  EXPECT_EQ(manager_.rule_extra(kRuleNone).first, 0u);
+}
+
+TEST_F(BypassManagerTest, TeardownFoldsCountersIntoRule) {
+  add_p2p(1, 2, 100, 42);
+  manager_.on_bypass_ready(1, 2, true);
+  const auto slot = agent_.setups[0].rule_slot;
+  stats_.account_bypass(1, 2, slot, 500, 32000);
+  const RuleId rule = manager_.links().at(1).link.rule;
+
+  // Teardown caused by something other than rule deletion (e.g. a
+  // higher-priority diverting rule): the rule survives, so the bypassed
+  // counters must be folded into it.
+  openflow::FlowMod divert;
+  divert.priority = 300;
+  divert.match.in_port(1).l4_dst(80);
+  divert.actions = {openflow::Action::output(3)};
+  ASSERT_TRUE(table_.apply(divert).is_ok());
+  manager_.on_table_change();
+  manager_.on_bypass_torn_down(1, 2);
+
+  EXPECT_EQ(table_.find(rule)->packet_count, 500u);
+  EXPECT_EQ(table_.find(rule)->byte_count, 32000u);
+  // Slot recycled and clean.
+  EXPECT_EQ(stats_.read_rule(slot).first, 0u);
+}
+
+TEST_F(BypassManagerTest, NoAgentMeansNoLink) {
+  manager_.set_agent(nullptr);
+  add_p2p(1, 2);
+  EXPECT_TRUE(manager_.links().empty());
+}
+
+}  // namespace
+}  // namespace hw::vswitch
+
+// ---------------------------------------------------------------------
+// ComputeAgent driven end-to-end inside a scenario (real protocol).
+// ---------------------------------------------------------------------
+
+namespace hw::agent {
+namespace {
+
+class AgentProtocolTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::kError); }
+};
+
+TEST_F(AgentProtocolTest, SetupFollowsRxBeforeTxOrder) {
+  chain::ChainConfig config;
+  config.vm_count = 2;
+  config.enable_bypass = true;
+  config.bidirectional = false;
+  chain::ChainScenario chain(config);
+  ASSERT_TRUE(chain.build().is_ok());
+  ASSERT_TRUE(chain.wait_bypass_ready());
+
+  // Both PMD reconfigurations acked, both plugs performed.
+  const AgentCounters& counters = chain.agent().counters();
+  EXPECT_EQ(counters.setups, 2u);  // two directions (rules both ways)
+  EXPECT_EQ(counters.setups_ok, 2u);
+  EXPECT_EQ(counters.setup_failures, 0u);
+  EXPECT_EQ(counters.plugs, 2u);  // one region, two VMs
+  EXPECT_EQ(counters.ctrl_nacks, 0u);
+  // 2 directions × (AttachRx + AttachTx).
+  EXPECT_EQ(counters.ctrl_sent, 4u);
+}
+
+TEST_F(AgentProtocolTest, SetupTimeMatchesLatencyModel) {
+  chain::ChainConfig config;
+  config.vm_count = 2;
+  config.enable_bypass = true;
+  chain::ChainScenario chain(config);
+  ASSERT_TRUE(chain.build().is_ok());
+  const TimeNs t0 = chain.runtime().elapsed_ns();
+  ASSERT_TRUE(chain.wait_bypass_ready());
+  const TimeNs elapsed = chain.runtime().elapsed_ns() - t0;
+  const TimeNs expected = config.hotplug.expected_setup_ns();
+  // Paper: "on the order of 100 ms". Allow 15% for epoch granularity and
+  // control-ring polling.
+  EXPECT_GT(elapsed, expected - expected / 10);
+  EXPECT_LT(elapsed, expected + expected / 4);
+}
+
+TEST_F(AgentProtocolTest, TeardownQuiescesAndUnplugs) {
+  chain::ChainConfig config;
+  config.vm_count = 2;
+  config.enable_bypass = true;
+  chain::ChainScenario chain(config);
+  ASSERT_TRUE(chain.build().is_ok());
+  ASSERT_TRUE(chain.wait_bypass_ready());
+  chain.warmup(2'000'000);
+
+  ASSERT_TRUE(chain.remove_chain_rules().is_ok());
+  ASSERT_TRUE(chain.runtime().run_until(
+      [&] { return chain.of().bypass_manager().links().empty(); },
+      400'000'000));
+  EXPECT_EQ(chain.agent().counters().teardowns, 2u);
+  EXPECT_EQ(chain.agent().counters().unplugs, 2u);
+  // Region gone from the host.
+  EXPECT_EQ(chain.shm().find("bypass.2-3"), nullptr);
+  // And no packets were lost in the transition.
+  EXPECT_TRUE(chain.drain());
+}
+
+TEST_F(AgentProtocolTest, UnknownVmMappingFailsCleanly) {
+  shm::ShmManager shm;
+  exec::SimRuntime runtime({.epoch_ns = 1000, .cost = {}});
+  ComputeAgent agent(shm, runtime, HotplugLatencyModel::instant());
+
+  struct Sink final : vswitch::BypassEventSink {
+    void on_bypass_ready(PortId, PortId, bool ok_in) override {
+      called = true;
+      ok = ok_in;
+    }
+    void on_bypass_torn_down(PortId, PortId) override {}
+    bool called = false;
+    bool ok = true;
+  } sink;
+  agent.set_event_sink(&sink);
+
+  agent.request_bypass_setup(vswitch::BypassSetupRequest{
+      .from = 1, .to = 2, .region = "r", .epoch = 0, .rule_slot = 0,
+      .plug_required = true});
+  EXPECT_TRUE(sink.called);
+  EXPECT_FALSE(sink.ok);
+  EXPECT_EQ(agent.counters().setup_failures, 1u);
+}
+
+}  // namespace
+}  // namespace hw::agent

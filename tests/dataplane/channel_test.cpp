@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "pmd/channel.h"
+#include "pmd/control.h"
+#include "pmd/shared_stats.h"
+
+namespace hw::pmd {
+namespace {
+
+// ---------------------------------------------------------------- channel
+
+TEST(ChannelView, CreateAndUse) {
+  shm::ShmManager shm;
+  auto region = shm.create("ch", ChannelView::bytes_required(64));
+  ASSERT_TRUE(region.is_ok());
+  auto channel = ChannelView::create_in(*region.value(), 64, 1, 2, 7);
+  ASSERT_TRUE(channel.is_ok());
+  EXPECT_TRUE(channel.value().valid());
+  EXPECT_EQ(channel.value().header().port_a, 1);
+  EXPECT_EQ(channel.value().header().port_b, 2);
+  EXPECT_EQ(channel.value().header().epoch, 7u);
+  EXPECT_EQ(channel.value().a2b().capacity(), 64u);
+  EXPECT_EQ(channel.value().occupancy(), 0u);
+}
+
+TEST(ChannelView, RingsAreIndependentDirections) {
+  shm::ShmManager shm;
+  auto region = shm.create("ch", ChannelView::bytes_required(16));
+  auto channel = ChannelView::create_in(*region.value(), 16, 1, 2, 1);
+  ASSERT_TRUE(channel.is_ok());
+  mbuf::Mbuf frame;
+  mbuf::Mbuf* ptr = &frame;
+  ASSERT_TRUE(channel.value().a2b().enqueue(ptr));
+  EXPECT_TRUE(channel.value().b2a().empty());
+  EXPECT_EQ(channel.value().occupancy(), 1u);
+}
+
+TEST(ChannelView, AttachSharesState) {
+  shm::ShmManager shm;
+  auto region = shm.create("ch", ChannelView::bytes_required(16));
+  auto creator = ChannelView::create_in(*region.value(), 16, 3, 4, 9);
+  ASSERT_TRUE(creator.is_ok());
+  mbuf::Mbuf frame;
+  mbuf::Mbuf* ptr = &frame;
+  ASSERT_TRUE(creator.value().a2b().enqueue(ptr));
+
+  auto attached = ChannelView::attach(*region.value(), 9);
+  ASSERT_TRUE(attached.is_ok());
+  mbuf::Mbuf* out = nullptr;
+  EXPECT_TRUE(attached.value().a2b().dequeue(out));
+  EXPECT_EQ(out, &frame);
+}
+
+TEST(ChannelView, AttachValidatesEpoch) {
+  shm::ShmManager shm;
+  auto region = shm.create("ch", ChannelView::bytes_required(16));
+  ASSERT_TRUE(ChannelView::create_in(*region.value(), 16, 1, 2, 5).is_ok());
+  EXPECT_FALSE(ChannelView::attach(*region.value(), 4).is_ok());
+  EXPECT_TRUE(ChannelView::attach(*region.value(), 5).is_ok());
+  EXPECT_TRUE(ChannelView::attach(*region.value(), 0).is_ok());  // any epoch
+}
+
+TEST(ChannelView, AttachRejectsUninitialized) {
+  shm::ShmManager shm;
+  auto region = shm.create("raw", ChannelView::bytes_required(16));
+  EXPECT_FALSE(ChannelView::attach(*region.value()).is_ok());
+}
+
+TEST(ChannelView, CreateValidatesInputs) {
+  shm::ShmManager shm;
+  auto small = shm.create("small", 64);
+  EXPECT_FALSE(ChannelView::create_in(*small.value(), 64, 1, 2, 1).is_ok());
+  auto region = shm.create("ok", ChannelView::bytes_required(64));
+  EXPECT_FALSE(ChannelView::create_in(*region.value(), 63, 1, 2, 1).is_ok());
+}
+
+TEST(ChannelNames, AreConventional) {
+  EXPECT_EQ(normal_channel_region(3), "dpdkr3");
+  EXPECT_EQ(bypass_channel_region(2, 5), "bypass.2-5");
+  EXPECT_EQ(control_channel_region(4), "ctrl.4");
+}
+
+// ------------------------------------------------------------ shared stats
+
+TEST(SharedStats, CreateAndAccount) {
+  shm::ShmManager shm;
+  auto region = shm.create("stats", SharedStats::bytes_required());
+  auto stats = SharedStats::create_in(*region.value());
+  ASSERT_TRUE(stats.is_ok());
+  SharedStats view = stats.value();
+
+  view.account_bypass(/*from=*/3, /*to=*/5, /*slot=*/7, 10, 640);
+  view.account_bypass(3, 5, 7, 5, 320);
+
+  const auto port3 = view.read_port(3);
+  EXPECT_EQ(port3.rx_packets, 15u);
+  EXPECT_EQ(port3.rx_bytes, 960u);
+  EXPECT_EQ(port3.tx_packets, 0u);
+  const auto port5 = view.read_port(5);
+  EXPECT_EQ(port5.tx_packets, 15u);
+  EXPECT_EQ(port5.tx_bytes, 960u);
+  const auto [pkts, bytes] = view.read_rule(7);
+  EXPECT_EQ(pkts, 15u);
+  EXPECT_EQ(bytes, 960u);
+}
+
+TEST(SharedStats, AttachSeesSameCounters) {
+  shm::ShmManager shm;
+  auto region = shm.create("stats", SharedStats::bytes_required());
+  auto creator = SharedStats::create_in(*region.value());
+  ASSERT_TRUE(creator.is_ok());
+  creator.value().account_bypass(1, 2, 0, 4, 256);
+  auto attached = SharedStats::attach(*region.value());
+  ASSERT_TRUE(attached.is_ok());
+  EXPECT_EQ(attached.value().read_rule(0).first, 4u);
+}
+
+TEST(SharedStats, AttachRejectsUninitialized) {
+  shm::ShmManager shm;
+  auto region = shm.create("raw", SharedStats::bytes_required());
+  EXPECT_FALSE(SharedStats::attach(*region.value()).is_ok());
+}
+
+TEST(SharedStats, ClearRuleAndPort) {
+  shm::ShmManager shm;
+  auto region = shm.create("stats", SharedStats::bytes_required());
+  SharedStats view = SharedStats::create_in(*region.value()).value();
+  view.account_bypass(1, 2, 3, 10, 100);
+  view.clear_rule(3);
+  EXPECT_EQ(view.read_rule(3).first, 0u);
+  view.clear_port(1);
+  view.clear_port(2);
+  EXPECT_EQ(view.read_port(1).rx_packets, 0u);
+  EXPECT_EQ(view.read_port(2).tx_packets, 0u);
+}
+
+TEST(SharedStats, OutOfRangeSlotIgnored) {
+  shm::ShmManager shm;
+  auto region = shm.create("stats", SharedStats::bytes_required());
+  SharedStats view = SharedStats::create_in(*region.value()).value();
+  view.account_bypass(1, 2, kStatsSlotNone, 10, 100);  // slot ignored
+  EXPECT_EQ(view.read_rule(kStatsSlotNone).first, 0u);
+  EXPECT_EQ(view.read_port(1).rx_packets, 10u);  // ports still counted
+}
+
+// ----------------------------------------------------------- control ring
+
+TEST(ControlChannel, CreateAttachAndMessage) {
+  shm::ShmManager shm;
+  auto region = shm.create("ctrl", ControlChannel::bytes_required());
+  auto agent_side = ControlChannel::create_in(*region.value());
+  ASSERT_TRUE(agent_side.is_ok());
+  auto pmd_side = ControlChannel::attach(*region.value());
+  ASSERT_TRUE(pmd_side.is_ok());
+
+  CtrlMsg cmd;
+  cmd.op = CtrlOp::kAttachBypassTx;
+  cmd.seq = 42;
+  cmd.peer_port = 9;
+  cmd.rule_slot = 3;
+  cmd.epoch = 8;
+  cmd.set_region("bypass.1-2");
+  ASSERT_TRUE(agent_side.value().cmd().enqueue(cmd));
+
+  CtrlMsg received;
+  ASSERT_TRUE(pmd_side.value().cmd().dequeue(received));
+  EXPECT_EQ(received.op, CtrlOp::kAttachBypassTx);
+  EXPECT_EQ(received.seq, 42);
+  EXPECT_EQ(received.peer_port, 9);
+  EXPECT_EQ(received.region_name(), "bypass.1-2");
+
+  CtrlMsg ack = received;
+  ack.ok = 1;
+  ASSERT_TRUE(pmd_side.value().ack().enqueue(ack));
+  CtrlMsg got_ack;
+  ASSERT_TRUE(agent_side.value().ack().dequeue(got_ack));
+  EXPECT_EQ(got_ack.seq, 42);
+}
+
+TEST(ControlChannel, AttachRejectsUninitialized) {
+  shm::ShmManager shm;
+  auto region = shm.create("raw", ControlChannel::bytes_required());
+  EXPECT_FALSE(ControlChannel::attach(*region.value()).is_ok());
+}
+
+TEST(CtrlMsg, RegionNameTruncatesSafely) {
+  CtrlMsg msg;
+  const std::string longname(100, 'x');
+  msg.set_region(longname);
+  EXPECT_EQ(msg.region_name().size(), kCtrlRegionNameLen - 1);
+}
+
+}  // namespace
+}  // namespace hw::pmd

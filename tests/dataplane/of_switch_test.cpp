@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "exec/runtime.h"
+#include "openflow/codec.h"
+#include "pkt/packet.h"
+#include "vswitch/of_switch.h"
+
+namespace hw::vswitch {
+namespace {
+
+using openflow::Action;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+
+class OfSwitchTest : public ::testing::Test {
+ protected:
+  OfSwitchTest()
+      : pool_("p", 1024),
+        runtime_({.epoch_ns = 1000, .cost = {}}),
+        of_(shm_, pool_, runtime_, runtime_.cost(),
+            {.ring_capacity = 64,
+             .burst = 32,
+             .emc_enabled = true,
+             .engine_count = 1,
+             .bypass_enabled = false}) {}
+
+  PortId add_port(const char* name) {
+    auto port = of_.add_dpdkr_port(name);
+    EXPECT_TRUE(port.is_ok());
+    return port.value();
+  }
+
+  /// Pushes a frame into `port`'s VM→switch ring, as the guest would.
+  void inject(PortId port, mbuf::Mbuf* frame) {
+    auto* dpdkr = static_cast<DpdkrSwitchPort*>(of_.port(port));
+    ASSERT_EQ(dpdkr->channel().b2a().enqueue(frame), true);
+  }
+
+  /// Pops a frame from `port`'s switch→VM ring, as the guest would.
+  mbuf::Mbuf* extract(PortId port) {
+    auto* dpdkr = static_cast<DpdkrSwitchPort*>(of_.port(port));
+    mbuf::Mbuf* out = nullptr;
+    return dpdkr->channel().a2b().dequeue(out) ? out : nullptr;
+  }
+
+  mbuf::Mbuf* make_frame(std::uint16_t dst_port = 2000) {
+    mbuf::Mbuf* buf = pool_.alloc();
+    pkt::FrameSpec spec;
+    spec.dst_port = dst_port;
+    EXPECT_TRUE(pkt::build_frame(*buf, spec));
+    return buf;
+  }
+
+  void poll_engine() {
+    exec::CycleMeter meter;
+    (void)of_.engines()[0]->poll(meter);
+  }
+
+  shm::ShmManager shm_;
+  mbuf::Mempool pool_;
+  exec::SimRuntime runtime_;
+  OfSwitch of_;
+};
+
+TEST_F(OfSwitchTest, PortCreationAllocatesSharedMemory) {
+  const PortId a = add_port("vm0.l");
+  EXPECT_EQ(a, 1);
+  EXPECT_NE(shm_.find("dpdkr1"), nullptr);
+  EXPECT_NE(shm_.find("ctrl.1"), nullptr);
+  EXPECT_NE(shm_.find(pmd::SharedStats::region_name()), nullptr);
+  EXPECT_TRUE(of_.is_dpdkr(a));
+  EXPECT_FALSE(of_.is_dpdkr(99));
+  EXPECT_EQ(of_.port(a)->name(), "vm0.l");
+}
+
+TEST_F(OfSwitchTest, ForwardsAccordingToRule) {
+  const PortId a = add_port("a");
+  const PortId b = add_port("b");
+  ASSERT_TRUE(of_.handle_flow_mod(openflow::make_p2p_flowmod(a, b, 10, 1))
+                  .is_ok());
+  mbuf::Mbuf* frame = make_frame();
+  inject(a, frame);
+  poll_engine();
+  EXPECT_EQ(extract(b), frame);
+  EXPECT_EQ(of_.engines()[0]->counters().rx_packets, 1u);
+  EXPECT_EQ(of_.engines()[0]->counters().tx_packets, 1u);
+  pool_.free(frame);
+}
+
+TEST_F(OfSwitchTest, TableMissDropsAndCounts) {
+  const PortId a = add_port("a");
+  inject(a, make_frame());
+  poll_engine();
+  EXPECT_EQ(of_.engines()[0]->counters().misses, 1u);
+  EXPECT_EQ(pool_.in_use(), 0u);  // frame freed, not leaked
+}
+
+TEST_F(OfSwitchTest, DropActionFrees) {
+  const PortId a = add_port("a");
+  FlowMod mod;
+  mod.priority = 5;
+  mod.match.in_port(a);
+  mod.actions = {Action::drop()};
+  ASSERT_TRUE(of_.handle_flow_mod(mod).is_ok());
+  inject(a, make_frame());
+  poll_engine();
+  EXPECT_EQ(of_.engines()[0]->counters().action_drops, 1u);
+  EXPECT_EQ(pool_.in_use(), 0u);
+}
+
+TEST_F(OfSwitchTest, SetTtlThenOutput) {
+  const PortId a = add_port("a");
+  const PortId b = add_port("b");
+  FlowMod mod;
+  mod.priority = 5;
+  mod.match.in_port(a);
+  mod.actions = {Action::set_ttl(9), Action::output(b)};
+  ASSERT_TRUE(of_.handle_flow_mod(mod).is_ok());
+  mbuf::Mbuf* frame = make_frame();
+  inject(a, frame);
+  poll_engine();
+  mbuf::Mbuf* out = extract(b);
+  ASSERT_EQ(out, frame);
+  const auto view = pkt::parse(*out);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->ip->time_to_live(), 9);
+  pool_.free(out);
+}
+
+TEST_F(OfSwitchTest, ControllerPuntCounts) {
+  const PortId a = add_port("a");
+  FlowMod mod;
+  mod.priority = 5;
+  mod.match.in_port(a);
+  mod.actions = {Action::output(kPortController)};
+  ASSERT_TRUE(of_.handle_flow_mod(mod).is_ok());
+  inject(a, make_frame());
+  poll_engine();
+  EXPECT_EQ(of_.engines()[0]->counters().controller_punts, 1u);
+  EXPECT_EQ(pool_.in_use(), 0u);
+}
+
+TEST_F(OfSwitchTest, FlowModRejectsUnknownOutputPort) {
+  const PortId a = add_port("a");
+  FlowMod mod;
+  mod.match.in_port(a);
+  mod.actions = {Action::output(77)};
+  EXPECT_EQ(of_.handle_flow_mod(mod).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(OfSwitchTest, DisabledPortNeitherPolledNorTargeted) {
+  const PortId a = add_port("a");
+  const PortId b = add_port("b");
+  ASSERT_TRUE(of_.handle_flow_mod(openflow::make_p2p_flowmod(a, b, 10, 1))
+                  .is_ok());
+  ASSERT_TRUE(of_.set_port_enabled(b, false).is_ok());
+  mbuf::Mbuf* frame = make_frame();
+  inject(a, frame);
+  poll_engine();
+  EXPECT_EQ(extract(b), nullptr);
+  EXPECT_EQ(pool_.in_use(), 0u);  // dropped at disabled destination
+  ASSERT_TRUE(of_.set_port_enabled(b, true).is_ok());
+  EXPECT_EQ(of_.set_port_enabled(99, true).code(), StatusCode::kNotFound);
+}
+
+TEST_F(OfSwitchTest, TxRingFullDropsRemainder) {
+  const PortId a = add_port("a");
+  const PortId b = add_port("b");
+  ASSERT_TRUE(of_.handle_flow_mod(openflow::make_p2p_flowmod(a, b, 10, 1))
+                  .is_ok());
+  // Fill b's switch→VM ring (capacity 64) and keep injecting.
+  for (int i = 0; i < 80; ++i) {
+    inject(a, make_frame());
+    poll_engine();
+  }
+  EXPECT_GT(of_.engines()[0]->counters().tx_ring_full, 0u);
+  EXPECT_EQ(of_.port(b)->stats().tx_dropped,
+            of_.engines()[0]->counters().tx_ring_full);
+  // No leak: everything is either in b's ring or freed.
+  EXPECT_EQ(pool_.in_use(), 64u);
+}
+
+TEST_F(OfSwitchTest, PacketOutDeliversToPort) {
+  const PortId a = add_port("a");
+  openflow::PacketOut po;
+  po.out_port = a;
+  po.frame.resize(64, std::byte{0xab});
+  ASSERT_TRUE(of_.handle_packet_out(po).is_ok());
+  mbuf::Mbuf* out = extract(a);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->data_len, 64u);
+  EXPECT_EQ(std::to_integer<unsigned>(out->data[10]), 0xabu);
+  pool_.free(out);
+  EXPECT_EQ(of_.counters().packet_outs, 1u);
+}
+
+TEST_F(OfSwitchTest, PacketOutValidation) {
+  const PortId a = add_port("a");
+  openflow::PacketOut po;
+  po.out_port = 42;
+  po.frame.resize(64);
+  EXPECT_EQ(of_.handle_packet_out(po).code(), StatusCode::kNotFound);
+  po.out_port = a;
+  po.frame.clear();
+  EXPECT_EQ(of_.handle_packet_out(po).code(), StatusCode::kInvalidArgument);
+  po.frame.resize(mbuf::kMbufDataRoom + 1);
+  EXPECT_EQ(of_.handle_packet_out(po).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(of_.set_port_enabled(a, false).is_ok());
+  po.frame.resize(64);
+  EXPECT_EQ(of_.handle_packet_out(po).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(OfSwitchTest, FlowStatsCountSwitchedTraffic) {
+  const PortId a = add_port("a");
+  const PortId b = add_port("b");
+  ASSERT_TRUE(of_.handle_flow_mod(openflow::make_p2p_flowmod(a, b, 10, 77))
+                  .is_ok());
+  for (int i = 0; i < 5; ++i) {
+    inject(a, make_frame());
+    poll_engine();
+  }
+  const auto stats = of_.flow_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].cookie, 77u);
+  EXPECT_EQ(stats[0].packet_count, 5u);
+  EXPECT_EQ(stats[0].byte_count, 5u * 64);
+  // Drain b.
+  while (mbuf::Mbuf* out = extract(b)) pool_.free(out);
+}
+
+TEST_F(OfSwitchTest, PortStatsCountBothDirections) {
+  const PortId a = add_port("a");
+  const PortId b = add_port("b");
+  ASSERT_TRUE(of_.handle_flow_mod(openflow::make_p2p_flowmod(a, b, 10, 1))
+                  .is_ok());
+  inject(a, make_frame());
+  poll_engine();
+  const auto stats_a = of_.port_stats(a);
+  ASSERT_TRUE(stats_a.is_ok());
+  EXPECT_EQ(stats_a.value().rx_packets, 1u);
+  const auto stats_b = of_.port_stats(b);
+  ASSERT_TRUE(stats_b.is_ok());
+  EXPECT_EQ(stats_b.value().tx_packets, 1u);
+  EXPECT_FALSE(of_.port_stats(99).is_ok());
+  while (mbuf::Mbuf* out = extract(b)) pool_.free(out);
+}
+
+TEST_F(OfSwitchTest, WireProtocolDispatch) {
+  const PortId a = add_port("a");
+  const PortId b = add_port("b");
+  // FlowMod via bytes.
+  const auto mod_bytes =
+      openflow::encode_flow_mod(openflow::make_p2p_flowmod(a, b, 10, 5), 1);
+  ASSERT_TRUE(of_.handle_message(mod_bytes).is_ok());
+  EXPECT_EQ(of_.table().size(), 1u);
+
+  // Flow stats via bytes.
+  const auto stats_reply =
+      of_.handle_message(openflow::encode_flow_stats_request(2));
+  ASSERT_TRUE(stats_reply.is_ok());
+  const auto entries =
+      openflow::decode_flow_stats_reply(stats_reply.value());
+  ASSERT_TRUE(entries.is_ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0].cookie, 5u);
+
+  // Port stats via bytes.
+  const auto port_reply =
+      of_.handle_message(openflow::encode_port_stats_request(a, 3));
+  ASSERT_TRUE(port_reply.is_ok());
+  ASSERT_TRUE(
+      openflow::decode_port_stats_reply(port_reply.value()).is_ok());
+
+  // Echo.
+  std::vector<std::byte> echo(openflow::kMsgHeaderLen);
+  echo[0] = static_cast<std::byte>(openflow::kWireVersion);
+  echo[1] = static_cast<std::byte>(openflow::MsgType::kEchoRequest);
+  echo[3] = static_cast<std::byte>(openflow::kMsgHeaderLen);
+  echo[7] = std::byte{9};
+  const auto echo_reply = of_.handle_message(echo);
+  ASSERT_TRUE(echo_reply.is_ok());
+  const auto echo_header = openflow::decode_header(echo_reply.value());
+  ASSERT_TRUE(echo_header.is_ok());
+  EXPECT_EQ(echo_header.value().type, openflow::MsgType::kEchoReply);
+  EXPECT_EQ(echo_header.value().xid, 9u);
+
+  // Garbage.
+  EXPECT_FALSE(of_.handle_message(std::vector<std::byte>(3)).is_ok());
+  EXPECT_GT(of_.counters().message_errors, 0u);
+}
+
+TEST_F(OfSwitchTest, EmcAcceleratesRepeatLookups) {
+  const PortId a = add_port("a");
+  const PortId b = add_port("b");
+  ASSERT_TRUE(of_.handle_flow_mod(openflow::make_p2p_flowmod(a, b, 10, 1))
+                  .is_ok());
+  for (int i = 0; i < 10; ++i) {
+    inject(a, make_frame());
+    poll_engine();
+  }
+  EXPECT_EQ(of_.engines()[0]->counters().emc_misses, 1u);
+  EXPECT_EQ(of_.engines()[0]->counters().emc_hits, 9u);
+  while (mbuf::Mbuf* out = extract(b)) pool_.free(out);
+}
+
+TEST_F(OfSwitchTest, EngineAssignmentRoundRobins) {
+  shm::ShmManager shm2;
+  mbuf::Mempool pool2("p2", 64);
+  OfSwitch of2(shm2, pool2, runtime_, runtime_.cost(),
+               {.ring_capacity = 64,
+                .burst = 32,
+                .emc_enabled = true,
+                .engine_count = 2,
+                .bypass_enabled = false});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(of2.add_dpdkr_port("p" + std::to_string(i)).is_ok());
+  }
+  EXPECT_EQ(of2.engines()[0]->port_count(), 2u);
+  EXPECT_EQ(of2.engines()[1]->port_count(), 2u);
+}
+
+}  // namespace
+}  // namespace hw::vswitch

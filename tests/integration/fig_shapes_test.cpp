@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "chain/chain.h"
+#include "common/log.h"
+
+namespace hw::chain {
+namespace {
+
+/// Regression guards for the reproduced evaluation *shapes* (the paper's
+/// Figure 3 and §3 claims). These are the properties that must hold for
+/// the reproduction to be meaningful; the bench binaries print the full
+/// series.
+class FigShapesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::kError); }
+
+  static ChainMetrics run_point(std::uint32_t vms, bool bypass,
+                                bool use_nics) {
+    ChainConfig config;
+    config.vm_count = vms;
+    config.enable_bypass = bypass;
+    config.use_nics = use_nics;
+    config.engine_count = use_nics ? 2 : 1;
+    // Shrink hot-plug latency: steady state is what these tests measure.
+    config.hotplug.qemu_plug_ns /= 10;
+    config.hotplug.pci_scan_ns /= 10;
+    ChainScenario chain(config);
+    EXPECT_TRUE(chain.build().is_ok());
+    EXPECT_TRUE(chain.wait_bypass_ready());
+    chain.warmup(2'000'000);
+    return chain.measure(6'000'000);
+  }
+};
+
+TEST_F(FigShapesTest, Fig3aTraditionalDecaysWithChainLength) {
+  const double at2 = run_point(2, false, false).mpps_total;
+  const double at4 = run_point(4, false, false).mpps_total;
+  const double at8 = run_point(8, false, false).mpps_total;
+  // ~1/(hops) decay: 4 VMs has 3× the hops of 2 VMs.
+  EXPECT_LT(at4, 0.5 * at2);
+  EXPECT_LT(at8, 0.25 * at2);
+}
+
+TEST_F(FigShapesTest, Fig3aBypassStaysFlat) {
+  const double at3 = run_point(3, true, false).mpps_total;
+  const double at8 = run_point(8, true, false).mpps_total;
+  EXPECT_GT(at8, 0.8 * at3);  // flat within 20%
+}
+
+TEST_F(FigShapesTest, Fig3aGainGrowsWithChainLength) {
+  const double gain4 = run_point(4, true, false).mpps_total /
+                       run_point(4, false, false).mpps_total;
+  const double gain8 = run_point(8, true, false).mpps_total /
+                       run_point(8, false, false).mpps_total;
+  EXPECT_GT(gain4, 3.0);
+  EXPECT_GT(gain8, 8.0);
+  EXPECT_GT(gain8, gain4);
+}
+
+TEST_F(FigShapesTest, Fig3bApproachesCoincideAtLengthOne) {
+  // With a single VM there is no inter-VM link: nothing to bypass.
+  const auto vanilla = run_point(1, false, true);
+  const auto ours = run_point(1, true, true);
+  EXPECT_EQ(ours.bypass_links, 0u);
+  EXPECT_NEAR(ours.mpps_total, vanilla.mpps_total,
+              0.05 * vanilla.mpps_total);
+}
+
+TEST_F(FigShapesTest, Fig3bBypassWinsOnLongChains) {
+  const auto vanilla = run_point(6, false, true);
+  const auto ours = run_point(6, true, true);
+  EXPECT_GT(ours.mpps_total, 2.5 * vanilla.mpps_total);
+  // And the bypass run never exceeds what two 10G ports can carry.
+  EXPECT_LE(ours.mpps_fwd, 14.9);
+  EXPECT_LE(ours.mpps_rev, 14.9);
+}
+
+TEST_F(FigShapesTest, LatencyImprovementGrowsAndExceedsHalf) {
+  // §3: "especially with long chains (in case of 8 VMs ... 80%)".
+  const double trad4 = run_point(4, false, false).latency_mean_ns;
+  const double ours4 = run_point(4, true, false).latency_mean_ns;
+  const double trad8 = run_point(8, false, false).latency_mean_ns;
+  const double ours8 = run_point(8, true, false).latency_mean_ns;
+  const double improvement4 = (trad4 - ours4) / trad4;
+  const double improvement8 = (trad8 - ours8) / trad8;
+  EXPECT_GT(improvement8, 0.6);  // paper regime: ~0.8
+  EXPECT_GT(trad8, trad4);       // vanilla latency grows with length
+}
+
+TEST_F(FigShapesTest, SetupTimeIsOrderHundredMilliseconds) {
+  // §3: establishment "is on the order of 100 ms" — with the *default*
+  // hot-plug model (not the shrunken one used above).
+  ChainConfig config;
+  config.vm_count = 2;
+  config.enable_bypass = true;
+  ChainScenario chain(config);
+  ASSERT_TRUE(chain.build().is_ok());
+  const TimeNs t0 = chain.runtime().elapsed_ns();
+  ASSERT_TRUE(chain.wait_bypass_ready());
+  const double ms =
+      static_cast<double>(chain.runtime().elapsed_ns() - t0) / 1e6;
+  EXPECT_GT(ms, 50.0);
+  EXPECT_LT(ms, 200.0);
+}
+
+}  // namespace
+}  // namespace hw::chain
