@@ -1,0 +1,270 @@
+/// \file bench_ablation_megaflow.cpp
+/// Ablation A7: the three-tier datapath classifier against EMC-only and
+/// table-only configurations, swept over flow count × mask diversity.
+///
+/// This is the paper's "traditional approach" cost knob made honest: on
+/// an EMC-thrashing workload (thousands of distinct flows cycling through
+/// a 4096-bucket cache) the wildcard table scan is what a vanilla switch
+/// would pay per packet, and the megaflow tier is what real OVS-DPDK
+/// actually pays. The per-tier counters printed at the end show *why*
+/// each configuration lands where it does.
+///
+/// Methodology: the classifier is driven directly (no chain topology) so
+/// rule shapes and flow populations can be controlled exactly; cost is
+/// virtual cycles from exec::CostModel, identical to what the forwarding
+/// engine charges per packet in the full simulation.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "classifier/dp_classifier.h"
+#include "common/rng.h"
+#include "exec/context.h"
+#include "exec/cost_model.h"
+#include "flowtable/flow_table.h"
+#include "openflow/messages.h"
+#include "pkt/headers.h"
+
+namespace hw::bench {
+namespace {
+
+using classifier::DpClassifier;
+using classifier::DpClassifierConfig;
+using classifier::TierCounters;
+using flowtable::FlowTable;
+using openflow::Action;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+using openflow::Match;
+
+constexpr std::uint32_t kRuleCount = 64;
+constexpr std::uint64_t kLookups = 200'000;
+constexpr PortId kOutPort = 1;
+
+enum Mode : std::int64_t { kTableOnly = 0, kEmcOnly = 1, kThreeTier = 2 };
+
+const char* mode_name(std::int64_t mode) {
+  switch (mode) {
+    case kTableOnly: return "table-only";
+    case kEmcOnly: return "EMC-only";
+    case kThreeTier: return "3-tier";
+  }
+  return "?";
+}
+
+/// One distinct match shape per mask-diversity step. Values are salted
+/// with the rule index so rules within a shape stay distinct.
+Match shaped_match(std::uint32_t shape, std::uint32_t salt) {
+  Match match;
+  switch (shape % 8) {
+    case 0:
+      match.in_port(static_cast<PortId>(1 + salt % 6));
+      break;
+    case 1:
+      match.in_port(static_cast<PortId>(1 + salt % 6))
+          .l4_dst(static_cast<std::uint16_t>(80 + salt % 8));
+      break;
+    case 2:
+      match.ip_dst(0x0a000000u + ((salt % 16) << 8), 24);
+      break;
+    case 3:
+      match.ip_dst(0x0a000000u + ((salt % 4) << 16), 16);
+      break;
+    case 4:
+      match.ip_proto(pkt::kIpProtoUdp).ip_dst(0x0a000000u, 8);
+      break;
+    case 5:
+      match.in_port(static_cast<PortId>(1 + salt % 6))
+          .ip_proto(salt % 2 ? pkt::kIpProtoUdp : pkt::kIpProtoTcp);
+      break;
+    case 6:
+      match.l4_dst(static_cast<std::uint16_t>(5000 + salt % 8));
+      break;
+    default:
+      match.ip_src(0xc0a80000u + ((salt % 16) << 8), 24);
+      break;
+  }
+  return match;
+}
+
+/// kRuleCount shaped rules (priorities staggered so shadowing occurs)
+/// plus a priority-0 catch-all: every packet matches something.
+void install_rules(FlowTable& table, std::uint32_t mask_diversity) {
+  for (std::uint32_t i = 0; i < kRuleCount; ++i) {
+    FlowMod mod;
+    mod.command = FlowModCommand::kAdd;
+    mod.match = shaped_match(i % mask_diversity, i);
+    mod.priority = static_cast<std::uint16_t>(10 + (i % 7) * 10);
+    mod.cookie = i;
+    mod.actions = {Action::output(kOutPort)};
+    (void)table.apply(mod);
+  }
+  FlowMod catch_all;
+  catch_all.command = FlowModCommand::kAdd;
+  catch_all.priority = 0;
+  catch_all.cookie = 0xffff;
+  catch_all.actions = {Action::output(kOutPort)};
+  (void)table.apply(catch_all);
+}
+
+std::vector<pkt::FlowKey> make_flows(std::uint32_t count, Rng& rng) {
+  std::vector<pkt::FlowKey> flows;
+  flows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    pkt::FlowKey key;
+    key.in_port = static_cast<PortId>(1 + rng.next_below(6));
+    key.ether_type = pkt::kEtherTypeIpv4;
+    key.ip_proto = rng.chance(1, 2) ? pkt::kIpProtoUdp : pkt::kIpProtoTcp;
+    key.src_ip = 0xc0a80000u + static_cast<std::uint32_t>(i);
+    key.dst_ip =
+        0x0a000000u + static_cast<std::uint32_t>(rng.next() & 0x0003ffff);
+    key.src_port = static_cast<std::uint16_t>(1024 + (i & 0x3fff));
+    key.dst_port = static_cast<std::uint16_t>(
+        rng.chance(1, 2) ? 80 + rng.next_below(8) : 5000 + rng.next_below(8));
+    flows.push_back(key);
+  }
+  return flows;
+}
+
+struct Row {
+  std::uint32_t flows = 0;
+  std::uint32_t masks = 0;
+  double cyc[3] = {0, 0, 0};  ///< cycles/lookup per Mode
+  TierCounters tiers;         ///< three-tier config only
+  std::size_t subtables = 0;
+};
+std::vector<Row> g_rows;
+
+Row& row_for(std::uint32_t flows, std::uint32_t masks) {
+  for (Row& row : g_rows) {
+    if (row.flows == flows && row.masks == masks) return row;
+  }
+  g_rows.push_back(Row{.flows = flows, .masks = masks});
+  return g_rows.back();
+}
+
+void BM_Megaflow(benchmark::State& state) {
+  const auto flow_count = static_cast<std::uint32_t>(state.range(0));
+  const auto mask_diversity = static_cast<std::uint32_t>(state.range(1));
+  const auto mode = state.range(2);
+
+  exec::CostModel cost;
+  FlowTable table;
+  install_rules(table, mask_diversity);
+  Rng rng(0x5eedu ^ flow_count ^ (mask_diversity << 20));
+  const std::vector<pkt::FlowKey> flows = make_flows(flow_count, rng);
+  std::vector<std::uint32_t> hashes;
+  hashes.reserve(flows.size());
+  for (const pkt::FlowKey& key : flows) {
+    hashes.push_back(pkt::flow_key_hash(key));
+  }
+
+  DpClassifierConfig config;
+  config.emc_enabled = mode != kTableOnly;
+  config.megaflow_enabled = mode == kThreeTier;
+
+  double cycles_per_lookup = 0;
+  TierCounters tiers;
+  std::size_t subtables = 0;
+  for (auto _ : state) {
+    DpClassifier dp(table, cost, config);
+    exec::CycleMeter warm;
+    // Warm both cache tiers with one full pass over the flow population.
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      benchmark::DoNotOptimize(dp.lookup(flows[i], hashes[i], warm));
+    }
+    // Measured pass: flows cycle round-robin, the worst case for a
+    // direct-mapped EMC once the population exceeds its bucket count.
+    exec::CycleMeter meter;
+    const TierCounters before = dp.counters();
+    for (std::uint64_t i = 0; i < kLookups; ++i) {
+      const std::size_t f = static_cast<std::size_t>(i % flows.size());
+      benchmark::DoNotOptimize(dp.lookup(flows[f], hashes[f], meter));
+    }
+    cycles_per_lookup = static_cast<double>(meter.total_used()) /
+                        static_cast<double>(kLookups);
+    tiers = dp.counters();
+    tiers.emc_hits -= before.emc_hits;
+    tiers.emc_misses -= before.emc_misses;
+    tiers.megaflow_hits -= before.megaflow_hits;
+    tiers.megaflow_misses -= before.megaflow_misses;
+    tiers.megaflow_inserts -= before.megaflow_inserts;
+    tiers.slow_path_lookups -= before.slow_path_lookups;
+    subtables = dp.megaflow().subtable_count();
+    state.SetIterationTime(static_cast<double>(meter.total_used()) *
+                           cost.ns_per_cycle() / 1e9);
+  }
+
+  state.counters["cyc_per_pkt"] = cycles_per_lookup;
+  state.counters["Mpps_equiv"] =
+      cycles_per_lookup > 0
+          ? static_cast<double>(cost.hz) / cycles_per_lookup / 1e6
+          : 0;
+  state.counters["emc_hits"] = static_cast<double>(tiers.emc_hits);
+  state.counters["mf_hits"] = static_cast<double>(tiers.megaflow_hits);
+  state.counters["slow_lookups"] =
+      static_cast<double>(tiers.slow_path_lookups);
+  state.counters["subtables"] = static_cast<double>(subtables);
+
+  Row& row = row_for(flow_count, mask_diversity);
+  row.cyc[mode] = cycles_per_lookup;
+  if (mode == kThreeTier) {
+    row.tiers = tiers;
+    row.subtables = subtables;
+  }
+}
+
+BENCHMARK(BM_Megaflow)
+    ->ArgNames({"flows", "masks", "mode"})
+    ->ArgsProduct({{256, 1024, 4096, 16384},
+                   {1, 4, 8},
+                   {kTableOnly, kEmcOnly, kThreeTier}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using hw::bench::g_rows;
+  using hw::bench::kEmcOnly;
+  using hw::bench::kLookups;
+  using hw::bench::kTableOnly;
+  using hw::bench::kThreeTier;
+
+  std::printf(
+      "\n=== A7: classifier tiers, cycles/packet (flows x mask "
+      "diversity, %u rules) ===\n",
+      hw::bench::kRuleCount + 1);
+  std::printf("%-8s %-6s %-12s %-12s %-12s %-8s | %-7s %-7s %-7s %-9s\n",
+              "flows", "masks", "table-only", "EMC-only", "3-tier",
+              "speedup", "emc%", "mf%", "slow%", "subtables");
+  for (const auto& row : g_rows) {
+    const double total = static_cast<double>(kLookups);
+    std::printf(
+        "%-8u %-6u %-12.1f %-12.1f %-12.1f %-8.2f | %-7.1f %-7.1f %-7.1f "
+        "%-9zu\n",
+        row.flows, row.masks, row.cyc[kTableOnly], row.cyc[kEmcOnly],
+        row.cyc[kThreeTier],
+        row.cyc[kThreeTier] > 0 ? row.cyc[kTableOnly] / row.cyc[kThreeTier]
+                                : 0.0,
+        100.0 * static_cast<double>(row.tiers.emc_hits) / total,
+        100.0 * static_cast<double>(row.tiers.megaflow_hits) / total,
+        100.0 * static_cast<double>(row.tiers.slow_path_lookups) / total,
+        row.subtables);
+  }
+  std::printf(
+      "\nThe three-tier column should sit near the EMC cost for small\n"
+      "flow counts and near one-subtable megaflow cost once the EMC\n"
+      "thrashes (>= 4k flows), while table-only pays the full wildcard\n"
+      "scan regardless — the tier percentages on the right are the\n"
+      "explanation, not just the claim.\n");
+  return 0;
+}

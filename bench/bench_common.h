@@ -87,6 +87,35 @@ class SeriesTable {
     }
   }
 
+  /// Per-tier classification breakdown: where each configuration's
+  /// switched packets were resolved (EMC / megaflow / slow path). This is
+  /// the "why" column for every throughput/latency delta: a config is
+  /// faster when its packets stop at a cheaper tier — or skip the
+  /// classifier entirely via the bypass.
+  void print_tiers(const char* title) const {
+    std::printf("\n=== %s: classification tiers ===\n", title);
+    std::printf("%-8s %-12s %-12s %-12s %-12s %-8s %-8s %-8s\n", "# VMs",
+                "approach", "EMC hits", "MF hits", "slow path", "emc%",
+                "mf%", "slow%");
+    for (const auto& [key, metrics] : rows_) {
+      const auto [n, bypass] = key;
+      const double total =
+          static_cast<double>(metrics.emc_hits + metrics.megaflow_hits +
+                              metrics.slow_path_lookups);
+      auto pct = [&](std::uint64_t v) {
+        return total > 0 ? 100.0 * static_cast<double>(v) / total : 0.0;
+      };
+      std::printf(
+          "%-8u %-12s %-12llu %-12llu %-12llu %-8.1f %-8.1f %-8.1f\n", n,
+          bypass ? "ours" : "traditional",
+          static_cast<unsigned long long>(metrics.emc_hits),
+          static_cast<unsigned long long>(metrics.megaflow_hits),
+          static_cast<unsigned long long>(metrics.slow_path_lookups),
+          pct(metrics.emc_hits), pct(metrics.megaflow_hits),
+          pct(metrics.slow_path_lookups));
+    }
+  }
+
   void print_latency(const char* title) const {
     std::printf("\n=== %s ===\n", title);
     std::printf("%-8s %-16s %-16s %-14s %-14s %-12s\n", "# VMs",
@@ -130,6 +159,16 @@ inline void export_counters(benchmark::State& state,
       static_cast<double>(metrics.bypass_links);
   state.counters["drops"] = static_cast<double>(metrics.drops);
   state.counters["pmd_util"] = metrics.max_engine_utilization;
+  // Per-tier classification counters: alongside the latency/throughput
+  // columns these show *where* lookups resolved, i.e. why a config wins.
+  state.counters["emc_hits"] = static_cast<double>(metrics.emc_hits);
+  state.counters["mf_hits"] = static_cast<double>(metrics.megaflow_hits);
+  state.counters["slow_lookups"] =
+      static_cast<double>(metrics.slow_path_lookups);
+  state.counters["mf_inserts"] =
+      static_cast<double>(metrics.megaflow_inserts);
+  state.counters["mf_invalidations"] =
+      static_cast<double>(metrics.megaflow_invalidations);
 }
 
 }  // namespace hw::bench

@@ -52,6 +52,7 @@ Status ChainScenario::build() {
       vswitch::SwitchConfig{.ring_capacity = config_.ring_capacity,
                             .burst = config_.burst,
                             .emc_enabled = config_.emc_enabled,
+                            .megaflow_enabled = config_.megaflow_enabled,
                             .engine_count = config_.engine_count,
                             .bypass_enabled = config_.enable_bypass});
   agent_ = std::make_unique<agent::ComputeAgent>(shm_, *runtime_,
@@ -229,6 +230,7 @@ void ChainScenario::snapshot() {
   }
   if (nic1_) snap_drops_ += nic1_->counters().rx_missed;
   if (nic2_) snap_drops_ += nic2_->counters().rx_missed;
+  snap_tiers_ = of_->datapath_stats();
 
   if (sink_fwd_) sink_fwd_->reset_latency();
   if (sink_rev_) sink_rev_->reset_latency();
@@ -289,6 +291,16 @@ ChainMetrics ChainScenario::measure(TimeNs duration_ns) {
   metrics.drops = drops - snap_drops_;
 
   metrics.bypass_links = of_->bypass_manager().active_links();
+
+  const classifier::TierCounters tiers = of_->datapath_stats();
+  metrics.emc_hits = tiers.emc_hits - snap_tiers_.emc_hits;
+  metrics.megaflow_hits = tiers.megaflow_hits - snap_tiers_.megaflow_hits;
+  metrics.slow_path_lookups =
+      tiers.slow_path_lookups - snap_tiers_.slow_path_lookups;
+  metrics.megaflow_inserts =
+      tiers.megaflow_inserts - snap_tiers_.megaflow_inserts;
+  metrics.megaflow_invalidations =
+      tiers.megaflow_invalidations - snap_tiers_.megaflow_invalidations;
 
   std::size_t engine_index = 0;
   const double window_cycles = static_cast<double>(metrics.duration_ns) *

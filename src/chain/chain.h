@@ -40,6 +40,7 @@ struct ChainConfig {
   std::size_t ring_capacity = 1024;
   std::uint32_t burst = 32;
   bool emc_enabled = true;
+  bool megaflow_enabled = true;  ///< dpcls-style middle classifier tier
 
   std::uint32_t frame_len = 64;
   std::uint32_t flow_count = 8;
@@ -71,6 +72,13 @@ struct ChainMetrics {
   std::uint64_t drops = 0;              ///< NIC missed + app/engine drops
   std::size_t bypass_links = 0;
   double max_engine_utilization = 0;
+  // Per-tier classification counters over the measurement window (summed
+  // across engines) — shows *where* switched packets resolved.
+  std::uint64_t emc_hits = 0;
+  std::uint64_t megaflow_hits = 0;
+  std::uint64_t slow_path_lookups = 0;
+  std::uint64_t megaflow_inserts = 0;
+  std::uint64_t megaflow_invalidations = 0;
 };
 
 class ChainScenario {
@@ -173,6 +181,7 @@ class ChainScenario {
   std::uint64_t snap_rev_ = 0;
   std::uint64_t snap_switch_rx_ = 0;
   std::uint64_t snap_drops_ = 0;
+  classifier::TierCounters snap_tiers_;
   std::vector<Cycles> snap_engine_busy_;
   TimeNs snap_time_ = 0;
 };

@@ -1,0 +1,99 @@
+#include "classifier/dp_classifier.h"
+
+namespace hw::classifier {
+
+using flowtable::FlowEntry;
+
+DpClassifier::DpClassifier(flowtable::FlowTable& table,
+                           const exec::CostModel& cost,
+                           DpClassifierConfig config)
+    : table_(&table),
+      cost_(&cost),
+      config_(config),
+      emc_(config.emc_buckets),
+      megaflow_(config.megaflow) {
+  if (config_.megaflow_enabled) {
+    // The callback may fire on a control thread while a PMD probes the
+    // cache, so it only posts a flush request (one atomic store); the
+    // cache applies it on its owner's next lookup/insert.
+    listener_token_ = table_->subscribe(
+        [this](std::uint64_t version) { megaflow_.on_table_change(version); });
+  }
+}
+
+DpClassifier::~DpClassifier() {
+  if (listener_token_ != 0) table_->unsubscribe(listener_token_);
+}
+
+LookupOutcome DpClassifier::lookup(const pkt::FlowKey& key,
+                                   std::uint32_t hash,
+                                   exec::CycleMeter& meter) {
+  const std::uint64_t version = table_->version();
+
+  // Tier 1: exact-match cache.
+  if (config_.emc_enabled) {
+    meter.charge(cost_->emc_hit);
+    if (const RuleId id = emc_.lookup(key, hash, version); id != kRuleNone) {
+      ++counters_.emc_hits;
+      return {table_->find(id), Tier::kEmc};
+    }
+    ++counters_.emc_misses;
+  }
+
+  // Tier 2: megaflow tuple-space search.
+  if (config_.megaflow_enabled) {
+    std::uint32_t probed = 0;
+    const RuleId id = megaflow_.lookup(key, version, probed);
+    // FlowMod-driven flushes are applied inside that lookup, on this
+    // (owner) thread — fold them into the tier counters here.
+    counters_.megaflow_invalidations = megaflow_.stats().flushes;
+    meter.charge(static_cast<Cycles>(probed) * cost_->megaflow_per_subtable);
+    if (id != kRuleNone) {
+      ++counters_.megaflow_hits;
+      // Promote to the EMC so the steady state of this flow is tier 1.
+      if (config_.emc_enabled) emc_.insert(key, hash, id, version);
+      return {table_->find(id), Tier::kMegaflow};
+    }
+    ++counters_.megaflow_misses;
+  }
+
+  // Tier 3: slow path — priority-ordered wildcard scan. Mirrors the OVS
+  // upcall: accumulate the unwildcard set over *every* rule examined, so
+  // the installed megaflow is exactly as wide as this lookup's evidence
+  // allows. A coarser mask could swallow packets a higher-priority rule
+  // would have claimed.
+  //
+  // slow_path_base is charged unconditionally, including in "table-only"
+  // configurations: in OVS the wildcard table lives in ovs-vswitchd
+  // behind the upcall boundary, so a switch with no datapath caches pays
+  // the upcall on every packet. That is the baseline the caches are
+  // measured against — not a hypothetical inline scan.
+  ++counters_.slow_path_lookups;
+  meter.charge(cost_->slow_path_base);
+  std::uint32_t visited = 0;
+  MaskSpec unwildcarded;
+  FlowEntry* hit = nullptr;
+  for (FlowEntry& entry :
+       const_cast<std::vector<FlowEntry>&>(table_->entries())) {
+    ++visited;
+    unite(unwildcarded, entry.match);
+    if (entry.match.matches(key)) {
+      hit = &entry;
+      break;
+    }
+  }
+  meter.charge(static_cast<Cycles>(visited) * cost_->classifier_per_rule);
+  if (hit == nullptr) {
+    ++counters_.slow_path_misses;
+    return {nullptr, Tier::kMiss};
+  }
+  if (config_.megaflow_enabled) {
+    megaflow_.insert(key, unwildcarded, hit->id, version);
+    ++counters_.megaflow_inserts;
+    meter.charge(cost_->megaflow_insert);
+  }
+  if (config_.emc_enabled) emc_.insert(key, hash, hit->id, version);
+  return {hit, Tier::kSlowPath};
+}
+
+}  // namespace hw::classifier

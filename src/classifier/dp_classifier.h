@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+
+#include "classifier/megaflow.h"
+#include "exec/context.h"
+#include "exec/cost_model.h"
+#include "flowtable/flow_table.h"
+#include "pkt/flow_key.h"
+
+/// \file dp_classifier.h
+/// The full three-tier OVS-DPDK datapath classifier, one instance per
+/// forwarding engine (like one EMC + dpcls pair per PMD thread):
+///
+///   1. exact-match cache   — O(1) direct-mapped, full-key compare;
+///   2. megaflow cache      — tuple-space search over masked keys;
+///   3. slow path           — priority-ordered wildcard table scan, which
+///                            *installs* a megaflow covering every field
+///                            it examined (the upcall's unwildcard set)
+///                            so subsequent packets of any flow the same
+///                            megaflow covers stop at tier 2.
+///
+/// Staleness safety: the classifier subscribes to FlowTable changes and
+/// flushes the megaflow cache on every FlowMod; independently, every
+/// cached entry is version-stamped and rejected when it predates the
+/// current table version. A stale megaflow is therefore never served.
+
+namespace hw::classifier {
+
+/// Which tier resolved a lookup.
+enum class Tier : std::uint8_t { kEmc, kMegaflow, kSlowPath, kMiss };
+
+struct LookupOutcome {
+  flowtable::FlowEntry* entry = nullptr;
+  Tier tier = Tier::kMiss;
+};
+
+struct TierCounters {
+  std::uint64_t emc_hits = 0;
+  std::uint64_t emc_misses = 0;
+  std::uint64_t megaflow_hits = 0;
+  std::uint64_t megaflow_misses = 0;
+  std::uint64_t megaflow_inserts = 0;
+  std::uint64_t megaflow_invalidations = 0;  ///< FlowMod-driven flushes
+  std::uint64_t slow_path_lookups = 0;
+  std::uint64_t slow_path_misses = 0;  ///< no rule matched at all
+
+  TierCounters& operator+=(const TierCounters& other) noexcept {
+    emc_hits += other.emc_hits;
+    emc_misses += other.emc_misses;
+    megaflow_hits += other.megaflow_hits;
+    megaflow_misses += other.megaflow_misses;
+    megaflow_inserts += other.megaflow_inserts;
+    megaflow_invalidations += other.megaflow_invalidations;
+    slow_path_lookups += other.slow_path_lookups;
+    slow_path_misses += other.slow_path_misses;
+    return *this;
+  }
+};
+
+struct DpClassifierConfig {
+  bool emc_enabled = true;
+  bool megaflow_enabled = true;
+  std::size_t emc_buckets = 4096;
+  MegaflowCache::Config megaflow{};
+};
+
+class DpClassifier {
+ public:
+  DpClassifier(flowtable::FlowTable& table, const exec::CostModel& cost,
+               DpClassifierConfig config = {});
+  ~DpClassifier();
+
+  DpClassifier(const DpClassifier&) = delete;
+  DpClassifier& operator=(const DpClassifier&) = delete;
+
+  /// Classifies one key, charging `meter` the tier-dependent cost.
+  /// `hash` is the full flow_key_hash (the EMC index).
+  [[nodiscard]] LookupOutcome lookup(const pkt::FlowKey& key,
+                                     std::uint32_t hash,
+                                     exec::CycleMeter& meter);
+
+  [[nodiscard]] const TierCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const flowtable::ExactMatchCache& emc() const noexcept {
+    return emc_;
+  }
+  [[nodiscard]] const MegaflowCache& megaflow() const noexcept {
+    return megaflow_;
+  }
+  [[nodiscard]] const DpClassifierConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  flowtable::FlowTable* table_;
+  const exec::CostModel* cost_;
+  DpClassifierConfig config_;
+  flowtable::ExactMatchCache emc_;
+  MegaflowCache megaflow_;
+  TierCounters counters_;
+  std::uint64_t listener_token_ = 0;
+};
+
+}  // namespace hw::classifier

@@ -1,0 +1,75 @@
+#include "classifier/mask.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hw::classifier {
+
+using openflow::kMatchEthType;
+using openflow::kMatchInPort;
+using openflow::kMatchIpDst;
+using openflow::kMatchIpProto;
+using openflow::kMatchIpSrc;
+using openflow::kMatchL4Dst;
+using openflow::kMatchL4Src;
+using openflow::prefix_mask;
+
+MaskSpec mask_of(const openflow::Match& match) noexcept {
+  MaskSpec mask;
+  mask.fields = match.fields();
+  if (match.has(kMatchIpSrc)) mask.ip_src_plen = match.ip_src_plen();
+  if (match.has(kMatchIpDst)) mask.ip_dst_plen = match.ip_dst_plen();
+  return mask;
+}
+
+void unite(MaskSpec& mask, const openflow::Match& match) noexcept {
+  mask.fields |= match.fields();
+  if (match.has(kMatchIpSrc)) {
+    mask.ip_src_plen = std::max(mask.ip_src_plen, match.ip_src_plen());
+  }
+  if (match.has(kMatchIpDst)) {
+    mask.ip_dst_plen = std::max(mask.ip_dst_plen, match.ip_dst_plen());
+  }
+}
+
+pkt::FlowKey apply(const MaskSpec& mask, const pkt::FlowKey& key) noexcept {
+  pkt::FlowKey masked;  // fields not covered by the mask stay zero
+  if (mask.fields & kMatchInPort) masked.in_port = key.in_port;
+  if (mask.fields & kMatchEthType) masked.ether_type = key.ether_type;
+  if (mask.fields & kMatchIpProto) masked.ip_proto = key.ip_proto;
+  if (mask.fields & kMatchIpSrc) {
+    masked.src_ip = key.src_ip & prefix_mask(mask.ip_src_plen);
+  }
+  if (mask.fields & kMatchIpDst) {
+    masked.dst_ip = key.dst_ip & prefix_mask(mask.ip_dst_plen);
+  }
+  if (mask.fields & kMatchL4Src) masked.src_port = key.src_port;
+  if (mask.fields & kMatchL4Dst) masked.dst_port = key.dst_port;
+  return masked;
+}
+
+std::string MaskSpec::to_string() const {
+  if (fields == 0) return "any";
+  std::string out;
+  char buf[32];
+  auto append = [&out](const char* text) {
+    if (!out.empty()) out += ",";
+    out += text;
+  };
+  if (fields & kMatchInPort) append("in_port");
+  if (fields & kMatchEthType) append("eth_type");
+  if (fields & kMatchIpProto) append("ip_proto");
+  if (fields & kMatchIpSrc) {
+    std::snprintf(buf, sizeof(buf), "ip_src/%u", ip_src_plen);
+    append(buf);
+  }
+  if (fields & kMatchIpDst) {
+    std::snprintf(buf, sizeof(buf), "ip_dst/%u", ip_dst_plen);
+    append(buf);
+  }
+  if (fields & kMatchL4Src) append("l4_src");
+  if (fields & kMatchL4Dst) append("l4_dst");
+  return out;
+}
+
+}  // namespace hw::classifier

@@ -1,0 +1,118 @@
+#include "classifier/megaflow.h"
+
+#include <algorithm>
+
+namespace hw::classifier {
+
+RuleId MegaflowCache::lookup(const pkt::FlowKey& key,
+                             std::uint64_t table_version,
+                             std::uint32_t& probed) {
+  apply_pending_flush();
+  probed = 0;
+  RuleId found = kRuleNone;
+  for (auto& subtable : subtables_) {
+    ++probed;
+    const pkt::FlowKey masked = apply(subtable->mask, key);
+    const auto it = subtable->flows.find(masked);
+    if (it == subtable->flows.end()) continue;
+    if (it->second.version != table_version) {
+      // Predates the last FlowMod: the wildcard table may pick a
+      // different rule now. Evict; the slow path will reinstall.
+      subtable->flows.erase(it);
+      --entries_;
+      ++stats_.stale_evictions;
+      continue;
+    }
+    found = it->second.rule;
+    ++subtable->window_hits;
+    break;
+  }
+  stats_.subtables_probed += probed;
+  if (found != kRuleNone) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  maybe_rerank();
+  return found;
+}
+
+void MegaflowCache::insert(const pkt::FlowKey& key, const MaskSpec& mask,
+                           RuleId rule, std::uint64_t table_version) {
+  if (config_.max_entries == 0) return;
+  apply_pending_flush();
+  Subtable& subtable = subtable_for(mask);
+  const pkt::FlowKey masked = apply(mask, key);
+  auto [it, inserted] = subtable.flows.try_emplace(masked);
+  it->second.rule = rule;
+  it->second.version = table_version;
+  ++stats_.inserts;
+  if (inserted) {
+    ++entries_;
+    if (entries_ > config_.max_entries) evict_one(subtable, masked);
+  }
+}
+
+void MegaflowCache::on_table_change(std::uint64_t new_version) {
+  flush_requested_.store(new_version, std::memory_order_relaxed);
+}
+
+void MegaflowCache::apply_pending_flush() {
+  const std::uint64_t requested =
+      flush_requested_.load(std::memory_order_relaxed);
+  if (requested == flush_applied_) return;
+  flush_applied_ = requested;
+  ++stats_.flushes;
+  stats_.stale_evictions += entries_;
+  entries_ = 0;
+  subtables_.clear();
+  lookups_since_rerank_ = 0;
+}
+
+void MegaflowCache::maybe_rerank() {
+  if (++lookups_since_rerank_ < config_.rank_interval) return;
+  lookups_since_rerank_ = 0;
+  ++stats_.reranks;
+  std::stable_sort(subtables_.begin(), subtables_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a->window_hits > b->window_hits;
+                   });
+  for (auto& subtable : subtables_) subtable->window_hits /= 2;
+}
+
+MegaflowCache::Subtable& MegaflowCache::subtable_for(const MaskSpec& mask) {
+  for (auto& subtable : subtables_) {
+    if (subtable->mask == mask) return *subtable;
+  }
+  subtables_.push_back(std::make_unique<Subtable>(mask));
+  return *subtables_.back();
+}
+
+void MegaflowCache::evict_one(const Subtable& just_inserted_table,
+                              const pkt::FlowKey& just_inserted_key) {
+  // Shed from the coldest subtable holding entries (probe order is rank
+  // order, so walk from the back) — but never the entry that triggered
+  // the eviction, which the caller is still referencing.
+  for (auto it = subtables_.rbegin(); it != subtables_.rend(); ++it) {
+    Subtable& subtable = **it;
+    auto victim = subtable.flows.begin();
+    if (&subtable == &just_inserted_table && victim != subtable.flows.end() &&
+        victim->first == just_inserted_key) {
+      ++victim;
+    }
+    if (victim == subtable.flows.end()) continue;
+    subtable.flows.erase(victim);
+    --entries_;
+    ++stats_.capacity_evictions;
+    return;
+  }
+}
+
+std::vector<MaskSpec> MegaflowCache::subtable_masks() const {
+  std::vector<MaskSpec> out;
+  out.reserve(subtables_.size());
+  for (const auto& subtable : subtables_) out.push_back(subtable->mask);
+  return out;
+}
+
+}  // namespace hw::classifier

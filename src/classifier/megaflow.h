@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "classifier/mask.h"
+#include "common/types.h"
+#include "pkt/flow_key.h"
+
+/// \file megaflow.h
+/// Tuple-space-search megaflow cache — the middle tier of the OVS-DPDK
+/// datapath classifier (dpcls). One subtable per distinct wildcard mask;
+/// lookups probe subtables in descending hit-frequency order (periodically
+/// re-ranked, like OVS's per-PMD subtable sorting) and compare masked
+/// keys. Entries are stamped with the flow-table version at install time:
+/// a lookup only accepts entries from the current version, so a megaflow
+/// installed before any FlowMod add/modify/delete can never be served.
+
+namespace hw::classifier {
+
+struct MegaflowStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t subtables_probed = 0;   ///< total probes across lookups
+  std::uint64_t stale_evictions = 0;    ///< entries dropped on version skew
+  std::uint64_t capacity_evictions = 0; ///< entries dropped at the cap
+  std::uint64_t flushes = 0;            ///< on_table_change invocations
+  std::uint64_t reranks = 0;            ///< subtable re-sort rounds
+};
+
+struct MegaflowCacheConfig {
+  std::size_t max_entries = 1u << 16;  ///< total across subtables
+  /// Lookups between subtable re-ranking rounds (hit counters decay by
+  /// half each round so ranking tracks the current traffic mix).
+  std::uint32_t rank_interval = 1024;
+};
+
+class MegaflowCache {
+ public:
+  using Config = MegaflowCacheConfig;
+
+  explicit MegaflowCache(Config config = {}) : config_(config) {}
+
+  MegaflowCache(const MegaflowCache&) = delete;
+  MegaflowCache& operator=(const MegaflowCache&) = delete;
+
+  /// Probes subtables in rank order for a current-version entry covering
+  /// `key`. `probed` returns the number of subtables examined (the cost
+  /// driver the caller charges to its cycle meter). Stale entries found
+  /// along the way are evicted, never returned.
+  [[nodiscard]] RuleId lookup(const pkt::FlowKey& key,
+                              std::uint64_t table_version,
+                              std::uint32_t& probed);
+
+  /// Installs `key` → `rule` under `mask` (the slow path's accumulated
+  /// unwildcard set), stamped with the current table version.
+  void insert(const pkt::FlowKey& key, const MaskSpec& mask, RuleId rule,
+              std::uint64_t table_version);
+
+  /// Flow-table change notification: every cached megaflow is now stale
+  /// (its version predates `new_version`). Only *requests* a flush (one
+  /// relaxed atomic store) because the notifier may be a control thread
+  /// while a PMD thread is probing; the flush is applied lazily on the
+  /// next lookup/insert, i.e. on the cache owner's own thread. The
+  /// per-entry version check in lookup() is the safety net either way;
+  /// the flush keeps memory and probe counts honest.
+  void on_table_change(std::uint64_t new_version);
+
+  [[nodiscard]] const MegaflowStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return entries_; }
+  [[nodiscard]] std::size_t subtable_count() const noexcept {
+    return subtables_.size();
+  }
+  /// Masks in current probe order (rank-descending); for tests/diagnostics.
+  [[nodiscard]] std::vector<MaskSpec> subtable_masks() const;
+
+ private:
+  struct Entry {
+    RuleId rule = kRuleNone;
+    std::uint64_t version = 0;
+  };
+  struct Subtable {
+    explicit Subtable(MaskSpec m) : mask(m) {}
+    MaskSpec mask;
+    std::unordered_map<pkt::FlowKey, Entry> flows;
+    std::uint64_t window_hits = 0;  ///< hits since the last re-rank decay
+  };
+
+  void maybe_rerank();
+  /// Applies a pending on_table_change() flush, owner-thread only.
+  void apply_pending_flush();
+  Subtable& subtable_for(const MaskSpec& mask);
+  /// Evicts one entry, preferring the coldest subtable but never the
+  /// freshly inserted entry the caller still holds an iterator to.
+  void evict_one(const Subtable& just_inserted_table,
+                 const pkt::FlowKey& just_inserted_key);
+
+  Config config_;
+  // Probe order == rank order (window_hits descending after each re-rank).
+  std::vector<std::unique_ptr<Subtable>> subtables_;
+  std::size_t entries_ = 0;
+  std::uint32_t lookups_since_rerank_ = 0;
+  MegaflowStats stats_;
+  // Written by on_table_change (any thread), consumed on the owner's
+  // thread; multiple FlowMods between lookups coalesce into one flush.
+  std::atomic<std::uint64_t> flush_requested_{0};
+  std::uint64_t flush_applied_ = 0;
+};
+
+}  // namespace hw::classifier

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 
 namespace hw {
 namespace {
@@ -45,8 +46,19 @@ void log_printf(LogLevel level, std::string_view component,
   char buf[512];
   va_list args;
   va_start(args, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  const int written = std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
+  if (written < 0) {
+    log_internal::emit(level, component, "<log format error>");
+    return;
+  }
+  if (static_cast<std::size_t>(written) >= sizeof(buf)) {
+    // vsnprintf truncated; make it visible instead of silently dropping
+    // the tail ("…" is 3 bytes of UTF-8 plus the terminator).
+    static constexpr char kEllipsis[] = "…";
+    std::memcpy(buf + sizeof(buf) - sizeof(kEllipsis), kEllipsis,
+                sizeof(kEllipsis));
+  }
   log_internal::emit(level, component, buf);
 }
 

@@ -28,9 +28,15 @@ struct CostModel {
   std::uint32_t ring_enq_base = 30;
   std::uint32_t ring_enq_per_pkt = 10;
 
-  // Switch datapath.
+  // Switch datapath — one cost per classifier tier, so ablations can show
+  // where an EMC miss lands. Anchors: OVS-DPDK dpcls hits are reported
+  // around 2-3x an EMC hit (one hash+compare per subtable probed), and an
+  // upcall to the slow path costs an order of magnitude more than either.
   std::uint32_t parse_per_pkt = 25;        ///< key extraction
-  std::uint32_t emc_hit = 55;              ///< exact-match cache hit
+  std::uint32_t emc_hit = 55;              ///< exact-match cache probe
+  std::uint32_t megaflow_per_subtable = 70;  ///< dpcls: mask + hash + compare
+  std::uint32_t megaflow_insert = 45;      ///< megaflow install on upcall
+  std::uint32_t slow_path_base = 150;      ///< fixed upcall overhead
   std::uint32_t classifier_per_rule = 25;  ///< wildcard scan per rule visited
   std::uint32_t action_per_pkt = 20;       ///< action execution + batching
 
@@ -55,6 +61,15 @@ struct CostModel {
   /// Aggregate switch cost for one packet that hits the EMC (reporting).
   [[nodiscard]] constexpr std::uint32_t switch_pkt_cost_emc() const noexcept {
     return ring_deq_per_pkt + parse_per_pkt + emc_hit + action_per_pkt +
+           ring_enq_per_pkt;
+  }
+
+  /// Aggregate switch cost for a packet that misses the EMC but hits the
+  /// megaflow tier after probing `subtables` subtables (reporting).
+  [[nodiscard]] constexpr std::uint32_t switch_pkt_cost_megaflow(
+      std::uint32_t subtables = 1) const noexcept {
+    return ring_deq_per_pkt + parse_per_pkt + emc_hit +
+           megaflow_per_subtable * subtables + action_per_pkt +
            ring_enq_per_pkt;
   }
 };

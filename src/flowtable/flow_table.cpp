@@ -33,7 +33,7 @@ Result<FlowModResult> FlowTable::apply(const FlowMod& mod, TimeNs now_ns) {
           entry.byte_count = 0;
           entry.install_time_ns = now_ns;
           ++result.modified;
-          ++version_;
+          bump_version();
           return result;
         }
       }
@@ -47,7 +47,7 @@ Result<FlowModResult> FlowTable::apply(const FlowMod& mod, TimeNs now_ns) {
       entries_.push_back(std::move(entry));
       std::sort(entries_.begin(), entries_.end(), entry_order);
       ++result.added;
-      ++version_;
+      bump_version();
       return result;
     }
 
@@ -67,7 +67,7 @@ Result<FlowModResult> FlowTable::apply(const FlowMod& mod, TimeNs now_ns) {
           ++result.modified;
         }
       }
-      if (result.modified > 0) ++version_;
+      if (result.modified > 0) bump_version();
       return result;
     }
 
@@ -81,7 +81,7 @@ Result<FlowModResult> FlowTable::apply(const FlowMod& mod, TimeNs now_ns) {
                       : mod.match.contains(entry.match);
       });
       result.removed = static_cast<std::uint32_t>(before - entries_.size());
-      if (result.removed > 0) ++version_;
+      if (result.removed > 0) bump_version();
       return result;
     }
   }
@@ -102,6 +102,23 @@ void FlowTable::account(RuleId id, std::uint64_t packets,
     entry->packet_count += packets;
     entry->byte_count += bytes;
   }
+}
+
+void FlowTable::bump_version() {
+  ++version_;
+  for (const Listener& listener : listeners_) listener.fn(version_);
+}
+
+std::uint64_t FlowTable::subscribe(
+    std::function<void(std::uint64_t)> listener) {
+  const std::uint64_t token = next_listener_token_++;
+  listeners_.push_back(Listener{token, std::move(listener)});
+  return token;
+}
+
+void FlowTable::unsubscribe(std::uint64_t token) noexcept {
+  std::erase_if(listeners_,
+                [token](const Listener& l) { return l.token == token; });
 }
 
 FlowEntry* FlowTable::find(RuleId id) noexcept {

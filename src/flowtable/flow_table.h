@@ -64,16 +64,34 @@ class FlowTable {
   [[nodiscard]] FlowEntry* find(RuleId id) noexcept;
 
   /// Monotonic version, bumped on every table change; consumed by the
-  /// exact-match cache for O(1) bulk invalidation.
+  /// exact-match cache and the megaflow classifier for bulk invalidation.
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
+  /// Registers a callback fired after every FlowMod that changed the
+  /// table (add/modify/delete), with the new version. The per-engine
+  /// megaflow classifiers use this to invalidate their caches the moment
+  /// a rule changes. Returns a token for unsubscribe(); subscribers must
+  /// unsubscribe before the table is destroyed.
+  std::uint64_t subscribe(std::function<void(std::uint64_t)> listener);
+  void unsubscribe(std::uint64_t token) noexcept;
+
  private:
+  /// Bumps the version and notifies every subscriber.
+  void bump_version();
+
+  struct Listener {
+    std::uint64_t token = 0;
+    std::function<void(std::uint64_t)> fn;
+  };
+
   RuleId next_id_ = 1;
   std::uint64_t version_ = 1;
+  std::uint64_t next_listener_token_ = 1;
   // Sorted by (priority desc, id asc); linear lookup like OVS's slow path.
   std::vector<FlowEntry> entries_;
+  std::vector<Listener> listeners_;
 };
 
 /// Direct-mapped exact-match cache in front of the classifier — the

@@ -7,19 +7,30 @@ namespace hw::vswitch {
 
 using flowtable::FlowEntry;
 
-ForwardingEngine::ForwardingEngine(std::string name,
-                                   flowtable::FlowTable& table,
-                                   mbuf::Mempool& pool,
-                                   const exec::CostModel& cost,
-                                   bool emc_enabled, std::uint32_t burst)
+ForwardingEngine::ForwardingEngine(
+    std::string name, flowtable::FlowTable& table, mbuf::Mempool& pool,
+    const exec::CostModel& cost,
+    classifier::DpClassifierConfig classifier_config, std::uint32_t burst)
     : name_(std::move(name)),
-      table_(&table),
       pool_(&pool),
       cost_(&cost),
-      emc_enabled_(emc_enabled),
-      burst_(burst) {
+      burst_(burst),
+      classifier_(table, cost, classifier_config) {
   rx_buf_.resize(burst_);
   tx_buf_.reserve(burst_);
+}
+
+EngineCounters ForwardingEngine::counters() const noexcept {
+  EngineCounters out = counters_;
+  const classifier::TierCounters& tiers = classifier_.counters();
+  out.emc_hits = tiers.emc_hits;
+  out.emc_misses = tiers.emc_misses;
+  out.megaflow_hits = tiers.megaflow_hits;
+  out.megaflow_misses = tiers.megaflow_misses;
+  out.megaflow_inserts = tiers.megaflow_inserts;
+  out.megaflow_invalidations = tiers.megaflow_invalidations;
+  out.slow_path_lookups = tiers.slow_path_lookups;
+  return out;
 }
 
 void ForwardingEngine::assign_port(SwitchPort* port) {
@@ -57,33 +68,7 @@ FlowEntry* ForwardingEngine::classify(mbuf::Mbuf& buf,
   meter.charge(cost_->parse_per_pkt);
   const pkt::FlowKey key = pkt::extract_flow_key(buf);
   const std::uint32_t hash = pkt::flow_key_hash(key);
-  const std::uint64_t version = table_->version();
-
-  if (emc_enabled_) {
-    meter.charge(cost_->emc_hit);
-    if (const RuleId id = emc_.lookup(key, hash, version); id != kRuleNone) {
-      ++counters_.emc_hits;
-      return table_->find(id);
-    }
-    ++counters_.emc_misses;
-  }
-
-  // Wildcard table scan; cost grows with the number of rules visited.
-  std::uint32_t visited = 0;
-  FlowEntry* hit = nullptr;
-  for (FlowEntry& entry :
-       const_cast<std::vector<FlowEntry>&>(table_->entries())) {
-    ++visited;
-    if (entry.match.matches(key)) {
-      hit = &entry;
-      break;
-    }
-  }
-  meter.charge(static_cast<Cycles>(visited) * cost_->classifier_per_rule);
-  if (emc_enabled_ && hit != nullptr) {
-    emc_.insert(key, hash, hit->id, version);
-  }
-  return hit;
+  return classifier_.lookup(key, hash, meter).entry;
 }
 
 void ForwardingEngine::process_burst(SwitchPort& in_port,

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "classifier/dp_classifier.h"
 #include "exec/context.h"
 #include "exec/cost_model.h"
 #include "flowtable/flow_table.h"
@@ -12,10 +13,11 @@
 
 /// \file forwarding_engine.h
 /// One OVS-DPDK PMD thread: polls its assigned ports in round-robin
-/// bursts, classifies each frame (exact-match cache, then the wildcard
-/// table), executes actions, and flushes per-destination bursts. Every
-/// per-hop cost of the "traditional approach" lives here — which is
-/// exactly the work the bypass channel removes.
+/// bursts, classifies each frame through the three-tier datapath
+/// classifier (exact-match cache → megaflow tuple-space search → wildcard
+/// table slow path), executes actions, and flushes per-destination
+/// bursts. Every per-hop cost of the "traditional approach" lives here —
+/// which is exactly the work the bypass channel removes.
 
 namespace hw::vswitch {
 
@@ -26,15 +28,22 @@ struct EngineCounters {
   std::uint64_t action_drops = 0;  ///< explicit DROP action
   std::uint64_t tx_ring_full = 0;  ///< destination could not accept
   std::uint64_t controller_punts = 0;
+  // Per-tier classification counters (mirrored from the classifier).
   std::uint64_t emc_hits = 0;
   std::uint64_t emc_misses = 0;
+  std::uint64_t megaflow_hits = 0;
+  std::uint64_t megaflow_misses = 0;
+  std::uint64_t megaflow_inserts = 0;
+  std::uint64_t megaflow_invalidations = 0;  ///< FlowMod-driven flushes
+  std::uint64_t slow_path_lookups = 0;
 };
 
 class ForwardingEngine final : public exec::Context {
  public:
   ForwardingEngine(std::string name, flowtable::FlowTable& table,
                    mbuf::Mempool& pool, const exec::CostModel& cost,
-                   bool emc_enabled, std::uint32_t burst);
+                   classifier::DpClassifierConfig classifier_config,
+                   std::uint32_t burst);
 
   /// Assigns a port's rx queue to this engine (OVS rxq affinity).
   void assign_port(SwitchPort* port);
@@ -44,11 +53,21 @@ class ForwardingEngine final : public exec::Context {
   }
   std::uint32_t poll(exec::CycleMeter& meter) override;
 
-  [[nodiscard]] const EngineCounters& counters() const noexcept {
-    return counters_;
+  /// Forwarding counters with the classifier's per-tier counters merged
+  /// in (returned by value; both halves have single owners internally).
+  [[nodiscard]] EngineCounters counters() const noexcept;
+
+  /// This engine's private datapath classifier (one per PMD, like one
+  /// EMC + dpcls pair per OVS PMD thread).
+  [[nodiscard]] const classifier::DpClassifier& classifier() const noexcept {
+    return classifier_;
+  }
+  [[nodiscard]] const classifier::TierCounters& tier_counters()
+      const noexcept {
+    return classifier_.counters();
   }
   [[nodiscard]] const flowtable::ExactMatchCache& emc() const noexcept {
-    return emc_;
+    return classifier_.emc();
   }
   [[nodiscard]] std::size_t port_count() const noexcept {
     return ports_.size();
@@ -65,16 +84,14 @@ class ForwardingEngine final : public exec::Context {
   [[nodiscard]] SwitchPort* port_by_id(PortId id) noexcept;
 
   std::string name_;
-  flowtable::FlowTable* table_;
   mbuf::Mempool* pool_;
   const exec::CostModel* cost_;
-  bool emc_enabled_;
   std::uint32_t burst_;
 
   std::vector<SwitchPort*> ports_;
   // Dense id→port map for O(1) output action resolution.
   std::vector<SwitchPort*> by_id_;
-  flowtable::ExactMatchCache emc_;
+  classifier::DpClassifier classifier_;
   EngineCounters counters_;
 
   std::vector<mbuf::Mbuf*> rx_buf_;

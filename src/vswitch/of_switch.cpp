@@ -39,7 +39,10 @@ OfSwitch::OfSwitch(shm::ShmManager& shm, mbuf::Mempool& pool,
   for (std::uint32_t i = 0; i < engine_count; ++i) {
     engines_.push_back(std::make_unique<ForwardingEngine>(
         "pmd" + std::to_string(i), table_, *pool_, *cost_,
-        config_.emc_enabled, config_.burst));
+        classifier::DpClassifierConfig{
+            .emc_enabled = config_.emc_enabled,
+            .megaflow_enabled = config_.megaflow_enabled},
+        config_.burst));
   }
 
   bypass_ = std::make_unique<BypassManager>(
@@ -248,6 +251,12 @@ Result<std::vector<std::byte>> OfSwitch::handle_message(
   }
   ++counters_.message_errors;
   return Status::invalid_argument("unsupported or malformed message");
+}
+
+classifier::TierCounters OfSwitch::datapath_stats() const {
+  classifier::TierCounters total;
+  for (const auto& engine : engines_) total += engine->tier_counters();
+  return total;
 }
 
 std::vector<exec::Context*> OfSwitch::engine_contexts() {

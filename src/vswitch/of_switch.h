@@ -36,6 +36,7 @@ struct SwitchConfig {
   std::size_t ring_capacity = 1024;  ///< normal + bypass channel rings
   std::uint32_t burst = 32;
   bool emc_enabled = true;
+  bool megaflow_enabled = true;      ///< dpcls-style middle tier
   std::uint32_t engine_count = 1;    ///< PMD threads (OVS pmd-cpu-mask)
   bool bypass_enabled = true;        ///< false = vanilla OVS-DPDK baseline
 };
@@ -75,6 +76,11 @@ class OfSwitch {
   [[nodiscard]] Status handle_packet_out(const openflow::PacketOut& po);
   [[nodiscard]] std::vector<openflow::FlowStatsEntry> flow_stats() const;
   [[nodiscard]] Result<openflow::PortStats> port_stats(PortId id) const;
+
+  /// Per-tier classification counters summed over every forwarding
+  /// engine — the switch-level view of where lookups are resolved
+  /// (EMC / megaflow / slow path), reported next to flow and port stats.
+  [[nodiscard]] classifier::TierCounters datapath_stats() const;
 
   /// Wire-protocol endpoint: decodes one message, executes it, returns the
   /// encoded reply (empty vector when the message has no reply).

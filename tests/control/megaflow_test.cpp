@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "classifier/dp_classifier.h"
+#include "classifier/mask.h"
+#include "classifier/megaflow.h"
+#include "common/rng.h"
+#include "exec/context.h"
+#include "exec/cost_model.h"
+#include "flowtable/flow_table.h"
+#include "pkt/headers.h"
+
+namespace hw::classifier {
+namespace {
+
+using flowtable::FlowEntry;
+using flowtable::FlowTable;
+using openflow::Action;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+using openflow::Match;
+
+pkt::FlowKey make_key(PortId in_port, std::uint32_t src_ip,
+                      std::uint32_t dst_ip, std::uint16_t dst_port,
+                      std::uint8_t proto = pkt::kIpProtoUdp) {
+  pkt::FlowKey key;
+  key.in_port = in_port;
+  key.ether_type = pkt::kEtherTypeIpv4;
+  key.ip_proto = proto;
+  key.src_ip = src_ip;
+  key.dst_ip = dst_ip;
+  key.src_port = 1234;
+  key.dst_port = dst_port;
+  return key;
+}
+
+FlowMod add_rule(Match match, std::uint16_t priority, PortId out) {
+  FlowMod mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.match = match;
+  mod.priority = priority;
+  mod.actions = {Action::output(out)};
+  return mod;
+}
+
+// ------------------------------------------------------------------ masks
+
+TEST(MaskSpecTest, MaskOfMirrorsConstrainedFields) {
+  Match match;
+  match.in_port(3).ip_dst(0x0a000000, 24).l4_dst(80);
+  const MaskSpec mask = mask_of(match);
+  EXPECT_EQ(mask.fields, match.fields());
+  EXPECT_EQ(mask.ip_dst_plen, 24);
+  EXPECT_EQ(mask.ip_src_plen, 0);
+}
+
+TEST(MaskSpecTest, UniteTakesFieldUnionAndMaxPrefix) {
+  MaskSpec mask;
+  Match a;
+  a.ip_dst(0x0a000000, 16);
+  Match b;
+  b.ip_dst(0x0a000000, 24).l4_dst(80);
+  unite(mask, a);
+  EXPECT_EQ(mask.ip_dst_plen, 16);
+  unite(mask, b);
+  EXPECT_EQ(mask.ip_dst_plen, 24);  // more specific prefix wins
+  EXPECT_TRUE(mask.fields & openflow::kMatchIpDst);
+  EXPECT_TRUE(mask.fields & openflow::kMatchL4Dst);
+  EXPECT_FALSE(mask.fields & openflow::kMatchInPort);
+}
+
+TEST(MaskSpecTest, ApplyZeroesUnconstrainedAndTruncatesPrefix) {
+  Match match;
+  match.in_port(7).ip_dst(0x0a0b0000, 16);
+  const MaskSpec mask = mask_of(match);
+  const pkt::FlowKey key = make_key(7, 0xc0a80101, 0x0a0bccdd, 443);
+  const pkt::FlowKey masked = apply(mask, key);
+  EXPECT_EQ(masked.in_port, 7);
+  EXPECT_EQ(masked.dst_ip, 0x0a0b0000u);  // low 16 bits masked off
+  EXPECT_EQ(masked.src_ip, 0u);           // not in the mask
+  EXPECT_EQ(masked.dst_port, 0u);
+  EXPECT_EQ(masked.ether_type, 0u);
+  // Keys equal under the mask project identically.
+  const pkt::FlowKey other = make_key(7, 0x01020304, 0x0a0b0000, 80);
+  EXPECT_EQ(apply(mask, other), masked);
+}
+
+// --------------------------------------------------------- megaflow cache
+
+TEST(MegaflowCacheTest, OneSubtablePerDistinctMask) {
+  MegaflowCache cache;
+  MaskSpec port_only{.fields = openflow::kMatchInPort};
+  MaskSpec port_and_dst{
+      .fields = openflow::kMatchInPort | openflow::kMatchL4Dst};
+  cache.insert(make_key(1, 1, 2, 80), port_only, 10, 1);
+  cache.insert(make_key(2, 1, 2, 80), port_only, 11, 1);
+  cache.insert(make_key(3, 1, 2, 80), port_and_dst, 12, 1);
+  EXPECT_EQ(cache.subtable_count(), 2u);
+  EXPECT_EQ(cache.entry_count(), 3u);
+
+  std::uint32_t probed = 0;
+  // Any packet from port 2 matches the port-only megaflow.
+  EXPECT_EQ(cache.lookup(make_key(2, 99, 98, 4242), 1, probed), 11u);
+  EXPECT_EQ(cache.lookup(make_key(3, 1, 2, 80), 1, probed), 12u);
+  EXPECT_EQ(cache.lookup(make_key(4, 1, 2, 80), 1, probed), kRuleNone);
+  EXPECT_EQ(probed, 2u);  // a miss probes every subtable
+}
+
+TEST(MegaflowCacheTest, StaleVersionIsNeverServed) {
+  MegaflowCache cache;
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  cache.insert(make_key(1, 0, 0, 0), mask, 7, /*table_version=*/5);
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 5, probed), 7u);
+  // Table moved on: the entry must be treated as a miss and evicted.
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 6, probed), kRuleNone);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.stats().stale_evictions, 1u);
+}
+
+TEST(MegaflowCacheTest, OnTableChangeFlushesOnOwnersNextTouch) {
+  MegaflowCache cache;
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  for (PortId p = 1; p <= 8; ++p) {
+    cache.insert(make_key(p, 0, 0, 0), mask, p, 1);
+  }
+  EXPECT_EQ(cache.entry_count(), 8u);
+  // The notification may come from a control thread, so it only posts a
+  // request; the owner's next lookup applies the flush (and misses).
+  cache.on_table_change(2);
+  cache.on_table_change(3);  // coalesces with the one above
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 3, probed), kRuleNone);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.subtable_count(), 0u);
+  EXPECT_EQ(cache.stats().flushes, 1u);
+}
+
+TEST(MegaflowCacheTest, CapacityEvictionKeepsBound) {
+  MegaflowCache cache(MegaflowCache::Config{.max_entries = 4});
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  for (PortId p = 1; p <= 10; ++p) {
+    cache.insert(make_key(p, 0, 0, 0), mask, p, 1);
+  }
+  EXPECT_LE(cache.entry_count(), 4u);
+  EXPECT_EQ(cache.stats().capacity_evictions, 6u);
+}
+
+TEST(MegaflowCacheTest, RankingMovesHotSubtableFirst) {
+  MegaflowCache cache(MegaflowCache::Config{.rank_interval = 64});
+  MaskSpec cold{.fields = openflow::kMatchInPort};
+  MaskSpec hot{.fields = openflow::kMatchInPort | openflow::kMatchL4Dst};
+  cache.insert(make_key(1, 0, 0, 0), cold, 1, 1);
+  cache.insert(make_key(2, 0, 0, 80), hot, 2, 1);
+  ASSERT_EQ(cache.subtable_masks().front(), cold);  // insertion order
+  std::uint32_t probed = 0;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(cache.lookup(make_key(2, 0, 0, 80), 1, probed), 2u);
+  }
+  // After re-ranking the hot subtable is probed first.
+  EXPECT_EQ(cache.subtable_masks().front(), hot);
+  EXPECT_EQ(cache.lookup(make_key(2, 0, 0, 80), 1, probed), 2u);
+  EXPECT_EQ(probed, 1u);
+  EXPECT_GE(cache.stats().reranks, 1u);
+}
+
+// --------------------------------------------------------- three tiers
+
+class DpClassifierTest : public ::testing::Test {
+ protected:
+  FlowTable table_;
+  exec::CostModel cost_;
+  exec::CycleMeter meter_;
+
+  FlowEntry* lookup(DpClassifier& dp, const pkt::FlowKey& key) {
+    return dp.lookup(key, pkt::flow_key_hash(key), meter_).entry;
+  }
+};
+
+TEST_F(DpClassifierTest, TierProgressionSlowPathThenMegaflowThenEmc) {
+  DpClassifier dp(table_, cost_);
+  // One wildcard rule steering everything from port 1 to port 2.
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
+
+  const pkt::FlowKey flow_a = make_key(1, 100, 200, 80);
+  const pkt::FlowKey flow_b = make_key(1, 101, 201, 81);
+
+  // First packet of flow A: both caches cold → slow path installs both.
+  auto first = dp.lookup(flow_a, pkt::flow_key_hash(flow_a), meter_);
+  ASSERT_NE(first.entry, nullptr);
+  EXPECT_EQ(first.tier, Tier::kSlowPath);
+
+  // Second packet of flow A: exact-match cache.
+  auto second = dp.lookup(flow_a, pkt::flow_key_hash(flow_a), meter_);
+  EXPECT_EQ(second.tier, Tier::kEmc);
+
+  // First packet of flow B: EMC misses (different key) but the megaflow
+  // installed for A is in_port-only, so it covers B — the whole point of
+  // the middle tier.
+  auto third = dp.lookup(flow_b, pkt::flow_key_hash(flow_b), meter_);
+  EXPECT_EQ(third.tier, Tier::kMegaflow);
+  EXPECT_EQ(third.entry, first.entry);
+
+  // ... and B was promoted to the EMC.
+  auto fourth = dp.lookup(flow_b, pkt::flow_key_hash(flow_b), meter_);
+  EXPECT_EQ(fourth.tier, Tier::kEmc);
+
+  const TierCounters& counters = dp.counters();
+  EXPECT_EQ(counters.slow_path_lookups, 1u);
+  EXPECT_EQ(counters.megaflow_hits, 1u);
+  EXPECT_EQ(counters.emc_hits, 2u);
+  EXPECT_EQ(counters.megaflow_inserts, 1u);
+}
+
+TEST_F(DpClassifierTest, UnwildcardingPreventsPriorityShadowingBug) {
+  DpClassifier dp(table_, cost_);
+  // High-priority narrow rule and low-priority broad rule on port 1.
+  Match narrow;
+  narrow.in_port(1).l4_dst(80);
+  ASSERT_TRUE(table_.apply(add_rule(narrow, 200, 3)).is_ok());
+  Match broad;
+  broad.in_port(1);
+  ASSERT_TRUE(table_.apply(add_rule(broad, 100, 2)).is_ok());
+
+  // A non-port-80 packet resolves to the broad rule; the megaflow it
+  // installs must unwildcard l4_dst (the narrow rule was examined), so a
+  // port-80 packet cannot be swallowed by it.
+  FlowEntry* other = lookup(dp, make_key(1, 1, 2, 443));
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->priority, 100);
+
+  FlowEntry* web = lookup(dp, make_key(1, 9, 9, 80));
+  ASSERT_NE(web, nullptr);
+  EXPECT_EQ(web->priority, 200);
+  EXPECT_EQ(dp.counters().megaflow_hits, 0u);  // distinct masked keys
+}
+
+TEST_F(DpClassifierTest, FlowModInvalidatesCachedMegaflows) {
+  DpClassifier dp(table_, cost_);
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
+  const pkt::FlowKey key = make_key(1, 1, 2, 80);
+  ASSERT_NE(lookup(dp, key), nullptr);
+  ASSERT_NE(lookup(dp, key), nullptr);  // cached now
+
+  // Shadow the steering rule with a higher-priority drop-to-port-3 rule.
+  Match all_port1;
+  all_port1.in_port(1);
+  ASSERT_TRUE(table_.apply(add_rule(all_port1, 500, 3)).is_ok());
+
+  FlowEntry* after = lookup(dp, key);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->priority, 500);  // never the stale rule
+  EXPECT_EQ(after, table_.lookup(key));
+  // The FlowMod-driven flush was applied (and counted) on this thread.
+  EXPECT_GE(dp.counters().megaflow_invalidations, 1u);
+}
+
+TEST_F(DpClassifierTest, DisabledTiersFallThrough) {
+  DpClassifier emc_only(
+      table_, cost_, DpClassifierConfig{.megaflow_enabled = false});
+  DpClassifier table_only(
+      table_, cost_,
+      DpClassifierConfig{.emc_enabled = false, .megaflow_enabled = false});
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
+  const pkt::FlowKey key = make_key(1, 1, 2, 80);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_NE(emc_only.lookup(key, pkt::flow_key_hash(key), meter_).entry,
+              nullptr);
+    ASSERT_NE(table_only.lookup(key, pkt::flow_key_hash(key), meter_).entry,
+              nullptr);
+  }
+  EXPECT_EQ(emc_only.counters().megaflow_hits, 0u);
+  EXPECT_EQ(emc_only.counters().emc_hits, 2u);
+  EXPECT_EQ(table_only.counters().emc_hits, 0u);
+  EXPECT_EQ(table_only.counters().slow_path_lookups, 3u);
+}
+
+TEST_F(DpClassifierTest, ChargesPerTierCosts) {
+  DpClassifier dp(table_, cost_);
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
+  const pkt::FlowKey key = make_key(1, 1, 2, 80);
+
+  exec::CycleMeter slow;
+  (void)dp.lookup(key, pkt::flow_key_hash(key), slow);
+  exec::CycleMeter emc;
+  (void)dp.lookup(key, pkt::flow_key_hash(key), emc);
+  // Slow path pays the upcall base + scan + install on top of the probes.
+  EXPECT_GE(slow.total_used(),
+            emc.total_used() + cost_.slow_path_base + cost_.megaflow_insert);
+  EXPECT_EQ(emc.total_used(), cost_.emc_hit);
+}
+
+// ------------------------------------------------- churn torture (oracle)
+
+constexpr PortId kPorts = 6;
+
+/// Random FlowMod generator biased toward overlapping rules: catch-alls,
+/// port steering, L4 selectors, IP prefixes of mixed length — maximal
+/// mask diversity and maximal chance of priority shadowing.
+FlowMod random_mod(Rng& rng) {
+  FlowMod mod;
+  const std::uint64_t op = rng.next_below(10);
+  if (op < 6) {
+    mod.command = FlowModCommand::kAdd;
+  } else if (op < 7) {
+    mod.command = FlowModCommand::kModify;
+  } else if (op < 8) {
+    mod.command = FlowModCommand::kModifyStrict;
+  } else if (op < 9) {
+    mod.command = FlowModCommand::kDelete;
+  } else {
+    mod.command = FlowModCommand::kDeleteStrict;
+  }
+  mod.priority = static_cast<std::uint16_t>(rng.next_below(6) * 50);
+  mod.cookie = rng.next();
+  if (rng.chance(4, 5)) {
+    mod.match.in_port(static_cast<PortId>(1 + rng.next_below(kPorts)));
+  }
+  if (rng.chance(1, 3)) {
+    mod.match.ip_proto(rng.chance(1, 2) ? pkt::kIpProtoUdp
+                                        : pkt::kIpProtoTcp);
+  }
+  if (rng.chance(1, 3)) {
+    mod.match.l4_dst(static_cast<std::uint16_t>(80 + rng.next_below(3)));
+  }
+  if (rng.chance(1, 4)) {
+    const std::uint8_t plens[] = {8, 16, 24, 32};
+    mod.match.ip_dst(0x0a000000u | static_cast<std::uint32_t>(
+                                       rng.next_below(4) << 16),
+                     plens[rng.next_below(4)]);
+  }
+  mod.actions = {
+      Action::output(static_cast<PortId>(1 + rng.next_below(kPorts)))};
+  return mod;
+}
+
+pkt::FlowKey random_key(Rng& rng) {
+  pkt::FlowKey key;
+  key.in_port = static_cast<PortId>(1 + rng.next_below(kPorts));
+  key.ether_type = pkt::kEtherTypeIpv4;
+  key.ip_proto = rng.chance(1, 2) ? pkt::kIpProtoUdp : pkt::kIpProtoTcp;
+  key.src_ip = 0xc0a80000u | static_cast<std::uint32_t>(rng.next_below(16));
+  key.dst_ip = 0x0a000000u |
+               static_cast<std::uint32_t>(rng.next_below(4) << 16) |
+               static_cast<std::uint32_t>(rng.next_below(8));
+  key.src_port = 1234;
+  key.dst_port =
+      rng.chance(1, 2) ? static_cast<std::uint16_t>(79 + rng.next_below(4))
+                       : 5000;
+  return key;
+}
+
+/// STALENESS ORACLE: under arbitrary FlowMod add/modify/delete churn the
+/// classifier must agree with a plain wildcard-table lookup on *every*
+/// packet — i.e. no cache tier may ever serve a rule the table would no
+/// longer pick. Keys are drawn from a recycled pool so the EMC and
+/// megaflow tiers genuinely serve hits between table changes.
+class MegaflowChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MegaflowChurnTest, NeverServesStaleRuleUnderChurn) {
+  Rng rng(GetParam());
+  exec::CostModel cost;
+  for (int trial = 0; trial < 60; ++trial) {
+    FlowTable table;
+    DpClassifier dp(table, cost);
+    exec::CycleMeter meter;
+
+    // A pool of keys reused across the trial so caches warm up.
+    std::vector<pkt::FlowKey> pool;
+    for (int i = 0; i < 48; ++i) pool.push_back(random_key(rng));
+
+    for (int round = 0; round < 40; ++round) {
+      const int ops = static_cast<int>(rng.next_in(1, 3));
+      for (int i = 0; i < ops; ++i) {
+        (void)table.apply(random_mod(rng));  // no-op mods are fine too
+      }
+      const int lookups = static_cast<int>(rng.next_in(8, 32));
+      for (int i = 0; i < lookups; ++i) {
+        const pkt::FlowKey& key = pool[rng.next_below(pool.size())];
+        FlowEntry* expected = table.lookup(key);
+        const LookupOutcome got =
+            dp.lookup(key, pkt::flow_key_hash(key), meter);
+        if (expected == nullptr) {
+          ASSERT_EQ(got.entry, nullptr)
+              << "trial " << trial << " round " << round
+              << ": classifier hit where the table misses";
+        } else {
+          ASSERT_NE(got.entry, nullptr)
+              << "trial " << trial << " round " << round
+              << ": classifier miss where the table hits";
+          ASSERT_EQ(got.entry->id, expected->id)
+              << "trial " << trial << " round " << round << ": tier "
+              << static_cast<int>(got.tier) << " served rule "
+              << got.entry->id << " but the table picks " << expected->id;
+        }
+      }
+    }
+    // The oracle must have exercised the cached tiers, not just the slow
+    // path, for the test to mean anything.
+    EXPECT_GT(dp.counters().emc_hits + dp.counters().megaflow_hits, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MegaflowChurnTest,
+                         ::testing::Values(0xa001, 0xa002, 0xa003, 0xa004,
+                                           0xa005, 0xa006));
+
+}  // namespace
+}  // namespace hw::classifier

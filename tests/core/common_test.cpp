@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/latency.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -220,6 +223,28 @@ TEST(Units, ToMpps) {
 TEST(Units, ToGbps) {
   EXPECT_DOUBLE_EQ(to_gbps(1'250'000'000, kNsPerSec), 10.0);
   EXPECT_DOUBLE_EQ(to_gbps(1, 0), 0.0);
+}
+
+// -------------------------------------------------------------------- log
+
+TEST(Log, TruncationIsMarkedNotSilent) {
+  set_log_level(LogLevel::kInfo);
+  const std::string big(2000, 'x');
+  ::testing::internal::CaptureStderr();
+  log_printf(LogLevel::kInfo, "test", "%s", big.c_str());
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("…"), std::string::npos)
+      << "overflowing message must carry a visible truncation marker";
+  EXPECT_LT(out.size(), big.size());  // actually truncated
+}
+
+TEST(Log, ShortMessagesPassThroughUnmarked) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  log_printf(LogLevel::kInfo, "test", "port %u added", 7u);
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("port 7 added"), std::string::npos);
+  EXPECT_EQ(out.find("…"), std::string::npos);
 }
 
 }  // namespace

@@ -40,6 +40,11 @@ TEST(CostModel, Conversions) {
   EXPECT_DOUBLE_EQ(cost.ns_per_cycle(), 1.0 / 3.0);
   EXPECT_EQ(cost.cycles_for_ns(1000), 3000u);
   EXPECT_GT(cost.switch_pkt_cost_emc(), 0u);
+  // The tier cost ordering the three-tier classifier relies on: an EMC
+  // hit is the cheapest resolution, and megaflow cost grows per subtable.
+  EXPECT_GT(cost.switch_pkt_cost_megaflow(1), cost.switch_pkt_cost_emc());
+  EXPECT_GT(cost.switch_pkt_cost_megaflow(4),
+            cost.switch_pkt_cost_megaflow(1));
 }
 
 TEST(SimRuntime, ThroughputMatchesBudget) {
