@@ -169,6 +169,8 @@ inline void export_counters(benchmark::State& state,
       static_cast<double>(metrics.megaflow_inserts);
   state.counters["mf_invalidations"] =
       static_cast<double>(metrics.megaflow_invalidations);
+  state.counters["mf_revalidations"] =
+      static_cast<double>(metrics.megaflow_revalidations);
 }
 
 }  // namespace hw::bench

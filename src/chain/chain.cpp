@@ -301,6 +301,8 @@ ChainMetrics ChainScenario::measure(TimeNs duration_ns) {
       tiers.megaflow_inserts - snap_tiers_.megaflow_inserts;
   metrics.megaflow_invalidations =
       tiers.megaflow_invalidations - snap_tiers_.megaflow_invalidations;
+  metrics.megaflow_revalidations =
+      tiers.megaflow_revalidations - snap_tiers_.megaflow_revalidations;
 
   std::size_t engine_index = 0;
   const double window_cycles = static_cast<double>(metrics.duration_ns) *

@@ -79,6 +79,7 @@ struct ChainMetrics {
   std::uint64_t slow_path_lookups = 0;
   std::uint64_t megaflow_inserts = 0;
   std::uint64_t megaflow_invalidations = 0;
+  std::uint64_t megaflow_revalidations = 0;
 };
 
 class ChainScenario {

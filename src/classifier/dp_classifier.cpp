@@ -3,6 +3,7 @@
 namespace hw::classifier {
 
 using flowtable::FlowEntry;
+using flowtable::TableChangeEvent;
 
 DpClassifier::DpClassifier(flowtable::FlowTable& table,
                            const exec::CostModel& cost,
@@ -12,12 +13,31 @@ DpClassifier::DpClassifier(flowtable::FlowTable& table,
       config_(config),
       emc_(config.emc_buckets),
       megaflow_(config.megaflow) {
-  if (config_.megaflow_enabled) {
+  // Every drain of the change queue — explicit or implicit inside
+  // megaflow lookup/insert — must repair BOTH tiers, so the EMC work is
+  // registered as hooks on the queue owner rather than replayed by hand
+  // (an event consumed without the EMC seeing it could leave a stale
+  // exact-match slot serving forever).
+  megaflow_.set_revalidation_hooks(
+      [this](const pkt::FlowKey& key) { return resolve(key, nullptr); },
+      [this](const TableChangeEvent& event) {
+        if (!config_.emc_enabled) return;
+        const auto counts = emc_.revalidate(event, *table_);
+        counters_.emc_revalidations += counts.repaired + counts.evicted;
+      },
+      [this] {
+        // Full-flush fallback (queue overflow, or whole-flush config):
+        // the EMC can no longer be trusted slot-by-slot either.
+        emc_.clear();
+      });
+  if (config_.emc_enabled || config_.megaflow_enabled) {
     // The callback may fire on a control thread while a PMD probes the
-    // cache, so it only posts a flush request (one atomic store); the
-    // cache applies it on its owner's next lookup/insert.
-    listener_token_ = table_->subscribe(
-        [this](std::uint64_t version) { megaflow_.on_table_change(version); });
+    // caches, so it only queues the event (mutex-guarded, one relaxed
+    // atomic on the hot path); the revalidator applies it on the cache
+    // owner's next lookup. Both tiers feed off the same queue.
+    listener_token_ = table_->subscribe([this](const TableChangeEvent& event) {
+      megaflow_.on_table_change(event);
+    });
   }
 }
 
@@ -25,17 +45,62 @@ DpClassifier::~DpClassifier() {
   if (listener_token_ != 0) table_->unsubscribe(listener_token_);
 }
 
+MegaflowCache::Resolution DpClassifier::resolve(const pkt::FlowKey& key,
+                                                std::uint32_t* visited)
+    noexcept {
+  // Mirrors the OVS upcall: accumulate the unwildcard set over *every*
+  // rule examined, so the installed/repaired megaflow is exactly as wide
+  // as this lookup's evidence allows. A coarser mask could swallow
+  // packets a higher-priority rule would have claimed.
+  MegaflowCache::Resolution res;
+  std::uint32_t n = 0;
+  for (FlowEntry& entry :
+       const_cast<std::vector<FlowEntry>&>(table_->entries())) {
+    ++n;
+    unite(res.unwildcarded, entry.match);
+    if (entry.match.matches(key)) {
+      res.found = true;
+      res.rule = entry.id;
+      break;
+    }
+  }
+  if (visited != nullptr) *visited = n;
+  return res;
+}
+
+void DpClassifier::drain_table_changes(exec::CycleMeter& meter) {
+  if (!megaflow_.has_pending_changes()) return;
+  const std::uint64_t emc_before = counters_.emc_revalidations;
+  const MegaflowCache::RevalidateReport report = megaflow_.revalidate();
+  const std::uint64_t emc_touched =
+      counters_.emc_revalidations - emc_before;
+  meter.charge(static_cast<Cycles>(report.events) *
+                   cost_->revalidate_per_event +
+               static_cast<Cycles>(report.revalidated + emc_touched) *
+                   cost_->revalidate_per_entry);
+  // Mirror the cache-internal tallies the engines/benches report (the
+  // cache's own stats also cover any drain its lookup/insert applied).
+  counters_.megaflow_revalidations = megaflow_.stats().revalidations;
+  counters_.megaflow_invalidations = megaflow_.stats().flushes;
+  counters_.megaflow_revalidation_evictions =
+      megaflow_.stats().revalidated_evicted;
+}
+
 LookupOutcome DpClassifier::lookup(const pkt::FlowKey& key,
                                    std::uint32_t hash,
                                    exec::CycleMeter& meter) {
+  // Apply pending FlowMod events first (owner thread), then snapshot the
+  // version the caches are now synchronized to.
+  drain_table_changes(meter);
   const std::uint64_t version = table_->version();
 
-  // Tier 1: exact-match cache.
+  // Tier 1: exact-match cache. Generation-stamped: a surviving megaflow
+  // revalidation leaves untouched EMC slots serving.
   if (config_.emc_enabled) {
     meter.charge(cost_->emc_hit);
-    if (const RuleId id = emc_.lookup(key, hash, version); id != kRuleNone) {
+    if (FlowEntry* entry = emc_.lookup(key, hash, *table_); entry != nullptr) {
       ++counters_.emc_hits;
-      return {table_->find(id), Tier::kEmc};
+      return {entry, Tier::kEmc};
     }
     ++counters_.emc_misses;
   }
@@ -44,24 +109,22 @@ LookupOutcome DpClassifier::lookup(const pkt::FlowKey& key,
   if (config_.megaflow_enabled) {
     std::uint32_t probed = 0;
     const RuleId id = megaflow_.lookup(key, version, probed);
-    // FlowMod-driven flushes are applied inside that lookup, on this
-    // (owner) thread — fold them into the tier counters here.
-    counters_.megaflow_invalidations = megaflow_.stats().flushes;
     meter.charge(static_cast<Cycles>(probed) * cost_->megaflow_per_subtable);
     if (id != kRuleNone) {
-      ++counters_.megaflow_hits;
-      // Promote to the EMC so the steady state of this flow is tier 1.
-      if (config_.emc_enabled) emc_.insert(key, hash, id, version);
-      return {table_->find(id), Tier::kMegaflow};
+      FlowEntry* entry = table_->find(id);
+      if (entry != nullptr) {
+        ++counters_.megaflow_hits;
+        // Promote to the EMC so the steady state of this flow is tier 1.
+        if (config_.emc_enabled) {
+          emc_.insert(key, hash, id, entry->generation);
+        }
+        return {entry, Tier::kMegaflow};
+      }
     }
     ++counters_.megaflow_misses;
   }
 
-  // Tier 3: slow path — priority-ordered wildcard scan. Mirrors the OVS
-  // upcall: accumulate the unwildcard set over *every* rule examined, so
-  // the installed megaflow is exactly as wide as this lookup's evidence
-  // allows. A coarser mask could swallow packets a higher-priority rule
-  // would have claimed.
+  // Tier 3: slow path — priority-ordered wildcard scan.
   //
   // slow_path_base is charged unconditionally, including in "table-only"
   // configurations: in OVS the wildcard table lives in ovs-vswitchd
@@ -71,28 +134,21 @@ LookupOutcome DpClassifier::lookup(const pkt::FlowKey& key,
   ++counters_.slow_path_lookups;
   meter.charge(cost_->slow_path_base);
   std::uint32_t visited = 0;
-  MaskSpec unwildcarded;
-  FlowEntry* hit = nullptr;
-  for (FlowEntry& entry :
-       const_cast<std::vector<FlowEntry>&>(table_->entries())) {
-    ++visited;
-    unite(unwildcarded, entry.match);
-    if (entry.match.matches(key)) {
-      hit = &entry;
-      break;
-    }
-  }
+  const MegaflowCache::Resolution res = resolve(key, &visited);
   meter.charge(static_cast<Cycles>(visited) * cost_->classifier_per_rule);
-  if (hit == nullptr) {
+  if (!res.found) {
     ++counters_.slow_path_misses;
     return {nullptr, Tier::kMiss};
   }
+  FlowEntry* hit = table_->find(res.rule);
   if (config_.megaflow_enabled) {
-    megaflow_.insert(key, unwildcarded, hit->id, version);
+    megaflow_.insert(key, res.unwildcarded, res.rule, version);
     ++counters_.megaflow_inserts;
     meter.charge(cost_->megaflow_insert);
   }
-  if (config_.emc_enabled) emc_.insert(key, hash, hit->id, version);
+  if (config_.emc_enabled) {
+    emc_.insert(key, hash, res.rule, hit->generation);
+  }
   return {hit, Tier::kSlowPath};
 }
 

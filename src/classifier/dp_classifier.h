@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "classifier/megaflow.h"
 #include "exec/context.h"
@@ -21,9 +22,12 @@
 ///                            megaflow covers stop at tier 2.
 ///
 /// Staleness safety: the classifier subscribes to FlowTable changes and
-/// flushes the megaflow cache on every FlowMod; independently, every
-/// cached entry is version-stamped and rejected when it predates the
-/// current table version. A stale megaflow is therefore never served.
+/// runs an OVS-style revalidator on its own thread — each change event is
+/// applied precisely to both cache tiers (suspect entries re-looked-up
+/// and repaired or evicted; untouched entries keep serving), with
+/// per-rule generation stamps (EMC) and per-entry version stamps
+/// (megaflow) as the safety net. A stale rule is therefore never served,
+/// and a FlowMod no longer costs the whole cache.
 
 namespace hw::classifier {
 
@@ -41,7 +45,10 @@ struct TierCounters {
   std::uint64_t megaflow_hits = 0;
   std::uint64_t megaflow_misses = 0;
   std::uint64_t megaflow_inserts = 0;
-  std::uint64_t megaflow_invalidations = 0;  ///< FlowMod-driven flushes
+  std::uint64_t megaflow_invalidations = 0;  ///< full-cache flushes
+  std::uint64_t megaflow_revalidations = 0;  ///< suspect entries re-checked
+  std::uint64_t megaflow_revalidation_evictions = 0;
+  std::uint64_t emc_revalidations = 0;       ///< EMC slots repaired/evicted
   std::uint64_t slow_path_lookups = 0;
   std::uint64_t slow_path_misses = 0;  ///< no rule matched at all
 
@@ -52,6 +59,9 @@ struct TierCounters {
     megaflow_misses += other.megaflow_misses;
     megaflow_inserts += other.megaflow_inserts;
     megaflow_invalidations += other.megaflow_invalidations;
+    megaflow_revalidations += other.megaflow_revalidations;
+    megaflow_revalidation_evictions += other.megaflow_revalidation_evictions;
+    emc_revalidations += other.emc_revalidations;
     slow_path_lookups += other.slow_path_lookups;
     slow_path_misses += other.slow_path_misses;
     return *this;
@@ -74,7 +84,8 @@ class DpClassifier {
   DpClassifier(const DpClassifier&) = delete;
   DpClassifier& operator=(const DpClassifier&) = delete;
 
-  /// Classifies one key, charging `meter` the tier-dependent cost.
+  /// Classifies one key, charging `meter` the tier-dependent cost (plus
+  /// any pending revalidation work applied on this, the owner, thread).
   /// `hash` is the full flow_key_hash (the EMC index).
   [[nodiscard]] LookupOutcome lookup(const pkt::FlowKey& key,
                                      std::uint32_t hash,
@@ -94,6 +105,14 @@ class DpClassifier {
   }
 
  private:
+  /// Re-runs the wildcard scan for `key`, accumulating the unwildcard set
+  /// exactly like a slow-path upcall; shared by tier 3 and the resolver
+  /// the revalidator repairs megaflows with.
+  MegaflowCache::Resolution resolve(const pkt::FlowKey& key,
+                                    std::uint32_t* visited) noexcept;
+  /// Applies pending FlowMod events to both cache tiers (owner thread).
+  void drain_table_changes(exec::CycleMeter& meter);
+
   flowtable::FlowTable* table_;
   const exec::CostModel* cost_;
   DpClassifierConfig config_;

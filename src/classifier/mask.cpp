@@ -48,6 +48,52 @@ pkt::FlowKey apply(const MaskSpec& mask, const pkt::FlowKey& key) noexcept {
   return masked;
 }
 
+bool may_intersect(const MaskSpec& mask, const pkt::FlowKey& masked_key,
+                   const openflow::Match& match) noexcept {
+  const std::uint32_t common = mask.fields & match.fields();
+  if ((common & kMatchInPort) && masked_key.in_port != match.in_port_value()) {
+    return false;
+  }
+  if ((common & kMatchEthType) &&
+      masked_key.ether_type != match.eth_type_value()) {
+    return false;
+  }
+  if ((common & kMatchIpProto) &&
+      masked_key.ip_proto != match.ip_proto_value()) {
+    return false;
+  }
+  if (common & kMatchIpSrc) {
+    // Only the prefix bits BOTH sides pin can disagree; deeper bits are
+    // free on at least one side.
+    const std::uint32_t m =
+        prefix_mask(std::min(mask.ip_src_plen, match.ip_src_plen()));
+    if ((masked_key.src_ip & m) != (match.ip_src_value() & m)) return false;
+  }
+  if (common & kMatchIpDst) {
+    const std::uint32_t m =
+        prefix_mask(std::min(mask.ip_dst_plen, match.ip_dst_plen()));
+    if ((masked_key.dst_ip & m) != (match.ip_dst_value() & m)) return false;
+  }
+  if ((common & kMatchL4Src) && masked_key.src_port != match.l4_src_value()) {
+    return false;
+  }
+  if ((common & kMatchL4Dst) && masked_key.dst_port != match.l4_dst_value()) {
+    return false;
+  }
+  return true;
+}
+
+bool subsumes(const MaskSpec& outer, const MaskSpec& inner) noexcept {
+  if ((inner.fields & outer.fields) != inner.fields) return false;
+  if ((inner.fields & kMatchIpSrc) && outer.ip_src_plen < inner.ip_src_plen) {
+    return false;
+  }
+  if ((inner.fields & kMatchIpDst) && outer.ip_dst_plen < inner.ip_dst_plen) {
+    return false;
+  }
+  return true;
+}
+
 std::string MaskSpec::to_string() const {
   if (fields == 0) return "any";
   std::string out;

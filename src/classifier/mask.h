@@ -43,4 +43,22 @@ void unite(MaskSpec& mask, const openflow::Match& match) noexcept;
 [[nodiscard]] pkt::FlowKey apply(const MaskSpec& mask,
                                  const pkt::FlowKey& key) noexcept;
 
+/// True iff some packet in the megaflow's cover set — every key that
+/// projects onto `masked_key` under `mask` — could satisfy `match`.
+/// Only the fields both sides constrain can rule out intersection (the
+/// megaflow leaves every other field free); conservative: returns true
+/// when unsure. This is the revalidator's suspect test: entries that
+/// cannot intersect a changed match cannot have a new winner.
+[[nodiscard]] bool may_intersect(const MaskSpec& mask,
+                                 const pkt::FlowKey& masked_key,
+                                 const openflow::Match& match) noexcept;
+
+/// True iff `outer` constrains every field `inner` does, at least as
+/// specifically (prefix lengths ≥). The revalidator may repair a megaflow
+/// in place only when the re-lookup's unwildcard set is subsumed by the
+/// entry's subtable mask — otherwise the cover set is no longer uniform
+/// and the entry must be evicted.
+[[nodiscard]] bool subsumes(const MaskSpec& outer,
+                            const MaskSpec& inner) noexcept;
+
 }  // namespace hw::classifier

@@ -4,23 +4,32 @@
 
 namespace hw::classifier {
 
+using flowtable::TableChangeEvent;
+using openflow::FlowModCommand;
+
 RuleId MegaflowCache::lookup(const pkt::FlowKey& key,
                              std::uint64_t table_version,
                              std::uint32_t& probed) {
-  apply_pending_flush();
+  (void)revalidate();
   probed = 0;
   RuleId found = kRuleNone;
+  bool evicted = false;
   for (auto& subtable : subtables_) {
     ++probed;
     const pkt::FlowKey masked = apply(subtable->mask, key);
     const auto it = subtable->flows.find(masked);
     if (it == subtable->flows.end()) continue;
-    if (it->second.version != table_version) {
-      // Predates the last FlowMod: the wildcard table may pick a
-      // different rule now. Evict; the slow path will reinstall.
+    // Proven current: the revalidator has synchronized the cache to this
+    // version, or the entry was installed/repaired at exactly it. A
+    // version gap the queue has not explained (standalone use, or a
+    // FlowMod racing this probe) means the wildcard table may pick a
+    // different rule now — evict, the slow path will reinstall.
+    if (synced_version_ != table_version &&
+        it->second.version != table_version) {
       subtable->flows.erase(it);
       --entries_;
       ++stats_.stale_evictions;
+      evicted = true;
       continue;
     }
     found = it->second.rule;
@@ -33,6 +42,7 @@ RuleId MegaflowCache::lookup(const pkt::FlowKey& key,
   } else {
     ++stats_.misses;
   }
+  if (evicted) prune_empty_subtables();
   maybe_rerank();
   return found;
 }
@@ -40,28 +50,142 @@ RuleId MegaflowCache::lookup(const pkt::FlowKey& key,
 void MegaflowCache::insert(const pkt::FlowKey& key, const MaskSpec& mask,
                            RuleId rule, std::uint64_t table_version) {
   if (config_.max_entries == 0) return;
-  apply_pending_flush();
+  (void)revalidate();
   Subtable& subtable = subtable_for(mask);
   const pkt::FlowKey masked = apply(mask, key);
   auto [it, inserted] = subtable.flows.try_emplace(masked);
   it->second.rule = rule;
   it->second.version = table_version;
-  ++stats_.inserts;
   if (inserted) {
+    ++stats_.inserts;
     ++entries_;
     if (entries_ > config_.max_entries) evict_one(subtable, masked);
+  } else {
+    ++stats_.overwrites;
   }
 }
 
-void MegaflowCache::on_table_change(std::uint64_t new_version) {
-  flush_requested_.store(new_version, std::memory_order_relaxed);
+void MegaflowCache::on_table_change(const TableChangeEvent& event) {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= config_.revalidator_queue_limit) {
+      // Too much churn to track precisely: drop the backlog and fall
+      // back to one full flush covering everything up to this version.
+      queue_.clear();
+      queue_overflowed_ = true;
+      overflow_version_ = std::max(overflow_version_, event.version);
+    } else {
+      queue_.push_back(event);
+    }
+  }
+  events_pending_.store(true, std::memory_order_release);
 }
 
-void MegaflowCache::apply_pending_flush() {
-  const std::uint64_t requested =
-      flush_requested_.load(std::memory_order_relaxed);
-  if (requested == flush_applied_) return;
-  flush_applied_ = requested;
+void MegaflowCache::set_revalidation_hooks(
+    Resolver resolver,
+    std::function<void(const TableChangeEvent&)> event_sink,
+    std::function<void()> flush_sink) {
+  resolver_ = std::move(resolver);
+  event_sink_ = std::move(event_sink);
+  flush_sink_ = std::move(flush_sink);
+}
+
+MegaflowCache::RevalidateReport MegaflowCache::revalidate() {
+  RevalidateReport report;
+  if (!events_pending_.load(std::memory_order_acquire)) return report;
+
+  std::deque<TableChangeEvent> events;
+  bool overflowed = false;
+  std::uint64_t overflow_version = 0;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    events.swap(queue_);
+    overflowed = queue_overflowed_;
+    overflow_version = overflow_version_;
+    queue_overflowed_ = false;
+    overflow_version_ = 0;
+    events_pending_.store(false, std::memory_order_relaxed);
+  }
+
+  if (overflowed) {
+    ++stats_.queue_overflows;
+    flush_all();
+    report.flushed = true;
+    synced_version_ = std::max(synced_version_, overflow_version);
+  }
+  if (!config_.precise_revalidation && !events.empty()) {
+    // Ablation baseline: any change nukes the cache (PR-1 behaviour).
+    flush_all();
+    report.flushed = true;
+  }
+  if (report.flushed && flush_sink_) flush_sink_();
+  const Resolver* resolver = resolver_ ? &resolver_ : nullptr;
+  for (const TableChangeEvent& event : events) {
+    report.revalidated += revalidate_event(event, resolver);
+    synced_version_ = std::max(synced_version_, event.version);
+    if (event_sink_) event_sink_(event);
+  }
+  report.events = events.size();
+  if (report.revalidated > 0) prune_empty_subtables();
+  return report;
+}
+
+std::size_t MegaflowCache::revalidate_event(const TableChangeEvent& event,
+                                            const Resolver* resolver) {
+  std::size_t suspects = 0;
+  // MODIFY rewrites actions/cookie only: the winner for every covered key
+  // is unchanged and the table entry is resolved live by id, so megaflows
+  // need no work (the EMC handles mutation via its generation stamps).
+  if (event.command == FlowModCommand::kModify ||
+      event.command == FlowModCommand::kModifyStrict) {
+    return suspects;
+  }
+  const bool removal = event.command == FlowModCommand::kDelete ||
+                       event.command == FlowModCommand::kDeleteStrict;
+  for (auto& subtable : subtables_) {
+    for (auto it = subtable->flows.begin(); it != subtable->flows.end();) {
+      // Suspect tests are exact per command. A removal can only change a
+      // key's winner if that winner was removed (every key in the cover
+      // set resolved to entry.rule at install). An ADD can only steal
+      // keys its match intersects.
+      const bool suspect =
+          removal ? std::find(event.removed.begin(), event.removed.end(),
+                              it->second.rule) != event.removed.end()
+                  : may_intersect(subtable->mask, it->first, event.match);
+      if (!suspect) {
+        ++it;
+        continue;
+      }
+      ++suspects;
+      ++stats_.revalidations;
+      bool keep = false;
+      if (resolver != nullptr) {
+        const Resolution res = (*resolver)(it->first);
+        // Repair is sound only when the fresh unwildcard set still fits
+        // this subtable's mask: then every key in the cover set provably
+        // resolves to the same new winner. A wider set means the cover
+        // set is no longer uniform — evict and let the slow path carve
+        // finer megaflows.
+        if (res.found && subsumes(subtable->mask, res.unwildcarded)) {
+          it->second.rule = res.rule;
+          it->second.version = event.version;
+          keep = true;
+        }
+      }
+      if (keep) {
+        ++stats_.revalidated_kept;
+        ++it;
+      } else {
+        ++stats_.revalidated_evicted;
+        it = subtable->flows.erase(it);
+        --entries_;
+      }
+    }
+  }
+  return suspects;
+}
+
+void MegaflowCache::flush_all() {
   ++stats_.flushes;
   stats_.stale_evictions += entries_;
   entries_ = 0;
@@ -69,15 +193,28 @@ void MegaflowCache::apply_pending_flush() {
   lookups_since_rerank_ = 0;
 }
 
+void MegaflowCache::prune_empty_subtables() {
+  const std::size_t before = subtables_.size();
+  std::erase_if(subtables_, [](const std::unique_ptr<Subtable>& subtable) {
+    return subtable->flows.empty();
+  });
+  stats_.subtables_pruned += before - subtables_.size();
+}
+
 void MegaflowCache::maybe_rerank() {
   if (++lookups_since_rerank_ < config_.rank_interval) return;
   lookups_since_rerank_ = 0;
   ++stats_.reranks;
+  const double alpha = config_.rank_ewma_alpha;
+  for (auto& subtable : subtables_) {
+    subtable->rank = (1.0 - alpha) * subtable->rank +
+                     alpha * static_cast<double>(subtable->window_hits);
+    subtable->window_hits = 0;
+  }
   std::stable_sort(subtables_.begin(), subtables_.end(),
                    [](const auto& a, const auto& b) {
-                     return a->window_hits > b->window_hits;
+                     return a->rank > b->rank;
                    });
-  for (auto& subtable : subtables_) subtable->window_hits /= 2;
 }
 
 MegaflowCache::Subtable& MegaflowCache::subtable_for(const MaskSpec& mask) {
@@ -104,6 +241,12 @@ void MegaflowCache::evict_one(const Subtable& just_inserted_table,
     subtable.flows.erase(victim);
     --entries_;
     ++stats_.capacity_evictions;
+    if (subtable.flows.empty()) {
+      // The caller's just-inserted entry is never in the emptied
+      // subtable (we skipped it above), so pruning here is safe.
+      subtables_.erase(std::next(it).base());
+      ++stats_.subtables_pruned;
+    }
     return;
   }
 }

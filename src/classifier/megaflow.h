@@ -2,56 +2,103 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "classifier/mask.h"
 #include "common/types.h"
+#include "flowtable/flow_table.h"
 #include "pkt/flow_key.h"
 
 /// \file megaflow.h
 /// Tuple-space-search megaflow cache — the middle tier of the OVS-DPDK
 /// datapath classifier (dpcls). One subtable per distinct wildcard mask;
-/// lookups probe subtables in descending hit-frequency order (periodically
+/// lookups probe subtables in descending hit-EWMA order (periodically
 /// re-ranked, like OVS's per-PMD subtable sorting) and compare masked
-/// keys. Entries are stamped with the flow-table version at install time:
-/// a lookup only accepts entries from the current version, so a megaflow
-/// installed before any FlowMod add/modify/delete can never be served.
+/// keys.
+///
+/// Staleness is handled by an OVS-style *revalidator* instead of a
+/// whole-cache flush: FlowTable change notifications arrive as structured
+/// TableChangeEvents in a bounded queue (any thread), and the cache
+/// owner's next touch drains the queue and re-checks only the entries the
+/// change could affect — repairing them in place when the re-lookup's
+/// unwildcard set still fits the subtable mask, evicting them otherwise.
+/// Queue overflow falls back to a full flush (counted separately), and a
+/// per-entry version stamp remains the safety net for version skew the
+/// queue has not explained.
 
 namespace hw::classifier {
 
 struct MegaflowStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  std::uint64_t inserts = 0;
+  std::uint64_t inserts = 0;            ///< fresh masked keys installed
+  std::uint64_t overwrites = 0;         ///< re-install onto an existing key
   std::uint64_t subtables_probed = 0;   ///< total probes across lookups
   std::uint64_t stale_evictions = 0;    ///< entries dropped on version skew
   std::uint64_t capacity_evictions = 0; ///< entries dropped at the cap
-  std::uint64_t flushes = 0;            ///< on_table_change invocations
+  std::uint64_t flushes = 0;            ///< full-cache flushes applied
+  std::uint64_t queue_overflows = 0;    ///< event-queue overflow fallbacks
   std::uint64_t reranks = 0;            ///< subtable re-sort rounds
+  std::uint64_t revalidations = 0;      ///< suspect entries re-checked
+  std::uint64_t revalidated_kept = 0;   ///< repaired in place
+  std::uint64_t revalidated_evicted = 0;///< evicted by the revalidator
+  std::uint64_t subtables_pruned = 0;   ///< empty subtables removed
 };
 
 struct MegaflowCacheConfig {
   std::size_t max_entries = 1u << 16;  ///< total across subtables
-  /// Lookups between subtable re-ranking rounds (hit counters decay by
-  /// half each round so ranking tracks the current traffic mix).
+  /// Lookups between subtable re-ranking rounds. Each round folds the
+  /// window's hit count into a per-subtable EWMA (OVS's pmd-rxq-style
+  /// auto-sorting) so the probe order tracks the current traffic mix
+  /// without a hard half-life cliff.
   std::uint32_t rank_interval = 1024;
+  /// EWMA weight of the newest window when re-ranking, in [0, 1].
+  double rank_ewma_alpha = 0.25;
+  /// Precise per-rule revalidation (true) or PR-1-style whole-cache flush
+  /// on every FlowMod (false; the ablation baseline).
+  bool precise_revalidation = true;
+  /// Bounded revalidator queue; overflowing falls back to a full flush.
+  std::size_t revalidator_queue_limit = 128;
 };
 
 class MegaflowCache {
  public:
   using Config = MegaflowCacheConfig;
 
+  /// Result of re-running the wildcard lookup for one masked key: the
+  /// winning rule (if any) and the unwildcard set the scan accumulated.
+  struct Resolution {
+    bool found = false;
+    RuleId rule = kRuleNone;
+    MaskSpec unwildcarded;
+  };
+  /// Owner-supplied slow-path re-lookup used to repair suspect entries.
+  using Resolver = std::function<Resolution(const pkt::FlowKey&)>;
+
+  /// What one drain of the event queue did (the caller charges its cycle
+  /// meter from these and forwards `events` to its own tiers, e.g. EMC).
+  struct RevalidateReport {
+    std::size_t events = 0;       ///< events drained and processed
+    std::size_t revalidated = 0;  ///< suspect entries re-checked
+    bool flushed = false;         ///< full flush applied (overflow/config)
+  };
+
   explicit MegaflowCache(Config config = {}) : config_(config) {}
 
   MegaflowCache(const MegaflowCache&) = delete;
   MegaflowCache& operator=(const MegaflowCache&) = delete;
 
-  /// Probes subtables in rank order for a current-version entry covering
-  /// `key`. `probed` returns the number of subtables examined (the cost
-  /// driver the caller charges to its cycle meter). Stale entries found
-  /// along the way are evicted, never returned.
+  /// Probes subtables in rank order for an entry covering `key` that is
+  /// provably current: either revalidated up to `table_version` or
+  /// installed at exactly that version. `probed` returns the number of
+  /// subtables examined (the cost driver the caller charges to its cycle
+  /// meter). Unproven entries found along the way are evicted, never
+  /// returned.
   [[nodiscard]] RuleId lookup(const pkt::FlowKey& key,
                               std::uint64_t table_version,
                               std::uint32_t& probed);
@@ -61,14 +108,33 @@ class MegaflowCache {
   void insert(const pkt::FlowKey& key, const MaskSpec& mask, RuleId rule,
               std::uint64_t table_version);
 
-  /// Flow-table change notification: every cached megaflow is now stale
-  /// (its version predates `new_version`). Only *requests* a flush (one
-  /// relaxed atomic store) because the notifier may be a control thread
-  /// while a PMD thread is probing; the flush is applied lazily on the
-  /// next lookup/insert, i.e. on the cache owner's own thread. The
-  /// per-entry version check in lookup() is the safety net either way;
-  /// the flush keeps memory and probe counts honest.
-  void on_table_change(std::uint64_t new_version);
+  /// Flow-table change notification: queues the event for the owner
+  /// thread's revalidator. Safe to call from a control thread while a PMD
+  /// thread is probing — the queue is mutex-guarded and the hot path only
+  /// checks one relaxed atomic when the queue is empty.
+  void on_table_change(const flowtable::TableChangeEvent& event);
+
+  /// Registers the owner's revalidation hooks: the resolver used to
+  /// repair suspect megaflows, a per-event sink (e.g. exact-match-cache
+  /// revalidation) and a flush sink (e.g. EMC clear on the overflow
+  /// fallback). Once set, EVERY drain — including the implicit ones in
+  /// lookup()/insert() — routes through them, so no change event can be
+  /// consumed without the owner's other tiers seeing it. Without hooks
+  /// (standalone use) suspects are simply evicted.
+  void set_revalidation_hooks(
+      Resolver resolver,
+      std::function<void(const flowtable::TableChangeEvent&)> event_sink,
+      std::function<void()> flush_sink);
+
+  /// Owner thread: drains queued events, revalidates affected megaflows
+  /// and feeds each event (and any flush) to the registered hooks.
+  /// Called implicitly by lookup()/insert(), so standalone use stays
+  /// safe.
+  RevalidateReport revalidate();
+
+  [[nodiscard]] bool has_pending_changes() const noexcept {
+    return events_pending_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] const MegaflowStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t entry_count() const noexcept { return entries_; }
@@ -81,18 +147,22 @@ class MegaflowCache {
  private:
   struct Entry {
     RuleId rule = kRuleNone;
-    std::uint64_t version = 0;
+    std::uint64_t version = 0;  ///< install/repair version
   };
   struct Subtable {
     explicit Subtable(MaskSpec m) : mask(m) {}
     MaskSpec mask;
     std::unordered_map<pkt::FlowKey, Entry> flows;
-    std::uint64_t window_hits = 0;  ///< hits since the last re-rank decay
+    std::uint64_t window_hits = 0;  ///< hits in the current rank window
+    double rank = 0.0;              ///< hit EWMA across rank windows
   };
 
   void maybe_rerank();
-  /// Applies a pending on_table_change() flush, owner-thread only.
-  void apply_pending_flush();
+  /// Revalidates entries one event could affect; returns suspects seen.
+  std::size_t revalidate_event(const flowtable::TableChangeEvent& event,
+                               const Resolver* resolver);
+  void flush_all();
+  void prune_empty_subtables();
   Subtable& subtable_for(const MaskSpec& mask);
   /// Evicts one entry, preferring the coldest subtable but never the
   /// freshly inserted entry the caller still holds an iterator to.
@@ -100,15 +170,25 @@ class MegaflowCache {
                  const pkt::FlowKey& just_inserted_key);
 
   Config config_;
-  // Probe order == rank order (window_hits descending after each re-rank).
+  Resolver resolver_;  ///< empty: evict suspects instead of repairing
+  std::function<void(const flowtable::TableChangeEvent&)> event_sink_;
+  std::function<void()> flush_sink_;
+  // Probe order == rank order (EWMA descending after each re-rank).
   std::vector<std::unique_ptr<Subtable>> subtables_;
   std::size_t entries_ = 0;
   std::uint32_t lookups_since_rerank_ = 0;
   MegaflowStats stats_;
-  // Written by on_table_change (any thread), consumed on the owner's
-  // thread; multiple FlowMods between lookups coalesce into one flush.
-  std::atomic<std::uint64_t> flush_requested_{0};
-  std::uint64_t flush_applied_ = 0;
+
+  // Revalidator state. The queue is written by on_table_change (any
+  // thread) and drained on the owner's thread; events_pending_ keeps the
+  // hot path to one relaxed load when nothing is queued. synced_version_
+  // is the table version the surviving entries are proven current for.
+  std::mutex queue_mutex_;
+  std::deque<flowtable::TableChangeEvent> queue_;
+  bool queue_overflowed_ = false;
+  std::uint64_t overflow_version_ = 0;
+  std::atomic<bool> events_pending_{false};
+  std::uint64_t synced_version_ = 0;
 };
 
 }  // namespace hw::classifier

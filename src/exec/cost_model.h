@@ -39,6 +39,12 @@ struct CostModel {
   std::uint32_t slow_path_base = 150;      ///< fixed upcall overhead
   std::uint32_t classifier_per_rule = 25;  ///< wildcard scan per rule visited
   std::uint32_t action_per_pkt = 20;       ///< action execution + batching
+  // Revalidator (precise per-rule cache repair on FlowMod, charged on the
+  // owner thread when pending change events are drained). Anchored to the
+  // slow path: re-checking one suspect entry re-runs a wildcard lookup,
+  // so it costs about as much as an upcall minus the fixed boundary.
+  std::uint32_t revalidate_per_event = 40;   ///< drain + suspect scan
+  std::uint32_t revalidate_per_entry = 130;  ///< re-lookup + repair/evict
 
   // VM application work.
   std::uint32_t vm_app_per_pkt = 30;   ///< header touch ("move packets")

@@ -15,25 +15,34 @@ bool entry_order(const FlowEntry& a, const FlowEntry& b) noexcept {
   return a.id < b.id;
 }
 
+TableChangeEvent event_for(const FlowMod& mod) {
+  TableChangeEvent event;
+  event.command = mod.command;
+  event.match = mod.match;
+  event.priority = mod.priority;
+  return event;
+}
+
 }  // namespace
 
 Result<FlowModResult> FlowTable::apply(const FlowMod& mod, TimeNs now_ns) {
   FlowModResult result;
+  TableChangeEvent event = event_for(mod);
   switch (mod.command) {
     case FlowModCommand::kAdd: {
       if (mod.actions.empty()) {
         return Status::invalid_argument("ADD flowmod with no actions");
       }
       // OpenFlow ADD overwrites an entry with identical match + priority.
+      // Counters survive the overwrite (no OFPFF_RESET_COUNTS here).
       for (FlowEntry& entry : entries_) {
         if (entry.priority == mod.priority && entry.match == mod.match) {
           entry.actions = mod.actions;
           entry.cookie = mod.cookie;
-          entry.packet_count = 0;
-          entry.byte_count = 0;
           entry.install_time_ns = now_ns;
           ++result.modified;
-          bump_version();
+          event.modified.push_back(entry.id);
+          commit(event);
           return result;
         }
       }
@@ -44,10 +53,11 @@ Result<FlowModResult> FlowTable::apply(const FlowMod& mod, TimeNs now_ns) {
       entry.cookie = mod.cookie;
       entry.actions = mod.actions;
       entry.install_time_ns = now_ns;
+      event.added.push_back(entry.id);
       entries_.push_back(std::move(entry));
       std::sort(entries_.begin(), entries_.end(), entry_order);
       ++result.added;
-      bump_version();
+      commit(event);
       return result;
     }
 
@@ -65,9 +75,10 @@ Result<FlowModResult> FlowTable::apply(const FlowMod& mod, TimeNs now_ns) {
           entry.actions = mod.actions;
           entry.cookie = mod.cookie;
           ++result.modified;
+          event.modified.push_back(entry.id);
         }
       }
-      if (result.modified > 0) bump_version();
+      if (result.modified > 0) commit(event);
       return result;
     }
 
@@ -76,12 +87,14 @@ Result<FlowModResult> FlowTable::apply(const FlowMod& mod, TimeNs now_ns) {
       const bool strict = mod.command == FlowModCommand::kDeleteStrict;
       const auto before = entries_.size();
       std::erase_if(entries_, [&](const FlowEntry& entry) {
-        return strict ? (entry.priority == mod.priority &&
-                         entry.match == mod.match)
-                      : mod.match.contains(entry.match);
+        const bool hit = strict ? (entry.priority == mod.priority &&
+                                   entry.match == mod.match)
+                                : mod.match.contains(entry.match);
+        if (hit) event.removed.push_back(entry.id);
+        return hit;
       });
       result.removed = static_cast<std::uint32_t>(before - entries_.size());
-      if (result.removed > 0) bump_version();
+      if (result.removed > 0) commit(event);
       return result;
     }
   }
@@ -104,13 +117,27 @@ void FlowTable::account(RuleId id, std::uint64_t packets,
   }
 }
 
-void FlowTable::bump_version() {
+void FlowTable::commit(TableChangeEvent& event) {
   ++version_;
-  for (const Listener& listener : listeners_) listener.fn(version_);
+  event.version = version_;
+  rebuild_index();
+  // Generation stamps carry the version of the change that last rewrote
+  // the rule, so caches can detect mutation per rule instead of per table.
+  for (const RuleId id : event.added) find(id)->generation = version_;
+  for (const RuleId id : event.modified) find(id)->generation = version_;
+  for (const Listener& listener : listeners_) listener.fn(event);
+}
+
+void FlowTable::rebuild_index() {
+  index_.clear();
+  index_.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    index_.emplace(entries_[i].id, i);
+  }
 }
 
 std::uint64_t FlowTable::subscribe(
-    std::function<void(std::uint64_t)> listener) {
+    std::function<void(const TableChangeEvent&)> listener) {
   const std::uint64_t token = next_listener_token_++;
   listeners_.push_back(Listener{token, std::move(listener)});
   return token;
@@ -121,11 +148,31 @@ void FlowTable::unsubscribe(std::uint64_t token) noexcept {
                 [token](const Listener& l) { return l.token == token; });
 }
 
-FlowEntry* FlowTable::find(RuleId id) noexcept {
-  for (FlowEntry& entry : entries_) {
-    if (entry.id == id) return &entry;
+ExactMatchCache::RevalidateCounts ExactMatchCache::revalidate(
+    const TableChangeEvent& event, FlowTable& table) {
+  RevalidateCounts counts;
+  for (Slot& slot : slots_) {
+    if (slot.rule == kRuleNone) continue;
+    // Exact keys make the suspect test exact: the change can only affect
+    // this slot if its match covers the cached key. (For MODIFY/DELETE
+    // the FlowMod match contains every affected rule's match, so it also
+    // covers every key those rules matched.)
+    if (!event.match.matches(slot.key)) continue;
+    FlowEntry* winner = table.lookup(slot.key);
+    if (winner == nullptr) {
+      slot.rule = kRuleNone;
+      ++counts.evicted;
+    } else {
+      slot.rule = winner->id;
+      slot.generation = winner->generation;
+      ++counts.repaired;
+    }
   }
-  return nullptr;
+  return counts;
+}
+
+void ExactMatchCache::clear() noexcept {
+  for (Slot& slot : slots_) slot.rule = kRuleNone;
 }
 
 }  // namespace hw::flowtable

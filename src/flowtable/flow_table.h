@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -24,6 +25,11 @@ struct FlowEntry {
   Cookie cookie = 0;
   openflow::ActionList actions;
   TimeNs install_time_ns = 0;
+  /// Bumped to the table version whenever this rule's actions/cookie are
+  /// rewritten (MODIFY, or ADD onto an identical match+priority). Cache
+  /// tiers stamp the generation at insert time, so a mutated rule is
+  /// detected in O(1) without invalidating unrelated cache lines.
+  std::uint64_t generation = 0;
   // Counters updated by the forwarding engine for switched traffic.
   // Bypassed traffic is counted by the PMDs into the shared-stats region
   // and merged at stats-request time.
@@ -38,13 +44,30 @@ struct FlowModResult {
   std::uint32_t removed = 0;
 };
 
+/// Structured description of one applied FlowMod, delivered to
+/// subscribers the moment the table changes. It carries enough context
+/// for a precise revalidator: the command, the (match, priority) the
+/// FlowMod named, and the rule ids it touched — so caches can re-check
+/// only the entries the change could affect instead of flushing
+/// wholesale (the OVS revalidator model).
+struct TableChangeEvent {
+  openflow::FlowModCommand command = openflow::FlowModCommand::kAdd;
+  openflow::Match match;
+  std::uint16_t priority = 0;
+  std::uint64_t version = 0;  ///< table version after the change
+  std::vector<RuleId> added;
+  std::vector<RuleId> modified;
+  std::vector<RuleId> removed;
+};
+
 class FlowTable {
  public:
   FlowTable() = default;
 
   /// Applies an OpenFlow FlowMod. ADD replaces an entry with identical
-  /// match+priority; MODIFY/DELETE follow non-strict (containment) or
-  /// strict (identity) semantics per the command.
+  /// match+priority (counters are preserved across the overwrite, per
+  /// OpenFlow semantics); MODIFY/DELETE follow non-strict (containment)
+  /// or strict (identity) semantics per the command.
   [[nodiscard]] Result<FlowModResult> apply(const openflow::FlowMod& mod,
                                             TimeNs now_ns = 0);
 
@@ -61,29 +84,37 @@ class FlowTable {
     return entries_;
   }
 
-  [[nodiscard]] FlowEntry* find(RuleId id) noexcept;
+  /// O(1) id → entry resolution via a side index maintained by apply().
+  /// This is on the hot path: every EMC/megaflow hit resolves its cached
+  /// rule id through here.
+  [[nodiscard]] FlowEntry* find(RuleId id) noexcept {
+    const auto it = index_.find(id);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+  }
 
-  /// Monotonic version, bumped on every table change; consumed by the
-  /// exact-match cache and the megaflow classifier for bulk invalidation.
+  /// Monotonic version, bumped on every table change; cache tiers use it
+  /// to detect changes they have not yet revalidated against.
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
   /// Registers a callback fired after every FlowMod that changed the
-  /// table (add/modify/delete), with the new version. The per-engine
-  /// megaflow classifiers use this to invalidate their caches the moment
-  /// a rule changes. Returns a token for unsubscribe(); subscribers must
-  /// unsubscribe before the table is destroyed.
-  std::uint64_t subscribe(std::function<void(std::uint64_t)> listener);
+  /// table (add/modify/delete), with a structured change event. The
+  /// per-engine classifiers feed these events to their revalidators.
+  /// Returns a token for unsubscribe(); subscribers must unsubscribe
+  /// before the table is destroyed.
+  std::uint64_t subscribe(std::function<void(const TableChangeEvent&)> listener);
   void unsubscribe(std::uint64_t token) noexcept;
 
  private:
-  /// Bumps the version and notifies every subscriber.
-  void bump_version();
+  /// Bumps the version, stamps generations of added/modified rules,
+  /// rebuilds the id index and notifies every subscriber.
+  void commit(TableChangeEvent& event);
+  void rebuild_index();
 
   struct Listener {
     std::uint64_t token = 0;
-    std::function<void(std::uint64_t)> fn;
+    std::function<void(const TableChangeEvent&)> fn;
   };
 
   RuleId next_id_ = 1;
@@ -91,54 +122,86 @@ class FlowTable {
   std::uint64_t next_listener_token_ = 1;
   // Sorted by (priority desc, id asc); linear lookup like OVS's slow path.
   std::vector<FlowEntry> entries_;
+  // id → index into entries_, rebuilt on every structural change.
+  std::unordered_map<RuleId, std::size_t> index_;
   std::vector<Listener> listeners_;
 };
 
 /// Direct-mapped exact-match cache in front of the classifier — the
 /// analogue of the OVS-DPDK EMC. One entry per hash bucket; collisions
-/// overwrite (cheap, good enough for steady flows). A version snapshot
-/// invalidates the whole cache when the table changes.
+/// overwrite (cheap, good enough for steady flows). Entries are stamped
+/// with the rule's generation: a deleted or mutated rule is rejected in
+/// O(1) at lookup, and FlowMod churn is handled by precise revalidation
+/// (repair or evict exactly the slots the change could affect) instead of
+/// invalidating the whole tier.
 class ExactMatchCache {
  public:
   explicit ExactMatchCache(std::size_t buckets = 4096)
       : buckets_(next_power_of_two(buckets)), slots_(buckets_) {}
 
-  /// Returns the cached rule id, or kRuleNone on miss/stale.
-  [[nodiscard]] RuleId lookup(const pkt::FlowKey& key, std::uint32_t hash,
-                              std::uint64_t table_version) noexcept {
+  /// Returns the live entry for a cached flow, or nullptr on miss. A hit
+  /// requires the cached rule to still exist at the cached generation;
+  /// otherwise the slot is dropped and the lookup falls through.
+  [[nodiscard]] FlowEntry* lookup(const pkt::FlowKey& key, std::uint32_t hash,
+                                  FlowTable& table) noexcept {
     Slot& slot = slots_[hash & (buckets_ - 1)];
-    if (slot.version == table_version && slot.hash == hash &&
-        slot.key == key) {
-      ++hits_;
-      return slot.rule;
+    if (slot.rule != kRuleNone && slot.hash == hash && slot.key == key) {
+      FlowEntry* entry = table.find(slot.rule);
+      if (entry != nullptr && entry->generation == slot.generation) {
+        ++hits_;
+        return entry;
+      }
+      // Rule deleted or mutated since the stamp: never serve it.
+      slot.rule = kRuleNone;
+      ++stale_rejects_;
     }
     ++misses_;
-    return kRuleNone;
+    return nullptr;
   }
 
   void insert(const pkt::FlowKey& key, std::uint32_t hash, RuleId rule,
-              std::uint64_t table_version) noexcept {
+              std::uint64_t generation) noexcept {
     Slot& slot = slots_[hash & (buckets_ - 1)];
     slot.key = key;
     slot.hash = hash;
     slot.rule = rule;
-    slot.version = table_version;
+    slot.generation = generation;
   }
+
+  struct RevalidateCounts {
+    std::uint32_t repaired = 0;  ///< re-pointed at the table's new winner
+    std::uint32_t evicted = 0;   ///< no rule matches the slot's key anymore
+  };
+
+  /// Precise revalidation for one table change: every occupied slot whose
+  /// exact key the changed match covers is re-resolved against the table
+  /// and repaired (new winner / fresh generation) or evicted. Slots the
+  /// change cannot affect are untouched — a FlowMod no longer costs the
+  /// whole exact-match tier.
+  RevalidateCounts revalidate(const TableChangeEvent& event, FlowTable& table);
+
+  /// Drops every slot (overflow fallback of the revalidator queue).
+  void clear() noexcept;
 
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  /// Hits rejected because the cached rule was gone or re-generationed.
+  [[nodiscard]] std::uint64_t stale_rejects() const noexcept {
+    return stale_rejects_;
+  }
 
  private:
   struct Slot {
     pkt::FlowKey key;
     std::uint32_t hash = 0;
     RuleId rule = kRuleNone;
-    std::uint64_t version = 0;
+    std::uint64_t generation = 0;
   };
   std::size_t buckets_;
   std::vector<Slot> slots_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t stale_rejects_ = 0;
 };
 
 }  // namespace hw::flowtable

@@ -109,6 +109,24 @@ struct Ipv4Header {
     return std::to_integer<std::uint8_t>(ttl);
   }
   void set_ttl(std::uint8_t t) noexcept { ttl = static_cast<std::byte>(t); }
+  /// Rewrites the TTL and incrementally updates the header checksum
+  /// (RFC 1624: HC' = ~(~HC + ~m + m') over the 16-bit ttl|protocol
+  /// word), so an in-flight rewrite keeps the header verifiable without
+  /// re-summing all 20 bytes.
+  void update_ttl(std::uint8_t t) noexcept {
+    const auto old_word = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(time_to_live()) << 8) | proto());
+    const auto new_word = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(t) << 8) | proto());
+    std::uint32_t sum =
+        static_cast<std::uint16_t>(~hdr_checksum()) +
+        static_cast<std::uint32_t>(static_cast<std::uint16_t>(~old_word)) +
+        new_word;
+    sum = (sum & 0xffff) + (sum >> 16);
+    sum = (sum & 0xffff) + (sum >> 16);
+    set_hdr_checksum(static_cast<std::uint16_t>(~sum));
+    set_ttl(t);
+  }
   [[nodiscard]] std::uint32_t src_addr() const noexcept {
     return load_be32(src);
   }

@@ -29,6 +29,8 @@ EngineCounters ForwardingEngine::counters() const noexcept {
   out.megaflow_misses = tiers.megaflow_misses;
   out.megaflow_inserts = tiers.megaflow_inserts;
   out.megaflow_invalidations = tiers.megaflow_invalidations;
+  out.megaflow_revalidations = tiers.megaflow_revalidations;
+  out.emc_revalidations = tiers.emc_revalidations;
   out.slow_path_lookups = tiers.slow_path_lookups;
   return out;
 }
@@ -134,7 +136,9 @@ void ForwardingEngine::process_burst(SwitchPort& in_port,
         }
         case openflow::ActionType::kSetTtl: {
           if (auto view = pkt::parse(*buf); view && view->ip != nullptr) {
-            const_cast<pkt::Ipv4Header*>(view->ip)->set_ttl(action.ttl);
+            // Incremental RFC 1624 update: the emitted packet must still
+            // pass pkt::checksum_ok.
+            const_cast<pkt::Ipv4Header*>(view->ip)->update_ttl(action.ttl);
           }
           continue;  // non-terminal action
         }

@@ -34,7 +34,9 @@ struct EngineCounters {
   std::uint64_t megaflow_hits = 0;
   std::uint64_t megaflow_misses = 0;
   std::uint64_t megaflow_inserts = 0;
-  std::uint64_t megaflow_invalidations = 0;  ///< FlowMod-driven flushes
+  std::uint64_t megaflow_invalidations = 0;  ///< full-cache flushes
+  std::uint64_t megaflow_revalidations = 0;  ///< precise re-checks on FlowMod
+  std::uint64_t emc_revalidations = 0;       ///< EMC slots repaired/evicted
   std::uint64_t slow_path_lookups = 0;
 };
 

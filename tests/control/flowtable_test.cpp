@@ -60,6 +60,7 @@ TEST(FlowTable, AddIdenticalMatchReplaces) {
   ASSERT_TRUE(table.apply(add_rule(1, 2, 10, 111)).is_ok());
   const RuleId original_id = table.entries()[0].id;
   table.account(original_id, 5, 300);
+  const std::uint64_t gen_before = table.entries()[0].generation;
 
   auto result = table.apply(add_rule(1, 3, 10, 222));
   ASSERT_TRUE(result.is_ok());
@@ -69,7 +70,11 @@ TEST(FlowTable, AddIdenticalMatchReplaces) {
   EXPECT_EQ(entry.id, original_id);  // identity survives the overwrite
   EXPECT_EQ(entry.cookie, 222u);
   EXPECT_EQ(entry.actions[0].port, 3);
-  EXPECT_EQ(entry.packet_count, 0u);  // OpenFlow ADD resets counters
+  // OpenFlow preserves counters across an ADD overwrite (no reset flag),
+  // but the generation moves so caches re-resolve the rewritten actions.
+  EXPECT_EQ(entry.packet_count, 5u);
+  EXPECT_EQ(entry.byte_count, 300u);
+  EXPECT_GT(entry.generation, gen_before);
 }
 
 TEST(FlowTable, PriorityOrderWins) {
@@ -222,36 +227,179 @@ TEST(FlowTable, EntriesSortedByPriority) {
       }));
 }
 
+// ---------------------------------------------------------- change events
+
+TEST(FlowTable, ChangeEventsCarryCommandMatchAndRuleIds) {
+  FlowTable table;
+  std::vector<TableChangeEvent> events;
+  const std::uint64_t token = table.subscribe(
+      [&](const TableChangeEvent& event) { events.push_back(event); });
+
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].command, FlowModCommand::kAdd);
+  EXPECT_EQ(events[0].priority, 10);
+  EXPECT_EQ(events[0].match.in_port_value(), 1);
+  ASSERT_EQ(events[0].added.size(), 1u);
+  EXPECT_EQ(events[0].version, table.version());
+  const RuleId id = events[0].added[0];
+  EXPECT_EQ(table.find(id)->generation, events[0].version);
+
+  // Overwrite: same id reported as modified, generation restamped.
+  ASSERT_TRUE(table.apply(add_rule(1, 3, 10)).is_ok());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].modified, std::vector<RuleId>{id});
+  EXPECT_EQ(table.find(id)->generation, events[1].version);
+
+  FlowMod mod;
+  mod.command = FlowModCommand::kModify;
+  mod.match.in_port(1);
+  mod.actions = {Action::output(5)};
+  ASSERT_TRUE(table.apply(mod).is_ok());
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[2].command, FlowModCommand::kModify);
+  EXPECT_EQ(events[2].modified, std::vector<RuleId>{id});
+
+  FlowMod del;
+  del.command = FlowModCommand::kDelete;
+  ASSERT_TRUE(table.apply(del).is_ok());
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[3].removed, std::vector<RuleId>{id});
+
+  // A no-op FlowMod emits no event.
+  ASSERT_TRUE(table.apply(del).is_ok());
+  EXPECT_EQ(events.size(), 4u);
+
+  table.unsubscribe(token);
+  ASSERT_TRUE(table.apply(add_rule(2, 3, 10)).is_ok());
+  EXPECT_EQ(events.size(), 4u);
+}
+
+TEST(FlowTable, FindResolvesByIdThroughChurn) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  ASSERT_TRUE(table.apply(add_rule(2, 3, 50)).is_ok());
+  ASSERT_TRUE(table.apply(add_rule(3, 4, 20)).is_ok());
+  const RuleId first = table.entries()[2].id;   // priority 10 sorts last
+  const RuleId second = table.entries()[0].id;  // priority 50 sorts first
+  ASSERT_NE(table.find(first), nullptr);
+  EXPECT_EQ(table.find(first)->priority, 10);
+  EXPECT_EQ(table.find(second)->priority, 50);
+  EXPECT_EQ(table.find(9999), nullptr);
+
+  // Deleting re-indexes the survivors.
+  FlowMod del;
+  del.command = FlowModCommand::kDeleteStrict;
+  del.priority = 50;
+  del.match.in_port(2);
+  ASSERT_TRUE(table.apply(del).is_ok());
+  EXPECT_EQ(table.find(second), nullptr);
+  ASSERT_NE(table.find(first), nullptr);
+  EXPECT_EQ(table.find(first)->match.in_port_value(), 1);
+}
+
 // ------------------------------------------------------------------- EMC
 
 TEST(ExactMatchCache, HitAfterInsert) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  FlowEntry* rule = table.lookup(key_on_port(1));
+  ASSERT_NE(rule, nullptr);
+
   ExactMatchCache emc(64);
   const pkt::FlowKey key = key_on_port(1);
   const std::uint32_t hash = pkt::flow_key_hash(key);
-  EXPECT_EQ(emc.lookup(key, hash, 1), kRuleNone);
-  emc.insert(key, hash, 42, 1);
-  EXPECT_EQ(emc.lookup(key, hash, 1), 42u);
+  EXPECT_EQ(emc.lookup(key, hash, table), nullptr);
+  emc.insert(key, hash, rule->id, rule->generation);
+  EXPECT_EQ(emc.lookup(key, hash, table), rule);
   EXPECT_EQ(emc.hits(), 1u);
   EXPECT_EQ(emc.misses(), 1u);
 }
 
-TEST(ExactMatchCache, VersionChangeInvalidates) {
+TEST(ExactMatchCache, GenerationChangeRejectsStaleRule) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  FlowEntry* rule = table.lookup(key_on_port(1));
   ExactMatchCache emc(64);
   const pkt::FlowKey key = key_on_port(1);
   const std::uint32_t hash = pkt::flow_key_hash(key);
-  emc.insert(key, hash, 42, 1);
-  EXPECT_EQ(emc.lookup(key, hash, 2), kRuleNone);  // stale version
+  emc.insert(key, hash, rule->id, rule->generation);
+
+  // Rewriting the rule's actions moves its generation: the cached stamp
+  // no longer matches and the slot must not serve.
+  FlowMod mod;
+  mod.command = FlowModCommand::kModify;
+  mod.match.in_port(1);
+  mod.actions = {Action::output(9)};
+  ASSERT_TRUE(table.apply(mod).is_ok());
+  EXPECT_EQ(emc.lookup(key, hash, table), nullptr);
+  EXPECT_EQ(emc.stale_rejects(), 1u);
+}
+
+TEST(ExactMatchCache, DeletedRuleIsNeverServed) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 2, 10)).is_ok());
+  FlowEntry* rule = table.lookup(key_on_port(1));
+  ExactMatchCache emc(64);
+  const pkt::FlowKey key = key_on_port(1);
+  const std::uint32_t hash = pkt::flow_key_hash(key);
+  emc.insert(key, hash, rule->id, rule->generation);
+  FlowMod del;
+  del.command = FlowModCommand::kDelete;
+  ASSERT_TRUE(table.apply(del).is_ok());
+  EXPECT_EQ(emc.lookup(key, hash, table), nullptr);
+  EXPECT_EQ(emc.stale_rejects(), 1u);
 }
 
 TEST(ExactMatchCache, DifferentKeySameBucketMisses) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 5, 10)).is_ok());
+  ASSERT_TRUE(table.apply(add_rule(2, 6, 10)).is_ok());
+  FlowEntry* rule1 = table.lookup(key_on_port(1));
+  FlowEntry* rule2 = table.lookup(key_on_port(2));
+
   ExactMatchCache emc(1);  // single bucket: every key collides
   const pkt::FlowKey key1 = key_on_port(1);
   const pkt::FlowKey key2 = key_on_port(2);
-  emc.insert(key1, pkt::flow_key_hash(key1), 1, 1);
-  EXPECT_EQ(emc.lookup(key2, pkt::flow_key_hash(key2), 1), kRuleNone);
+  emc.insert(key1, pkt::flow_key_hash(key1), rule1->id, rule1->generation);
+  EXPECT_EQ(emc.lookup(key2, pkt::flow_key_hash(key2), table), nullptr);
   // The colliding insert overwrites.
-  emc.insert(key2, pkt::flow_key_hash(key2), 2, 1);
-  EXPECT_EQ(emc.lookup(key2, pkt::flow_key_hash(key2), 1), 2u);
+  emc.insert(key2, pkt::flow_key_hash(key2), rule2->id, rule2->generation);
+  EXPECT_EQ(emc.lookup(key2, pkt::flow_key_hash(key2), table), rule2);
+}
+
+TEST(ExactMatchCache, RevalidateRepairsOnlyAffectedSlots) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 5, 10)).is_ok());
+  ASSERT_TRUE(table.apply(add_rule(2, 6, 10)).is_ok());
+  std::vector<TableChangeEvent> events;
+  const std::uint64_t token = table.subscribe(
+      [&](const TableChangeEvent& event) { events.push_back(event); });
+
+  ExactMatchCache emc(64);
+  const pkt::FlowKey key1 = key_on_port(1);
+  const pkt::FlowKey key2 = key_on_port(2);
+  for (const pkt::FlowKey& key : {key1, key2}) {
+    FlowEntry* rule = table.lookup(key);
+    emc.insert(key, pkt::flow_key_hash(key), rule->id, rule->generation);
+  }
+
+  // A higher-priority rule shadows port 1 only.
+  ASSERT_TRUE(table.apply(add_rule(1, 9, 200)).is_ok());
+  ASSERT_EQ(events.size(), 1u);
+  const auto counts = emc.revalidate(events[0], table);
+  EXPECT_EQ(counts.repaired, 1u);
+  EXPECT_EQ(counts.evicted, 0u);
+
+  // Port 1 now serves the shadowing rule; port 2 was untouched.
+  FlowEntry* hit1 = emc.lookup(key1, pkt::flow_key_hash(key1), table);
+  ASSERT_NE(hit1, nullptr);
+  EXPECT_EQ(hit1->priority, 200);
+  FlowEntry* hit2 = emc.lookup(key2, pkt::flow_key_hash(key2), table);
+  ASSERT_NE(hit2, nullptr);
+  EXPECT_EQ(hit2->priority, 10);
+  EXPECT_EQ(emc.stale_rejects(), 0u);
+  table.unsubscribe(token);
 }
 
 /// Property: lookup() equals a brute-force reference over random tables.

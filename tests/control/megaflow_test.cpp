@@ -16,6 +16,7 @@ namespace {
 
 using flowtable::FlowEntry;
 using flowtable::FlowTable;
+using flowtable::TableChangeEvent;
 using openflow::Action;
 using openflow::FlowMod;
 using openflow::FlowModCommand;
@@ -42,6 +43,17 @@ FlowMod add_rule(Match match, std::uint16_t priority, PortId out) {
   mod.priority = priority;
   mod.actions = {Action::output(out)};
   return mod;
+}
+
+/// A synthetic change event, as FlowTable::commit would emit.
+TableChangeEvent change_event(FlowModCommand command, Match match,
+                              std::uint16_t priority, std::uint64_t version) {
+  TableChangeEvent event;
+  event.command = command;
+  event.match = match;
+  event.priority = priority;
+  event.version = version;
+  return event;
 }
 
 // ------------------------------------------------------------------ masks
@@ -86,6 +98,45 @@ TEST(MaskSpecTest, ApplyZeroesUnconstrainedAndTruncatesPrefix) {
   EXPECT_EQ(apply(mask, other), masked);
 }
 
+TEST(MaskSpecTest, MayIntersectComparesOnlyCommonFields) {
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  const pkt::FlowKey covered = apply(mask, make_key(3, 1, 2, 80));
+  Match same_port;
+  same_port.in_port(3).l4_dst(443);  // l4 is free in the megaflow
+  EXPECT_TRUE(may_intersect(mask, covered, same_port));
+  Match other_port;
+  other_port.in_port(5);
+  EXPECT_FALSE(may_intersect(mask, covered, other_port));
+  Match catch_all;  // constrains nothing: intersects everything
+  EXPECT_TRUE(may_intersect(mask, covered, catch_all));
+}
+
+TEST(MaskSpecTest, MayIntersectComparesPrefixOverlap) {
+  MaskSpec mask{.fields = openflow::kMatchIpDst, .ip_dst_plen = 24};
+  const pkt::FlowKey covered = apply(mask, make_key(1, 0, 0x0a0b0c0d, 80));
+  Match inside;
+  inside.ip_dst(0x0a0b0000, 16);  // /16 containing the entry's /24
+  EXPECT_TRUE(may_intersect(mask, covered, inside));
+  Match outside;
+  outside.ip_dst(0x0a0c0000, 16);
+  EXPECT_FALSE(may_intersect(mask, covered, outside));
+  Match deeper;
+  deeper.ip_dst(0x0a0b0cffu, 32);  // deeper bits are free in the entry
+  EXPECT_TRUE(may_intersect(mask, covered, deeper));
+}
+
+TEST(MaskSpecTest, SubsumesRequiresFieldAndPrefixCoverage) {
+  MaskSpec outer{.fields = openflow::kMatchInPort | openflow::kMatchIpDst,
+                 .ip_dst_plen = 24};
+  MaskSpec narrower{.fields = openflow::kMatchIpDst, .ip_dst_plen = 16};
+  EXPECT_TRUE(subsumes(outer, narrower));
+  MaskSpec deeper{.fields = openflow::kMatchIpDst, .ip_dst_plen = 32};
+  EXPECT_FALSE(subsumes(outer, deeper));
+  MaskSpec extra_field{.fields = openflow::kMatchL4Dst};
+  EXPECT_FALSE(subsumes(outer, extra_field));
+  EXPECT_TRUE(subsumes(outer, MaskSpec{}));  // the empty mask always fits
+}
+
 // --------------------------------------------------------- megaflow cache
 
 TEST(MegaflowCacheTest, OneSubtablePerDistinctMask) {
@@ -113,27 +164,87 @@ TEST(MegaflowCacheTest, StaleVersionIsNeverServed) {
   cache.insert(make_key(1, 0, 0, 0), mask, 7, /*table_version=*/5);
   std::uint32_t probed = 0;
   EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 5, probed), 7u);
-  // Table moved on: the entry must be treated as a miss and evicted.
+  // Table moved on without an explaining change event: the entry must be
+  // treated as a miss and evicted.
   EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 6, probed), kRuleNone);
   EXPECT_EQ(cache.entry_count(), 0u);
   EXPECT_EQ(cache.stats().stale_evictions, 1u);
 }
 
-TEST(MegaflowCacheTest, OnTableChangeFlushesOnOwnersNextTouch) {
+TEST(MegaflowCacheTest, ChangeEventRevalidatesPreciselyOnOwnersNextTouch) {
   MegaflowCache cache;
   MaskSpec mask{.fields = openflow::kMatchInPort};
   for (PortId p = 1; p <= 8; ++p) {
     cache.insert(make_key(p, 0, 0, 0), mask, p, 1);
   }
   EXPECT_EQ(cache.entry_count(), 8u);
-  // The notification may come from a control thread, so it only posts a
-  // request; the owner's next lookup applies the flush (and misses).
-  cache.on_table_change(2);
-  cache.on_table_change(3);  // coalesces with the one above
+  // The notification may come from a control thread, so it only queues
+  // the event; the owner's next lookup applies it. Without a resolver
+  // the one intersecting entry is evicted — the other seven survive the
+  // FlowMod (the whole point of the revalidator).
+  Match port3;
+  port3.in_port(3);
+  cache.on_table_change(
+      change_event(FlowModCommand::kAdd, port3, 99, /*version=*/2));
   std::uint32_t probed = 0;
-  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 3, probed), kRuleNone);
+  EXPECT_EQ(cache.lookup(make_key(3, 0, 0, 0), 2, probed), kRuleNone);
+  EXPECT_EQ(cache.entry_count(), 7u);
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 2, probed), 1u);
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+  EXPECT_EQ(cache.stats().revalidated_evicted, 1u);
+  EXPECT_EQ(cache.stats().flushes, 0u);
+}
+
+TEST(MegaflowCacheTest, DeleteEventOnlySuspectsRemovedRules) {
+  MegaflowCache cache;
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  cache.insert(make_key(1, 0, 0, 0), mask, 10, 1);
+  cache.insert(make_key(2, 0, 0, 0), mask, 11, 1);
+  TableChangeEvent event =
+      change_event(FlowModCommand::kDelete, Match{}, 0, 2);
+  event.removed = {11};  // the match is wildcard, but only rule 11 died
+  cache.on_table_change(event);
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 2, probed), 10u);
+  EXPECT_EQ(cache.lookup(make_key(2, 0, 0, 0), 2, probed), kRuleNone);
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+}
+
+TEST(MegaflowCacheTest, QueueOverflowFallsBackToFullFlush) {
+  MegaflowCache cache(
+      MegaflowCache::Config{.revalidator_queue_limit = 2});
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  for (PortId p = 1; p <= 4; ++p) {
+    cache.insert(make_key(p, 0, 0, 0), mask, p, 1);
+  }
+  Match far_port;
+  far_port.in_port(99);  // intersects nothing cached
+  for (std::uint64_t v = 2; v <= 5; ++v) {
+    cache.on_table_change(
+        change_event(FlowModCommand::kAdd, far_port, 1, v));
+  }
+  std::uint32_t probed = 0;
+  // Precise tracking was abandoned: everything is gone, counted as an
+  // overflow-driven flush, and the cache is synced to the last version.
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 5, probed), kRuleNone);
   EXPECT_EQ(cache.entry_count(), 0u);
-  EXPECT_EQ(cache.subtable_count(), 0u);
+  EXPECT_EQ(cache.stats().queue_overflows, 1u);
+  EXPECT_EQ(cache.stats().flushes, 1u);
+}
+
+TEST(MegaflowCacheTest, WholeFlushModeNukesCacheOnAnyEvent) {
+  MegaflowCache cache(
+      MegaflowCache::Config{.precise_revalidation = false});
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  for (PortId p = 1; p <= 4; ++p) {
+    cache.insert(make_key(p, 0, 0, 0), mask, p, 1);
+  }
+  Match far_port;
+  far_port.in_port(99);
+  cache.on_table_change(change_event(FlowModCommand::kAdd, far_port, 1, 2));
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 2, probed), kRuleNone);
+  EXPECT_EQ(cache.entry_count(), 0u);
   EXPECT_EQ(cache.stats().flushes, 1u);
 }
 
@@ -147,6 +258,58 @@ TEST(MegaflowCacheTest, CapacityEvictionKeepsBound) {
   EXPECT_EQ(cache.stats().capacity_evictions, 6u);
 }
 
+TEST(MegaflowCacheTest, OverwriteOfExistingKeyCountedSeparately) {
+  MegaflowCache cache;
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  cache.insert(make_key(1, 0, 0, 0), mask, 10, 1);
+  // Same masked key (src/dst differences are wildcarded away): this is a
+  // re-install, not a fresh megaflow — the tier telemetry must not count
+  // it as population growth.
+  cache.insert(make_key(1, 9, 9, 9), mask, 12, 1);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_EQ(cache.stats().overwrites, 1u);
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 1, probed), 12u);
+}
+
+TEST(MegaflowCacheTest, EmptySubtablesArePrunedAndStopCostingProbes) {
+  MegaflowCache cache;
+  MaskSpec port_only{.fields = openflow::kMatchInPort};
+  MaskSpec port_and_dst{
+      .fields = openflow::kMatchInPort | openflow::kMatchL4Dst};
+  cache.insert(make_key(1, 0, 0, 80), port_and_dst, 10, /*version=*/1);
+  cache.insert(make_key(2, 0, 0, 0), port_only, 11, 1);
+  EXPECT_EQ(cache.subtable_count(), 2u);
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(9, 0, 0, 0), 1, probed), kRuleNone);
+  EXPECT_EQ(probed, 2u);
+
+  // Stale-evict the only entry of the port+dst subtable (version skew);
+  // the emptied subtable must be pruned, not probed forever.
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 80), 2, probed), kRuleNone);
+  EXPECT_EQ(cache.subtable_count(), 1u);
+  EXPECT_GE(cache.stats().subtables_pruned, 1u);
+  (void)cache.lookup(make_key(9, 0, 0, 0), 2, probed);
+  EXPECT_EQ(probed, 1u);  // shrank: the empty subtable no longer charges
+}
+
+TEST(MegaflowCacheTest, CapacityEvictionPrunesEmptiedSubtable) {
+  MegaflowCache cache(MegaflowCache::Config{.max_entries = 1});
+  MaskSpec port_only{.fields = openflow::kMatchInPort};
+  MaskSpec port_and_dst{
+      .fields = openflow::kMatchInPort | openflow::kMatchL4Dst};
+  cache.insert(make_key(1, 0, 0, 0), port_only, 10, 1);
+  cache.insert(make_key(2, 0, 0, 80), port_and_dst, 11, 1);
+  // The port-only subtable's lone entry was evicted for capacity: the
+  // subtable goes with it.
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.subtable_count(), 1u);
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(2, 0, 0, 80), 1, probed), 11u);
+  EXPECT_EQ(probed, 1u);
+}
+
 TEST(MegaflowCacheTest, RankingMovesHotSubtableFirst) {
   MegaflowCache cache(MegaflowCache::Config{.rank_interval = 64});
   MaskSpec cold{.fields = openflow::kMatchInPort};
@@ -158,11 +321,30 @@ TEST(MegaflowCacheTest, RankingMovesHotSubtableFirst) {
   for (int i = 0; i < 200; ++i) {
     EXPECT_EQ(cache.lookup(make_key(2, 0, 0, 80), 1, probed), 2u);
   }
-  // After re-ranking the hot subtable is probed first.
+  // After EWMA re-ranking the hot subtable is probed first.
   EXPECT_EQ(cache.subtable_masks().front(), hot);
   EXPECT_EQ(cache.lookup(make_key(2, 0, 0, 80), 1, probed), 2u);
   EXPECT_EQ(probed, 1u);
   EXPECT_GE(cache.stats().reranks, 1u);
+}
+
+TEST(MegaflowCacheTest, EwmaRankingAdaptsWhenTrafficMixShifts) {
+  MegaflowCache cache(MegaflowCache::Config{.rank_interval = 64});
+  MaskSpec a{.fields = openflow::kMatchInPort};
+  MaskSpec b{.fields = openflow::kMatchInPort | openflow::kMatchL4Dst};
+  cache.insert(make_key(1, 0, 0, 0), a, 1, 1);
+  cache.insert(make_key(2, 0, 0, 80), b, 2, 1);
+  std::uint32_t probed = 0;
+  // Phase 1: subtable b is hot.
+  for (int i = 0; i < 300; ++i) {
+    (void)cache.lookup(make_key(2, 0, 0, 80), 1, probed);
+  }
+  EXPECT_EQ(cache.subtable_masks().front(), b);
+  // Phase 2: traffic shifts to a; the EWMA decays b and promotes a.
+  for (int i = 0; i < 2000; ++i) {
+    (void)cache.lookup(make_key(1, 0, 0, 0), 1, probed);
+  }
+  EXPECT_EQ(cache.subtable_masks().front(), a);
 }
 
 // --------------------------------------------------------- three tiers
@@ -236,14 +418,14 @@ TEST_F(DpClassifierTest, UnwildcardingPreventsPriorityShadowingBug) {
   EXPECT_EQ(dp.counters().megaflow_hits, 0u);  // distinct masked keys
 }
 
-TEST_F(DpClassifierTest, FlowModInvalidatesCachedMegaflows) {
+TEST_F(DpClassifierTest, FlowModRevalidatesCachedMegaflows) {
   DpClassifier dp(table_, cost_);
   ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
   const pkt::FlowKey key = make_key(1, 1, 2, 80);
   ASSERT_NE(lookup(dp, key), nullptr);
   ASSERT_NE(lookup(dp, key), nullptr);  // cached now
 
-  // Shadow the steering rule with a higher-priority drop-to-port-3 rule.
+  // Shadow the steering rule with a higher-priority send-to-port-3 rule.
   Match all_port1;
   all_port1.in_port(1);
   ASSERT_TRUE(table_.apply(add_rule(all_port1, 500, 3)).is_ok());
@@ -252,8 +434,75 @@ TEST_F(DpClassifierTest, FlowModInvalidatesCachedMegaflows) {
   ASSERT_NE(after, nullptr);
   EXPECT_EQ(after->priority, 500);  // never the stale rule
   EXPECT_EQ(after, table_.lookup(key));
-  // The FlowMod-driven flush was applied (and counted) on this thread.
-  EXPECT_GE(dp.counters().megaflow_invalidations, 1u);
+  // The change was applied by precise revalidation on this (owner)
+  // thread — both tiers were repaired, nothing was flushed.
+  EXPECT_GE(dp.counters().megaflow_revalidations, 1u);
+  EXPECT_GE(dp.counters().emc_revalidations, 1u);
+  EXPECT_EQ(dp.counters().megaflow_invalidations, 0u);
+}
+
+TEST_F(DpClassifierTest, RevalidatorRetainsEntriesUntouchedByFlowMod) {
+  DpClassifier dp(table_, cost_);
+  for (PortId p = 1; p <= 4; ++p) {
+    ASSERT_TRUE(
+        table_.apply(openflow::make_p2p_flowmod(p, p + 10, 100, p)).is_ok());
+  }
+  // Warm the megaflow tier: one flow installs, a second distinct flow on
+  // the same port proves the in_port-only megaflow serves.
+  for (PortId p = 1; p <= 4; ++p) {
+    ASSERT_NE(lookup(dp, make_key(p, 10, 20, 443)), nullptr);
+    const pkt::FlowKey alt = make_key(p, 11, 21, 444);
+    EXPECT_EQ(dp.lookup(alt, pkt::flow_key_hash(alt), meter_).tier,
+              Tier::kMegaflow);
+  }
+  const TierCounters before = dp.counters();
+
+  // Churn touches port 1 only.
+  Match narrow;
+  narrow.in_port(1).l4_dst(80);
+  ASSERT_TRUE(table_.apply(add_rule(narrow, 500, 9)).is_ok());
+
+  // Ports 2..4: fresh keys still resolve in the megaflow tier — their
+  // entries survived the FlowMod, no new upcalls.
+  for (PortId p = 2; p <= 4; ++p) {
+    const pkt::FlowKey fresh = make_key(p, 12, 22, 445);
+    EXPECT_EQ(dp.lookup(fresh, pkt::flow_key_hash(fresh), meter_).tier,
+              Tier::kMegaflow);
+  }
+  EXPECT_EQ(dp.counters().slow_path_lookups, before.slow_path_lookups);
+
+  // Port 1's megaflow could now shadow the narrow rule (its unwildcard
+  // set grew), so it was evicted; the next port-1 packet upcalls and the
+  // answer always agrees with the table.
+  const pkt::FlowKey web = make_key(1, 12, 22, 80);
+  const LookupOutcome outcome =
+      dp.lookup(web, pkt::flow_key_hash(web), meter_);
+  ASSERT_NE(outcome.entry, nullptr);
+  EXPECT_EQ(outcome.tier, Tier::kSlowPath);
+  EXPECT_EQ(outcome.entry->priority, 500);
+  EXPECT_GE(dp.counters().megaflow_revalidations, 1u);
+}
+
+TEST_F(DpClassifierTest, ModifyRepairsEmcGenerationWithoutEvicting) {
+  DpClassifier dp(table_, cost_);
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
+  const pkt::FlowKey key = make_key(1, 1, 2, 80);
+  ASSERT_NE(lookup(dp, key), nullptr);
+  ASSERT_NE(lookup(dp, key), nullptr);  // EMC-resident now
+
+  FlowMod mod;
+  mod.command = FlowModCommand::kModify;
+  mod.match.in_port(1);
+  mod.actions = {Action::output(7)};
+  ASSERT_TRUE(table_.apply(mod).is_ok());
+
+  // The rule's generation moved; the revalidator re-stamps the slot so
+  // the very next packet still hits tier 1 — with the new actions.
+  const LookupOutcome outcome = dp.lookup(key, pkt::flow_key_hash(key), meter_);
+  ASSERT_NE(outcome.entry, nullptr);
+  EXPECT_EQ(outcome.tier, Tier::kEmc);
+  EXPECT_EQ(outcome.entry->actions[0].port, 7);
+  EXPECT_GE(dp.counters().emc_revalidations, 1u);
 }
 
 TEST_F(DpClassifierTest, DisabledTiersFallThrough) {
@@ -277,6 +526,28 @@ TEST_F(DpClassifierTest, DisabledTiersFallThrough) {
   EXPECT_EQ(table_only.counters().slow_path_lookups, 3u);
 }
 
+TEST_F(DpClassifierTest, EmcOnlyConfigStillRevalidatesPrecisely) {
+  DpClassifier dp(table_, cost_,
+                  DpClassifierConfig{.megaflow_enabled = false});
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(2, 3, 10, 2)).is_ok());
+  const pkt::FlowKey on1 = make_key(1, 1, 2, 80);
+  const pkt::FlowKey on2 = make_key(2, 1, 2, 80);
+  ASSERT_NE(lookup(dp, on1), nullptr);
+  ASSERT_NE(lookup(dp, on2), nullptr);
+
+  // Shadow port 1; the port-2 slot must keep serving from the EMC.
+  Match all_port1;
+  all_port1.in_port(1);
+  ASSERT_TRUE(table_.apply(add_rule(all_port1, 500, 3)).is_ok());
+  const LookupOutcome hit1 = dp.lookup(on1, pkt::flow_key_hash(on1), meter_);
+  EXPECT_EQ(hit1.tier, Tier::kEmc);  // repaired in place
+  ASSERT_NE(hit1.entry, nullptr);
+  EXPECT_EQ(hit1.entry->priority, 500);
+  const LookupOutcome hit2 = dp.lookup(on2, pkt::flow_key_hash(on2), meter_);
+  EXPECT_EQ(hit2.tier, Tier::kEmc);  // untouched, still resident
+}
+
 TEST_F(DpClassifierTest, ChargesPerTierCosts) {
   DpClassifier dp(table_, cost_);
   ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
@@ -290,6 +561,24 @@ TEST_F(DpClassifierTest, ChargesPerTierCosts) {
   EXPECT_GE(slow.total_used(),
             emc.total_used() + cost_.slow_path_base + cost_.megaflow_insert);
   EXPECT_EQ(emc.total_used(), cost_.emc_hit);
+}
+
+TEST_F(DpClassifierTest, RevalidationWorkIsChargedToTheMeter) {
+  DpClassifier dp(table_, cost_);
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
+  const pkt::FlowKey key = make_key(1, 1, 2, 80);
+  (void)dp.lookup(key, pkt::flow_key_hash(key), meter_);
+  (void)dp.lookup(key, pkt::flow_key_hash(key), meter_);
+
+  Match all_port1;
+  all_port1.in_port(1);
+  ASSERT_TRUE(table_.apply(add_rule(all_port1, 500, 3)).is_ok());
+  exec::CycleMeter churned;
+  (void)dp.lookup(key, pkt::flow_key_hash(key), churned);
+  // EMC hit + one drained event + at least two repaired entries (one
+  // megaflow, one EMC slot).
+  EXPECT_GE(churned.total_used(), cost_.emc_hit + cost_.revalidate_per_event +
+                                      2 * cost_.revalidate_per_entry);
 }
 
 // ------------------------------------------------- churn torture (oracle)
@@ -354,14 +643,19 @@ pkt::FlowKey random_key(Rng& rng) {
 
 /// STALENESS ORACLE: under arbitrary FlowMod add/modify/delete churn the
 /// classifier must agree with a plain wildcard-table lookup on *every*
-/// packet — i.e. no cache tier may ever serve a rule the table would no
-/// longer pick. Keys are drawn from a recycled pool so the EMC and
-/// megaflow tiers genuinely serve hits between table changes.
+/// packet — i.e. the revalidator may never leave a cache tier serving a
+/// rule the table would no longer pick. Keys are drawn from a recycled
+/// pool so the EMC and megaflow tiers genuinely serve hits between table
+/// changes, and the per-trial tallies prove the precise path (not the
+/// flush fallback) is what the oracle exercises.
 class MegaflowChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(MegaflowChurnTest, NeverServesStaleRuleUnderChurn) {
   Rng rng(GetParam());
   exec::CostModel cost;
+  std::uint64_t total_cached_hits = 0;
+  std::uint64_t total_revalidations = 0;
+  std::uint64_t total_flushes = 0;
   for (int trial = 0; trial < 60; ++trial) {
     FlowTable table;
     DpClassifier dp(table, cost);
@@ -400,7 +694,16 @@ TEST_P(MegaflowChurnTest, NeverServesStaleRuleUnderChurn) {
     // The oracle must have exercised the cached tiers, not just the slow
     // path, for the test to mean anything.
     EXPECT_GT(dp.counters().emc_hits + dp.counters().megaflow_hits, 0u);
+    total_cached_hits += dp.counters().emc_hits + dp.counters().megaflow_hits;
+    total_revalidations += dp.counters().megaflow_revalidations +
+                           dp.counters().emc_revalidations;
+    total_flushes += dp.counters().megaflow_invalidations;
   }
+  // ... and it must have exercised the precise revalidator, without ever
+  // needing the flush fallback (the queue drains every lookup).
+  EXPECT_GT(total_cached_hits, 0u);
+  EXPECT_GT(total_revalidations, 0u);
+  EXPECT_EQ(total_flushes, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MegaflowChurnTest,

@@ -84,6 +84,31 @@ TEST(Checksum, VerifyAfterEmbed) {
   EXPECT_FALSE(checksum_ok(data));
 }
 
+TEST(Checksum, UpdateTtlKeepsHeaderVerifiable) {
+  mbuf::Mbuf buf;
+  FrameSpec spec;
+  spec.frame_len = 64;
+  ASSERT_TRUE(build_frame(buf, spec));
+  auto* ip = reinterpret_cast<Ipv4Header*>(buf.data + sizeof(EthernetHeader));
+  const auto header = [&] {
+    return std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(ip), sizeof(Ipv4Header));
+  };
+  ASSERT_TRUE(checksum_ok(header()));
+  // The RFC 1624 incremental update must agree with a full re-sum for
+  // every rewrite, including the checksum-tricky 0x00/0xff endpoints.
+  for (const std::uint8_t ttl : {9, 1, 0, 255, 64, 63}) {
+    ip->update_ttl(ttl);
+    EXPECT_EQ(ip->time_to_live(), ttl);
+    EXPECT_TRUE(checksum_ok(header())) << "ttl=" << int(ttl);
+    const std::uint16_t incremental = ip->hdr_checksum();
+    ip->set_hdr_checksum(0);
+    const std::uint16_t full = internet_checksum(header());
+    ip->set_hdr_checksum(incremental);
+    EXPECT_EQ(incremental, full) << "ttl=" << int(ttl);
+  }
+}
+
 // ------------------------------------------------------------ build/parse
 
 TEST(Packet, BuildUdpRoundTrip) {

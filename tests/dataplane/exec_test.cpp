@@ -45,6 +45,12 @@ TEST(CostModel, Conversions) {
   EXPECT_GT(cost.switch_pkt_cost_megaflow(1), cost.switch_pkt_cost_emc());
   EXPECT_GT(cost.switch_pkt_cost_megaflow(4),
             cost.switch_pkt_cost_megaflow(1));
+  // Revalidating one suspect cache entry re-runs a wildcard lookup: far
+  // dearer than serving a cached hit, cheaper than a full upcall (no
+  // boundary crossing), and never free.
+  EXPECT_GT(cost.revalidate_per_entry, cost.emc_hit);
+  EXPECT_LT(cost.revalidate_per_entry, cost.slow_path_base);
+  EXPECT_GT(cost.revalidate_per_event, 0u);
 }
 
 TEST(SimRuntime, ThroughputMatchesBudget) {

@@ -2,6 +2,7 @@
 
 #include "exec/runtime.h"
 #include "openflow/codec.h"
+#include "pkt/checksum.h"
 #include "pkt/packet.h"
 #include "vswitch/of_switch.h"
 
@@ -124,6 +125,11 @@ TEST_F(OfSwitchTest, SetTtlThenOutput) {
   const auto view = pkt::parse(*out);
   ASSERT_TRUE(view.has_value());
   EXPECT_EQ(view->ip->time_to_live(), 9);
+  // The TTL rewrite must keep the header checksum valid (RFC 1624
+  // incremental update); a receiver would discard the frame otherwise.
+  EXPECT_TRUE(pkt::checksum_ok(
+      {reinterpret_cast<const std::byte*>(view->ip),
+       sizeof(pkt::Ipv4Header)}));
   pool_.free(out);
 }
 
