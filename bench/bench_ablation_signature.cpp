@@ -1,0 +1,331 @@
+/// \file bench_ablation_signature.cpp
+/// Ablation A9: signature-accelerated + batched megaflow classification
+/// against the scalar linear-compare baseline, swept over flow count
+/// (which drives entries per subtable) × mask diversity.
+///
+/// The paper's transparent highway only pays off while the vswitch
+/// datapath keeps up with inter-VNF line rate; once the EMC thrashes,
+/// per-packet classifier cost dominates (the empirical OVS delay models),
+/// and OVS-DPDK's dpcls answers with signature-prefiltered subtable
+/// probes and a batched lookup loop. Three modes measure that ladder on
+/// identical rule sets and traffic:
+///
+///   * scalar     — no signature array: every candidate entry of a probed
+///                  subtable pays a full masked compare;
+///   * signature  — 16-bit signature array scanned first, full compares
+///                  only on fingerprint matches;
+///   * sig+batch  — signatures plus lookup_batch (32-packet batches): one
+///                  pass per subtable over the whole batch, rank dispatch
+///                  and EWMA accounting amortized.
+///
+/// Methodology: the classifier is driven directly (no chain topology);
+/// the EMC is disabled so the megaflow tier is isolated; cost is virtual
+/// cycles from exec::CostModel, identical to what the forwarding engine
+/// charges per packet. `--smoke` runs a reduced sweep (CI: exercise the
+/// path, don't measure it); in every run the binary exits non-zero if
+/// sig+batch fails to reach >= 1.5x the scalar throughput on the
+/// >= 8 masks × >= 4k flows configurations.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "classifier/dp_classifier.h"
+#include "common/rng.h"
+#include "exec/context.h"
+#include "exec/cost_model.h"
+#include "flowtable/flow_table.h"
+#include "openflow/messages.h"
+#include "pkt/headers.h"
+
+namespace hw::bench {
+namespace {
+
+using classifier::DpClassifier;
+using classifier::DpClassifierConfig;
+using classifier::LookupOutcome;
+using classifier::TierCounters;
+using flowtable::FlowTable;
+using openflow::Action;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+using openflow::Match;
+
+constexpr std::uint32_t kRuleCount = 64;
+constexpr std::size_t kBatch = 32;
+constexpr PortId kOutPort = 1;
+
+std::uint64_t g_lookups = 200'000;
+bool g_smoke = false;
+
+enum Mode : std::int64_t { kScalar = 0, kSignature = 1, kSigBatch = 2 };
+
+/// One distinct match shape per mask-diversity step (salted so rules
+/// within a shape stay distinct) — same population as ablation A7.
+Match shaped_match(std::uint32_t shape, std::uint32_t salt) {
+  Match match;
+  switch (shape % 8) {
+    case 0:
+      match.in_port(static_cast<PortId>(1 + salt % 6));
+      break;
+    case 1:
+      match.in_port(static_cast<PortId>(1 + salt % 6))
+          .l4_dst(static_cast<std::uint16_t>(80 + salt % 8));
+      break;
+    case 2:
+      match.ip_dst(0x0a000000u + ((salt % 16) << 8), 24);
+      break;
+    case 3:
+      match.ip_dst(0x0a000000u + ((salt % 4) << 16), 16);
+      break;
+    case 4:
+      match.ip_proto(pkt::kIpProtoUdp).ip_dst(0x0a000000u, 8);
+      break;
+    case 5:
+      match.in_port(static_cast<PortId>(1 + salt % 6))
+          .ip_proto(salt % 2 ? pkt::kIpProtoUdp : pkt::kIpProtoTcp);
+      break;
+    case 6:
+      match.l4_dst(static_cast<std::uint16_t>(5000 + salt % 8));
+      break;
+    default:
+      match.ip_src(0xc0a80000u + ((salt % 16) << 8), 24);
+      break;
+  }
+  return match;
+}
+
+void install_rules(FlowTable& table, std::uint32_t mask_diversity) {
+  for (std::uint32_t i = 0; i < kRuleCount; ++i) {
+    FlowMod mod;
+    mod.command = FlowModCommand::kAdd;
+    mod.match = shaped_match(i % mask_diversity, i);
+    mod.priority = static_cast<std::uint16_t>(10 + (i % 7) * 10);
+    mod.cookie = i;
+    mod.actions = {Action::output(kOutPort)};
+    (void)table.apply(mod);
+  }
+  FlowMod catch_all;
+  catch_all.command = FlowModCommand::kAdd;
+  catch_all.priority = 0;
+  catch_all.cookie = 0xffff;
+  catch_all.actions = {Action::output(kOutPort)};
+  (void)table.apply(catch_all);
+}
+
+std::vector<pkt::FlowKey> make_flows(std::uint32_t count, Rng& rng) {
+  std::vector<pkt::FlowKey> flows;
+  flows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    pkt::FlowKey key;
+    key.in_port = static_cast<PortId>(1 + rng.next_below(6));
+    key.ether_type = pkt::kEtherTypeIpv4;
+    key.ip_proto = rng.chance(1, 2) ? pkt::kIpProtoUdp : pkt::kIpProtoTcp;
+    key.src_ip = 0xc0a80000u + static_cast<std::uint32_t>(i);
+    key.dst_ip =
+        0x0a000000u + static_cast<std::uint32_t>(rng.next() & 0x0003ffff);
+    key.src_port = static_cast<std::uint16_t>(1024 + (i & 0x3fff));
+    key.dst_port = static_cast<std::uint16_t>(
+        rng.chance(1, 2) ? 80 + rng.next_below(8) : 5000 + rng.next_below(8));
+    flows.push_back(key);
+  }
+  return flows;
+}
+
+struct Row {
+  std::uint32_t flows = 0;
+  std::uint32_t masks = 0;
+  double cyc[3] = {0, 0, 0};  ///< cycles/lookup per Mode
+  double mf_hit_rate = 0;     ///< sig+batch mode
+  std::uint64_t sig_fp = 0;
+  std::size_t subtables = 0;
+  std::size_t entries = 0;
+};
+std::vector<Row> g_rows;
+
+Row& row_for(std::uint32_t flows, std::uint32_t masks) {
+  for (Row& row : g_rows) {
+    if (row.flows == flows && row.masks == masks) return row;
+  }
+  g_rows.push_back(Row{.flows = flows, .masks = masks});
+  return g_rows.back();
+}
+
+void BM_Signature(benchmark::State& state) {
+  const auto flow_count = static_cast<std::uint32_t>(state.range(0));
+  const auto mask_diversity = static_cast<std::uint32_t>(state.range(1));
+  const auto mode = state.range(2);
+
+  exec::CostModel cost;
+  FlowTable table;
+  install_rules(table, mask_diversity);
+  Rng rng(0x51f0a7e5u ^ flow_count ^ (mask_diversity << 20));
+  const std::vector<pkt::FlowKey> flows = make_flows(flow_count, rng);
+  std::vector<std::uint32_t> hashes;
+  hashes.reserve(flows.size());
+  for (const pkt::FlowKey& key : flows) {
+    hashes.push_back(pkt::flow_key_hash(key));
+  }
+
+  DpClassifierConfig config;
+  config.emc_enabled = false;  // isolate the megaflow tier
+  config.megaflow.signature_prefilter = mode != kScalar;
+
+  double cycles_per_lookup = 0;
+  TierCounters tiers;
+  std::size_t subtables = 0;
+  std::size_t entries = 0;
+  std::uint64_t sig_fp = 0;
+  for (auto _ : state) {
+    DpClassifier dp(table, cost, config);
+    exec::CycleMeter warm;
+    // Warm the megaflow tier with one full pass over the flow population.
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      benchmark::DoNotOptimize(dp.lookup(flows[i], hashes[i], warm));
+    }
+    exec::CycleMeter meter;
+    const TierCounters before = dp.counters();
+    if (mode == kSigBatch) {
+      std::vector<LookupOutcome> outcomes(kBatch);
+      std::vector<pkt::FlowKey> keys(kBatch);
+      std::vector<std::uint32_t> key_hashes(kBatch);
+      for (std::uint64_t i = 0; i < g_lookups; i += kBatch) {
+        for (std::size_t j = 0; j < kBatch; ++j) {
+          const std::size_t f =
+              static_cast<std::size_t>((i + j) % flows.size());
+          keys[j] = flows[f];
+          key_hashes[j] = hashes[f];
+        }
+        dp.lookup_batch(keys, key_hashes, outcomes, meter);
+        benchmark::DoNotOptimize(outcomes.data());
+      }
+    } else {
+      for (std::uint64_t i = 0; i < g_lookups; ++i) {
+        const std::size_t f = static_cast<std::size_t>(i % flows.size());
+        benchmark::DoNotOptimize(dp.lookup(flows[f], hashes[f], meter));
+      }
+    }
+    cycles_per_lookup = static_cast<double>(meter.total_used()) /
+                        static_cast<double>(g_lookups);
+    tiers = dp.counters();
+    tiers.megaflow_hits -= before.megaflow_hits;
+    tiers.slow_path_lookups -= before.slow_path_lookups;
+    sig_fp = tiers.sig_false_positives - before.sig_false_positives;
+    subtables = dp.megaflow().subtable_count();
+    entries = dp.megaflow().entry_count();
+    state.SetIterationTime(static_cast<double>(meter.total_used()) *
+                           cost.ns_per_cycle() / 1e9);
+  }
+
+  state.counters["cyc_per_pkt"] = cycles_per_lookup;
+  state.counters["Mpps_equiv"] =
+      cycles_per_lookup > 0
+          ? static_cast<double>(cost.hz) / cycles_per_lookup / 1e6
+          : 0;
+  state.counters["mf_hits"] = static_cast<double>(tiers.megaflow_hits);
+  state.counters["sig_fp"] = static_cast<double>(sig_fp);
+  state.counters["subtables"] = static_cast<double>(subtables);
+  state.counters["entries_per_subtable"] =
+      subtables > 0 ? static_cast<double>(entries) /
+                          static_cast<double>(subtables)
+                    : 0;
+
+  Row& row = row_for(flow_count, mask_diversity);
+  row.cyc[mode] = cycles_per_lookup;
+  if (mode == kSigBatch) {
+    row.mf_hit_rate = static_cast<double>(tiers.megaflow_hits) /
+                      static_cast<double>(g_lookups);
+    row.sig_fp = sig_fp;
+    row.subtables = subtables;
+    row.entries = entries;
+  }
+}
+
+}  // namespace
+}  // namespace hw::bench
+
+int main(int argc, char** argv) {
+  using namespace hw::bench;
+
+  // Strip our own flag before google-benchmark parses the rest.
+  int out_argc = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+      continue;
+    }
+    argv[out_argc++] = argv[i];
+  }
+  argc = out_argc;
+  if (g_smoke) g_lookups = 20'000;
+
+  const std::vector<std::int64_t> flow_counts =
+      g_smoke ? std::vector<std::int64_t>{4096}
+              : std::vector<std::int64_t>{1024, 4096, 16384};
+  const std::vector<std::int64_t> mask_counts =
+      g_smoke ? std::vector<std::int64_t>{8}
+              : std::vector<std::int64_t>{1, 4, 8};
+  auto* bench = benchmark::RegisterBenchmark("BM_Signature", BM_Signature);
+  bench->ArgNames({"flows", "masks", "mode"});
+  for (const std::int64_t flows : flow_counts) {
+    for (const std::int64_t masks : mask_counts) {
+      for (const std::int64_t mode : {kScalar, kSignature, kSigBatch}) {
+        bench->Args({flows, masks, mode});
+      }
+    }
+  }
+  bench->Iterations(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf(
+      "\n=== A9: signature + batch megaflow classification, cycles/packet "
+      "(%llu lookups, %u rules, EMC off) ===\n",
+      static_cast<unsigned long long>(g_lookups), kRuleCount + 1);
+  std::printf(
+      "%-8s %-6s %-12s %-12s %-12s %-10s %-10s | %-8s %-8s %-10s\n", "flows",
+      "masks", "scalar", "signature", "sig+batch", "sig_gain", "batch_gain",
+      "mf_hit%", "sig_fp", "ent/subt");
+  double worst_target_gain = -1;
+  for (const auto& row : g_rows) {
+    const double sig_gain =
+        row.cyc[kSignature] > 0 ? row.cyc[kScalar] / row.cyc[kSignature] : 0;
+    const double batch_gain =
+        row.cyc[kSigBatch] > 0 ? row.cyc[kScalar] / row.cyc[kSigBatch] : 0;
+    std::printf(
+        "%-8u %-6u %-12.1f %-12.1f %-12.1f %-10.2f %-10.2f | %-8.1f %-8llu "
+        "%-10.1f\n",
+        row.flows, row.masks, row.cyc[kScalar], row.cyc[kSignature],
+        row.cyc[kSigBatch], sig_gain, batch_gain, 100.0 * row.mf_hit_rate,
+        static_cast<unsigned long long>(row.sig_fp),
+        row.subtables > 0 ? static_cast<double>(row.entries) /
+                                static_cast<double>(row.subtables)
+                          : 0.0);
+    // Acceptance scope: the EMC-thrashing, mask-diverse configurations.
+    if (row.masks >= 8 && row.flows >= 4096) {
+      if (worst_target_gain < 0 || batch_gain < worst_target_gain) {
+        worst_target_gain = batch_gain;
+      }
+    }
+  }
+  std::printf(
+      "\nThe scalar column pays one full masked compare per candidate\n"
+      "entry of every probed subtable; the signature column touches one\n"
+      "contiguous 16-bit array instead and full-compares only fingerprint\n"
+      "matches; sig+batch additionally amortizes per-subtable dispatch\n"
+      "across 32-packet batches. The gap widens with entries/subtable —\n"
+      "exactly the EMC-thrashing regime the delay models blame.\n");
+  if (worst_target_gain >= 0) {
+    const bool ok = worst_target_gain >= 1.5;
+    std::printf(
+        "acceptance: sig+batch >= 1.5x scalar on >=8 masks x >=4k flows: "
+        "%.2fx -> %s\n",
+        worst_target_gain, ok ? "PASS" : "FAIL");
+    if (!ok) return 1;
+  }
+  return 0;
+}

@@ -171,6 +171,12 @@ inline void export_counters(benchmark::State& state,
       static_cast<double>(metrics.megaflow_invalidations);
   state.counters["mf_revalidations"] =
       static_cast<double>(metrics.megaflow_revalidations);
+  // Signature prefilter + batch pipeline telemetry.
+  state.counters["sig_hits"] = static_cast<double>(metrics.sig_hits);
+  state.counters["sig_fp"] =
+      static_cast<double>(metrics.sig_false_positives);
+  state.counters["batches"] = static_cast<double>(metrics.batches);
+  state.counters["batch_fill_avg"] = metrics.batch_fill_avg;
 }
 
 }  // namespace hw::bench

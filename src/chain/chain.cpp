@@ -53,6 +53,7 @@ Status ChainScenario::build() {
                             .burst = config_.burst,
                             .emc_enabled = config_.emc_enabled,
                             .megaflow_enabled = config_.megaflow_enabled,
+                            .batch_classify = config_.batch_classify,
                             .engine_count = config_.engine_count,
                             .bypass_enabled = config_.enable_bypass});
   agent_ = std::make_unique<agent::ComputeAgent>(shm_, *runtime_,
@@ -303,6 +304,17 @@ ChainMetrics ChainScenario::measure(TimeNs duration_ns) {
       tiers.megaflow_invalidations - snap_tiers_.megaflow_invalidations;
   metrics.megaflow_revalidations =
       tiers.megaflow_revalidations - snap_tiers_.megaflow_revalidations;
+  metrics.sig_hits = tiers.sig_hits - snap_tiers_.sig_hits;
+  metrics.sig_false_positives =
+      tiers.sig_false_positives - snap_tiers_.sig_false_positives;
+  metrics.batches = tiers.batches - snap_tiers_.batches;
+  const std::uint64_t batch_pkts =
+      tiers.batch_packets - snap_tiers_.batch_packets;
+  metrics.batch_fill_avg =
+      metrics.batches > 0
+          ? static_cast<double>(batch_pkts) /
+                static_cast<double>(metrics.batches)
+          : 0.0;
 
   std::size_t engine_index = 0;
   const double window_cycles = static_cast<double>(metrics.duration_ns) *

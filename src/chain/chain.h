@@ -41,6 +41,7 @@ struct ChainConfig {
   std::uint32_t burst = 32;
   bool emc_enabled = true;
   bool megaflow_enabled = true;  ///< dpcls-style middle classifier tier
+  bool batch_classify = true;    ///< batched burst classification
 
   std::uint32_t frame_len = 64;
   std::uint32_t flow_count = 8;
@@ -80,6 +81,11 @@ struct ChainMetrics {
   std::uint64_t megaflow_inserts = 0;
   std::uint64_t megaflow_invalidations = 0;
   std::uint64_t megaflow_revalidations = 0;
+  // Signature prefilter + batch pipeline telemetry.
+  std::uint64_t sig_hits = 0;
+  std::uint64_t sig_false_positives = 0;
+  std::uint64_t batches = 0;
+  double batch_fill_avg = 0;  ///< packets per batched classify round
 };
 
 class ChainScenario {

@@ -86,44 +86,29 @@ void DpClassifier::drain_table_changes(exec::CycleMeter& meter) {
       megaflow_.stats().revalidated_evicted;
 }
 
-LookupOutcome DpClassifier::lookup(const pkt::FlowKey& key,
-                                   std::uint32_t hash,
-                                   exec::CycleMeter& meter) {
-  // Apply pending FlowMod events first (owner thread), then snapshot the
-  // version the caches are now synchronized to.
-  drain_table_changes(meter);
-  const std::uint64_t version = table_->version();
+Cycles DpClassifier::tally_cycles(const ProbeTally& tally,
+                                  bool batched) const noexcept {
+  // Per-probe base: scalar pays mask + hash + dispatch per subtable per
+  // packet; the batch loop amortizes mask load, rank dispatch and EWMA
+  // accounting across the batch. Signature-block scans and full masked
+  // compares are charged identically on both paths.
+  const std::uint32_t per_probe = batched ? cost_->megaflow_batch_packet
+                                          : cost_->megaflow_per_subtable;
+  return static_cast<Cycles>(tally.probes) * per_probe +
+         static_cast<Cycles>(tally.sig_blocks) * cost_->megaflow_sig_block +
+         static_cast<Cycles>(tally.full_compares) *
+             cost_->megaflow_full_compare;
+}
 
-  // Tier 1: exact-match cache. Generation-stamped: a surviving megaflow
-  // revalidation leaves untouched EMC slots serving.
-  if (config_.emc_enabled) {
-    meter.charge(cost_->emc_hit);
-    if (FlowEntry* entry = emc_.lookup(key, hash, *table_); entry != nullptr) {
-      ++counters_.emc_hits;
-      return {entry, Tier::kEmc};
-    }
-    ++counters_.emc_misses;
-  }
+void DpClassifier::mirror_sig_stats() noexcept {
+  counters_.sig_hits = megaflow_.stats().sig_hits;
+  counters_.sig_false_positives = megaflow_.stats().sig_false_positives;
+}
 
-  // Tier 2: megaflow tuple-space search.
-  if (config_.megaflow_enabled) {
-    std::uint32_t probed = 0;
-    const RuleId id = megaflow_.lookup(key, version, probed);
-    meter.charge(static_cast<Cycles>(probed) * cost_->megaflow_per_subtable);
-    if (id != kRuleNone) {
-      FlowEntry* entry = table_->find(id);
-      if (entry != nullptr) {
-        ++counters_.megaflow_hits;
-        // Promote to the EMC so the steady state of this flow is tier 1.
-        if (config_.emc_enabled) {
-          emc_.insert(key, hash, id, entry->generation);
-        }
-        return {entry, Tier::kMegaflow};
-      }
-    }
-    ++counters_.megaflow_misses;
-  }
-
+LookupOutcome DpClassifier::slow_path(const pkt::FlowKey& key,
+                                      std::uint32_t hash,
+                                      std::uint64_t version,
+                                      exec::CycleMeter& meter) {
   // Tier 3: slow path — priority-ordered wildcard scan.
   //
   // slow_path_base is charged unconditionally, including in "table-only"
@@ -150,6 +135,143 @@ LookupOutcome DpClassifier::lookup(const pkt::FlowKey& key,
     emc_.insert(key, hash, res.rule, hit->generation);
   }
   return {hit, Tier::kSlowPath};
+}
+
+FlowEntry* DpClassifier::probe_emc(const pkt::FlowKey& key,
+                                   std::uint32_t hash,
+                                   exec::CycleMeter& meter) {
+  meter.charge(cost_->emc_hit);
+  if (FlowEntry* entry = emc_.lookup(key, hash, *table_); entry != nullptr) {
+    ++counters_.emc_hits;
+    return entry;
+  }
+  ++counters_.emc_misses;
+  return nullptr;
+}
+
+LookupOutcome DpClassifier::probe_caches(const pkt::FlowKey& key,
+                                         std::uint32_t hash,
+                                         std::uint64_t version, bool batched,
+                                         exec::CycleMeter& meter) {
+  // Tier 1: exact-match cache. Generation-stamped: a surviving megaflow
+  // revalidation leaves untouched EMC slots serving.
+  if (config_.emc_enabled) {
+    if (FlowEntry* entry = probe_emc(key, hash, meter); entry != nullptr) {
+      return {entry, Tier::kEmc};
+    }
+  }
+
+  // Tier 2: megaflow tuple-space search (signature-prefiltered probes).
+  if (config_.megaflow_enabled) {
+    ProbeTally tally;
+    const RuleId id = megaflow_.lookup(key, version, tally);
+    meter.charge(tally_cycles(tally, batched));
+    mirror_sig_stats();
+    if (id != kRuleNone) {
+      FlowEntry* entry = table_->find(id);
+      if (entry != nullptr) {
+        ++counters_.megaflow_hits;
+        // Promote to the EMC so the steady state of this flow is tier 1.
+        if (config_.emc_enabled) {
+          emc_.insert(key, hash, id, entry->generation);
+        }
+        return {entry, Tier::kMegaflow};
+      }
+    }
+    ++counters_.megaflow_misses;
+  }
+  return {nullptr, Tier::kMiss};
+}
+
+LookupOutcome DpClassifier::lookup(const pkt::FlowKey& key,
+                                   std::uint32_t hash,
+                                   exec::CycleMeter& meter) {
+  // Apply pending FlowMod events first (owner thread), then snapshot the
+  // version the caches are now synchronized to.
+  drain_table_changes(meter);
+  const std::uint64_t version = table_->version();
+  const LookupOutcome cached =
+      probe_caches(key, hash, version, /*batched=*/false, meter);
+  if (cached.entry != nullptr) return cached;
+  return slow_path(key, hash, version, meter);
+}
+
+void DpClassifier::lookup_batch(std::span<const pkt::FlowKey> keys,
+                                std::span<const std::uint32_t> hashes,
+                                std::span<LookupOutcome> out,
+                                exec::CycleMeter& meter) {
+  // One drain and one version snapshot cover the whole batch: every
+  // event applied here is visible to all three tier passes below.
+  drain_table_changes(meter);
+  const std::uint64_t version = table_->version();
+  meter.charge(cost_->classify_batch_base);
+  ++counters_.batches;
+  counters_.batch_packets += keys.size();
+
+  // Tier 1 pass: EMC for every packet; misses queue for tier 2.
+  batch_miss_.clear();
+  for (std::uint32_t i = 0; i < keys.size(); ++i) {
+    out[i] = {nullptr, Tier::kMiss};
+    if (config_.emc_enabled) {
+      if (FlowEntry* entry = probe_emc(keys[i], hashes[i], meter);
+          entry != nullptr) {
+        out[i] = {entry, Tier::kEmc};
+        continue;
+      }
+    }
+    batch_miss_.push_back(i);
+  }
+
+  // Tier 2 pass: one megaflow batch probe over the whole miss set.
+  if (config_.megaflow_enabled && !batch_miss_.empty()) {
+    batch_keys_.clear();
+    for (const std::uint32_t i : batch_miss_) batch_keys_.push_back(keys[i]);
+    batch_rules_.assign(batch_miss_.size(), kRuleNone);
+    ProbeTally tally;
+    megaflow_.lookup_batch(batch_keys_, version, batch_rules_, tally);
+    meter.charge(tally_cycles(tally, /*batched=*/true));
+    mirror_sig_stats();
+    std::size_t still_missing = 0;
+    for (std::size_t j = 0; j < batch_miss_.size(); ++j) {
+      const std::uint32_t i = batch_miss_[j];
+      FlowEntry* entry =
+          batch_rules_[j] != kRuleNone ? table_->find(batch_rules_[j]) : nullptr;
+      if (entry != nullptr) {
+        ++counters_.megaflow_hits;
+        if (config_.emc_enabled) {
+          emc_.insert(keys[i], hashes[i], batch_rules_[j], entry->generation);
+        }
+        out[i] = {entry, Tier::kMegaflow};
+        continue;
+      }
+      ++counters_.megaflow_misses;
+      batch_miss_[still_missing++] = i;
+    }
+    batch_miss_.resize(still_missing);
+  }
+
+  // Tier 3 pass: the remaining packets upcall, and all their megaflow
+  // installs land in this one pass over the batch. Once any upcall in
+  // this pass has found a rule (and therefore filled the caches), later
+  // packets re-probe the caches first — the scalar path's behaviour for
+  // back-to-back packets of one new flow or flow aggregate: a burst of
+  // 32 packets behind one fresh wildcard rule pays one upcall, not 32.
+  // While every upcall keeps missing, the caches stay empty and the
+  // straight upcall already matches the scalar path's probes exactly.
+  bool installed = false;
+  for (const std::uint32_t i : batch_miss_) {
+    if (installed) {
+      // A single-key re-probe: the batch-amortized rate does not apply.
+      const LookupOutcome cached =
+          probe_caches(keys[i], hashes[i], version, /*batched=*/false, meter);
+      if (cached.entry != nullptr) {
+        out[i] = cached;
+        continue;
+      }
+    }
+    out[i] = slow_path(keys[i], hashes[i], version, meter);
+    installed = installed || out[i].entry != nullptr;
+  }
 }
 
 }  // namespace hw::classifier

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "classifier/megaflow.h"
@@ -14,12 +15,23 @@
 /// forwarding engine (like one EMC + dpcls pair per PMD thread):
 ///
 ///   1. exact-match cache   — O(1) direct-mapped, full-key compare;
-///   2. megaflow cache      — tuple-space search over masked keys;
+///   2. megaflow cache      — tuple-space search over masked keys, with a
+///                            per-subtable 16-bit signature array scanned
+///                            ahead of any full masked compare;
 ///   3. slow path           — priority-ordered wildcard table scan, which
 ///                            *installs* a megaflow covering every field
 ///                            it examined (the upcall's unwildcard set)
 ///                            so subsequent packets of any flow the same
 ///                            megaflow covers stop at tier 2.
+///
+/// Both a scalar path (lookup, one key at a time) and a batched path
+/// (lookup_batch, the dpcls batch loop) are provided. The batched path
+/// drains pending revalidation once per batch, probes each megaflow
+/// subtable for the whole batch in one pass (amortizing rank dispatch and
+/// EWMA accounting), sorts outcomes per tier, and installs megaflows for
+/// all slow-path packets of the batch in one pass. The two paths always
+/// return the same rules — proven continuously by the differential
+/// equivalence fuzzer in tests/control/classifier_equiv_test.cpp.
 ///
 /// Staleness safety: the classifier subscribes to FlowTable changes and
 /// runs an OVS-style revalidator on its own thread — each change event is
@@ -39,6 +51,12 @@ struct LookupOutcome {
   Tier tier = Tier::kMiss;
 };
 
+/// Per-pipeline work tallies. Scalar and batched classification always
+/// return the same rules, but they perform (and charge) different probe
+/// sequences — e.g. a cold burst of one new flow probes the EMC and the
+/// megaflow tier for the whole batch before its first upcall can install
+/// anything — so hit/miss counters are comparable within one path, not
+/// across paths.
 struct TierCounters {
   std::uint64_t emc_hits = 0;
   std::uint64_t emc_misses = 0;
@@ -51,6 +69,11 @@ struct TierCounters {
   std::uint64_t emc_revalidations = 0;       ///< EMC slots repaired/evicted
   std::uint64_t slow_path_lookups = 0;
   std::uint64_t slow_path_misses = 0;  ///< no rule matched at all
+  // Signature prefilter + batch pipeline telemetry.
+  std::uint64_t sig_hits = 0;             ///< signature matches confirmed
+  std::uint64_t sig_false_positives = 0;  ///< signature matched, compare failed
+  std::uint64_t batches = 0;              ///< batched classify rounds
+  std::uint64_t batch_packets = 0;        ///< packets through the batched path
 
   TierCounters& operator+=(const TierCounters& other) noexcept {
     emc_hits += other.emc_hits;
@@ -64,6 +87,10 @@ struct TierCounters {
     emc_revalidations += other.emc_revalidations;
     slow_path_lookups += other.slow_path_lookups;
     slow_path_misses += other.slow_path_misses;
+    sig_hits += other.sig_hits;
+    sig_false_positives += other.sig_false_positives;
+    batches += other.batches;
+    batch_packets += other.batch_packets;
     return *this;
   }
 };
@@ -71,6 +98,9 @@ struct TierCounters {
 struct DpClassifierConfig {
   bool emc_enabled = true;
   bool megaflow_enabled = true;
+  /// Forwarding engines classify received bursts through lookup_batch
+  /// (true) or one lookup() per packet (false; the scalar baseline).
+  bool batch_classify = true;
   std::size_t emc_buckets = 4096;
   MegaflowCache::Config megaflow{};
 };
@@ -90,6 +120,17 @@ class DpClassifier {
   [[nodiscard]] LookupOutcome lookup(const pkt::FlowKey& key,
                                      std::uint32_t hash,
                                      exec::CycleMeter& meter);
+
+  /// Batched classification (the dpcls batch loop): classifies
+  /// `keys[i]`/`hashes[i]` into `out[i]` for the whole batch, charging
+  /// `meter` the per-batch base plus amortized per-tier costs. Pending
+  /// revalidation is drained once for the batch; EMC misses probe the
+  /// megaflow tier one subtable at a time across the whole miss set; all
+  /// slow-path packets resolve and install their megaflows in one final
+  /// pass. Returns the same rules lookup() would, packet for packet.
+  void lookup_batch(std::span<const pkt::FlowKey> keys,
+                    std::span<const std::uint32_t> hashes,
+                    std::span<LookupOutcome> out, exec::CycleMeter& meter);
 
   [[nodiscard]] const TierCounters& counters() const noexcept {
     return counters_;
@@ -112,6 +153,31 @@ class DpClassifier {
                                     std::uint32_t* visited) noexcept;
   /// Applies pending FlowMod events to both cache tiers (owner thread).
   void drain_table_changes(exec::CycleMeter& meter);
+  /// Converts a megaflow probe tally into cycles (scalar or batched
+  /// per-subtable base; signature-scan and compare charges are shared).
+  [[nodiscard]] Cycles tally_cycles(const ProbeTally& tally,
+                                    bool batched) const noexcept;
+  /// One EMC probe: charge, lookup, hit/miss counting. The single
+  /// definition shared by every path that touches tier 1.
+  [[nodiscard]] flowtable::FlowEntry* probe_emc(const pkt::FlowKey& key,
+                                                std::uint32_t hash,
+                                                exec::CycleMeter& meter);
+  /// Tier 1 + tier 2 probe for one key (EMC, then megaflow, with EMC
+  /// promotion on a megaflow hit); {nullptr, kMiss} when neither cache
+  /// resolves it. Shared by the scalar path and the batched tier-3
+  /// re-probe so their semantics can never diverge.
+  [[nodiscard]] LookupOutcome probe_caches(const pkt::FlowKey& key,
+                                           std::uint32_t hash,
+                                           std::uint64_t version,
+                                           bool batched,
+                                           exec::CycleMeter& meter);
+  /// Tier-3 upcall for one key: wildcard scan + megaflow/EMC install.
+  [[nodiscard]] LookupOutcome slow_path(const pkt::FlowKey& key,
+                                        std::uint32_t hash,
+                                        std::uint64_t version,
+                                        exec::CycleMeter& meter);
+  /// Mirrors cache-internal signature tallies into counters_.
+  void mirror_sig_stats() noexcept;
 
   flowtable::FlowTable* table_;
   const exec::CostModel* cost_;
@@ -120,6 +186,11 @@ class DpClassifier {
   MegaflowCache megaflow_;
   TierCounters counters_;
   std::uint64_t listener_token_ = 0;
+  // Batch scratch (indices of EMC misses, gathered keys, megaflow
+  // verdicts), kept across batches to avoid per-batch allocation.
+  std::vector<std::uint32_t> batch_miss_;
+  std::vector<pkt::FlowKey> batch_keys_;
+  std::vector<RuleId> batch_rules_;
 };
 
 }  // namespace hw::classifier

@@ -7,44 +7,151 @@ namespace hw::classifier {
 using flowtable::TableChangeEvent;
 using openflow::FlowModCommand;
 
+std::size_t MegaflowCache::Subtable::find(const pkt::FlowKey& masked,
+                                          std::uint16_t sig,
+                                          bool use_signature,
+                                          ProbeTally& tally) const {
+  const std::size_t n = slots.size();
+  if (!use_signature) {
+    // Scalar baseline: one full masked compare per candidate entry.
+    for (std::size_t i = 0; i < n; ++i) {
+      ++tally.full_compares;
+      if (slots[i].key == masked) return i;
+    }
+    return kNpos;
+  }
+  // Signature scan: the 16-bit fingerprint array is contiguous, so this
+  // loop is one vector compare per 16-entry block; full compares fire
+  // only on fingerprint matches. Blocks are charged up to the match.
+  const std::uint16_t* s = sigs.data();
+  std::size_t found = kNpos;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s[i] != sig) continue;
+    ++tally.full_compares;
+    if (slots[i].key == masked) {
+      found = i;
+      break;
+    }
+  }
+  const std::size_t scanned = found == kNpos ? n : found + 1;
+  tally.sig_blocks += static_cast<std::uint32_t>((scanned + 15) / 16);
+  return found;
+}
+
+void MegaflowCache::Subtable::erase_at(std::size_t index) {
+  sigs[index] = sigs.back();
+  sigs.pop_back();
+  slots[index] = std::move(slots.back());
+  slots.pop_back();
+}
+
+std::size_t MegaflowCache::probe_subtable(const Subtable& subtable,
+                                          const pkt::FlowKey& masked,
+                                          ProbeTally& tally) {
+  ++tally.probes;
+  // The fingerprint is only needed by the prefilter scan; the linear
+  // baseline must not pay the hash.
+  const std::uint16_t sig =
+      config_.signature_prefilter ? flow_signature(masked) : 0;
+  const std::uint32_t compares_before = tally.full_compares;
+  const std::size_t index =
+      subtable.find(masked, sig, config_.signature_prefilter, tally);
+  if (config_.signature_prefilter) {
+    // Every fingerprint match that failed its full compare is a false
+    // positive; a confirmed match is a signature hit.
+    const std::uint32_t compares = tally.full_compares - compares_before;
+    if (index != kNpos) {
+      ++stats_.sig_hits;
+      stats_.sig_false_positives += compares - 1;
+    } else {
+      stats_.sig_false_positives += compares;
+    }
+  }
+  return index;
+}
+
 RuleId MegaflowCache::lookup(const pkt::FlowKey& key,
-                             std::uint64_t table_version,
-                             std::uint32_t& probed) {
+                             std::uint64_t table_version, ProbeTally& tally) {
   (void)revalidate();
-  probed = 0;
+  const std::uint32_t probes_before = tally.probes;
   RuleId found = kRuleNone;
   bool evicted = false;
   for (auto& subtable : subtables_) {
-    ++probed;
     const pkt::FlowKey masked = apply(subtable->mask, key);
-    const auto it = subtable->flows.find(masked);
-    if (it == subtable->flows.end()) continue;
+    const std::size_t index = probe_subtable(*subtable, masked, tally);
+    if (index == kNpos) continue;
     // Proven current: the revalidator has synchronized the cache to this
     // version, or the entry was installed/repaired at exactly it. A
     // version gap the queue has not explained (standalone use, or a
     // FlowMod racing this probe) means the wildcard table may pick a
     // different rule now — evict, the slow path will reinstall.
     if (synced_version_ != table_version &&
-        it->second.version != table_version) {
-      subtable->flows.erase(it);
+        subtable->slots[index].version != table_version) {
+      subtable->erase_at(index);
       --entries_;
       ++stats_.stale_evictions;
       evicted = true;
       continue;
     }
-    found = it->second.rule;
+    found = subtable->slots[index].rule;
     ++subtable->window_hits;
     break;
   }
-  stats_.subtables_probed += probed;
+  stats_.subtables_probed += tally.probes - probes_before;
   if (found != kRuleNone) {
     ++stats_.hits;
   } else {
     ++stats_.misses;
   }
   if (evicted) prune_empty_subtables();
-  maybe_rerank();
+  maybe_rerank(1);
   return found;
+}
+
+void MegaflowCache::lookup_batch(std::span<const pkt::FlowKey> keys,
+                                 std::uint64_t table_version,
+                                 std::span<RuleId> out, ProbeTally& tally) {
+  (void)revalidate();
+  const std::uint32_t probes_before = tally.probes;
+  batch_pending_.clear();
+  for (std::uint32_t i = 0; i < keys.size(); ++i) {
+    out[i] = kRuleNone;
+    batch_pending_.push_back(i);
+  }
+  bool evicted = false;
+  // One pass per subtable over every still-unresolved key: the whole
+  // batch shares this subtable's rank dispatch and mask context before
+  // the next subtable is touched.
+  for (auto& subtable : subtables_) {
+    if (batch_pending_.empty()) break;
+    for (std::size_t p = 0; p < batch_pending_.size();) {
+      const std::uint32_t i = batch_pending_[p];
+      const pkt::FlowKey masked = apply(subtable->mask, keys[i]);
+      const std::size_t index = probe_subtable(*subtable, masked, tally);
+      if (index == kNpos) {
+        ++p;
+        continue;
+      }
+      if (synced_version_ != table_version &&
+          subtable->slots[index].version != table_version) {
+        subtable->erase_at(index);
+        --entries_;
+        ++stats_.stale_evictions;
+        evicted = true;
+        ++p;  // still unresolved; later subtables may cover it
+        continue;
+      }
+      out[i] = subtable->slots[index].rule;
+      ++subtable->window_hits;
+      batch_pending_[p] = batch_pending_.back();
+      batch_pending_.pop_back();
+    }
+  }
+  stats_.subtables_probed += tally.probes - probes_before;
+  stats_.hits += keys.size() - batch_pending_.size();
+  stats_.misses += batch_pending_.size();
+  if (evicted) prune_empty_subtables();
+  maybe_rerank(static_cast<std::uint32_t>(keys.size()));
 }
 
 void MegaflowCache::insert(const pkt::FlowKey& key, const MaskSpec& mask,
@@ -53,16 +160,21 @@ void MegaflowCache::insert(const pkt::FlowKey& key, const MaskSpec& mask,
   (void)revalidate();
   Subtable& subtable = subtable_for(mask);
   const pkt::FlowKey masked = apply(mask, key);
-  auto [it, inserted] = subtable.flows.try_emplace(masked);
-  it->second.rule = rule;
-  it->second.version = table_version;
-  if (inserted) {
-    ++stats_.inserts;
-    ++entries_;
-    if (entries_ > config_.max_entries) evict_one(subtable, masked);
-  } else {
+  const std::uint16_t sig = flow_signature(masked);
+  ProbeTally scratch;  // dup-scan work is covered by the caller's insert charge
+  const std::size_t existing =
+      subtable.find(masked, sig, config_.signature_prefilter, scratch);
+  if (existing != kNpos) {
+    subtable.slots[existing].rule = rule;
+    subtable.slots[existing].version = table_version;
     ++stats_.overwrites;
+    return;
   }
+  subtable.sigs.push_back(sig);
+  subtable.slots.push_back(Slot{masked, rule, table_version});
+  ++stats_.inserts;
+  ++entries_;
+  if (entries_ > config_.max_entries) evict_one(subtable);
 }
 
 void MegaflowCache::on_table_change(const TableChangeEvent& event) {
@@ -143,41 +255,43 @@ std::size_t MegaflowCache::revalidate_event(const TableChangeEvent& event,
   const bool removal = event.command == FlowModCommand::kDelete ||
                        event.command == FlowModCommand::kDeleteStrict;
   for (auto& subtable : subtables_) {
-    for (auto it = subtable->flows.begin(); it != subtable->flows.end();) {
+    for (std::size_t i = 0; i < subtable->slots.size();) {
+      Slot& slot = subtable->slots[i];
       // Suspect tests are exact per command. A removal can only change a
       // key's winner if that winner was removed (every key in the cover
       // set resolved to entry.rule at install). An ADD can only steal
       // keys its match intersects.
       const bool suspect =
           removal ? std::find(event.removed.begin(), event.removed.end(),
-                              it->second.rule) != event.removed.end()
-                  : may_intersect(subtable->mask, it->first, event.match);
+                              slot.rule) != event.removed.end()
+                  : may_intersect(subtable->mask, slot.key, event.match);
       if (!suspect) {
-        ++it;
+        ++i;
         continue;
       }
       ++suspects;
       ++stats_.revalidations;
       bool keep = false;
       if (resolver != nullptr) {
-        const Resolution res = (*resolver)(it->first);
+        const Resolution res = (*resolver)(slot.key);
         // Repair is sound only when the fresh unwildcard set still fits
         // this subtable's mask: then every key in the cover set provably
         // resolves to the same new winner. A wider set means the cover
         // set is no longer uniform — evict and let the slow path carve
-        // finer megaflows.
+        // finer megaflows. The repair rewrites rule/version only; the
+        // masked key — and therefore its signature — is untouched.
         if (res.found && subsumes(subtable->mask, res.unwildcarded)) {
-          it->second.rule = res.rule;
-          it->second.version = event.version;
+          slot.rule = res.rule;
+          slot.version = event.version;
           keep = true;
         }
       }
       if (keep) {
         ++stats_.revalidated_kept;
-        ++it;
+        ++i;
       } else {
         ++stats_.revalidated_evicted;
-        it = subtable->flows.erase(it);
+        subtable->erase_at(i);
         --entries_;
       }
     }
@@ -196,13 +310,14 @@ void MegaflowCache::flush_all() {
 void MegaflowCache::prune_empty_subtables() {
   const std::size_t before = subtables_.size();
   std::erase_if(subtables_, [](const std::unique_ptr<Subtable>& subtable) {
-    return subtable->flows.empty();
+    return subtable->slots.empty();
   });
   stats_.subtables_pruned += before - subtables_.size();
 }
 
-void MegaflowCache::maybe_rerank() {
-  if (++lookups_since_rerank_ < config_.rank_interval) return;
+void MegaflowCache::maybe_rerank(std::uint32_t lookups) {
+  lookups_since_rerank_ += lookups;
+  if (lookups_since_rerank_ < config_.rank_interval) return;
   lookups_since_rerank_ = 0;
   ++stats_.reranks;
   const double alpha = config_.rank_ewma_alpha;
@@ -225,25 +340,22 @@ MegaflowCache::Subtable& MegaflowCache::subtable_for(const MaskSpec& mask) {
   return *subtables_.back();
 }
 
-void MegaflowCache::evict_one(const Subtable& just_inserted_table,
-                              const pkt::FlowKey& just_inserted_key) {
+void MegaflowCache::evict_one(const Subtable& just_inserted_table) {
   // Shed from the coldest subtable holding entries (probe order is rank
-  // order, so walk from the back) — but never the entry that triggered
-  // the eviction, which the caller is still referencing.
+  // order, so walk from the back) — but never the freshly appended entry
+  // at the back of the caller's subtable.
   for (auto it = subtables_.rbegin(); it != subtables_.rend(); ++it) {
     Subtable& subtable = **it;
-    auto victim = subtable.flows.begin();
-    if (&subtable == &just_inserted_table && victim != subtable.flows.end() &&
-        victim->first == just_inserted_key) {
-      ++victim;
+    if (subtable.slots.empty()) continue;
+    if (&subtable == &just_inserted_table && subtable.slots.size() == 1) {
+      continue;  // only the just-inserted entry lives here
     }
-    if (victim == subtable.flows.end()) continue;
-    subtable.flows.erase(victim);
+    // Index 0 is never the just-inserted entry (that sits at the back of
+    // a subtable with >= 2 slots when we get here).
+    subtable.erase_at(0);
     --entries_;
     ++stats_.capacity_evictions;
-    if (subtable.flows.empty()) {
-      // The caller's just-inserted entry is never in the emptied
-      // subtable (we skipped it above), so pruning here is safe.
+    if (subtable.slots.empty()) {
       subtables_.erase(std::next(it).base());
       ++stats_.subtables_pruned;
     }

@@ -4,9 +4,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "classifier/mask.h"
@@ -20,6 +21,16 @@
 /// lookups probe subtables in descending hit-EWMA order (periodically
 /// re-ranked, like OVS's per-PMD subtable sorting) and compare masked
 /// keys.
+///
+/// Signature acceleration: each subtable keeps a contiguous array of
+/// 16-bit signatures (hash fingerprints of the *masked* keys) parallel to
+/// its entry slots. A probe scans the signature array first — one
+/// vector-friendly compare per 16-entry block — and runs the full masked
+/// compare only on signature matches, so a probe that misses touches one
+/// contiguous array instead of N candidate entries. Batched lookups
+/// (lookup_batch) probe each subtable for the whole batch in one pass,
+/// amortizing rank dispatch and EWMA accounting, which is how DPDK's
+/// dpcls keeps up with line rate once the EMC thrashes.
 ///
 /// Staleness is handled by an OVS-style *revalidator* instead of a
 /// whole-cache flush: FlowTable change notifications arrive as structured
@@ -39,6 +50,8 @@ struct MegaflowStats {
   std::uint64_t inserts = 0;            ///< fresh masked keys installed
   std::uint64_t overwrites = 0;         ///< re-install onto an existing key
   std::uint64_t subtables_probed = 0;   ///< total probes across lookups
+  std::uint64_t sig_hits = 0;           ///< signature match confirmed by full compare
+  std::uint64_t sig_false_positives = 0;///< signature matched, full compare failed
   std::uint64_t stale_evictions = 0;    ///< entries dropped on version skew
   std::uint64_t capacity_evictions = 0; ///< entries dropped at the cap
   std::uint64_t flushes = 0;            ///< full-cache flushes applied
@@ -59,12 +72,38 @@ struct MegaflowCacheConfig {
   std::uint32_t rank_interval = 1024;
   /// EWMA weight of the newest window when re-ranking, in [0, 1].
   double rank_ewma_alpha = 0.25;
+  /// Scan the subtable's 16-bit signature array before any full masked
+  /// compare (true), or full-compare every candidate entry linearly
+  /// (false; the scalar ablation baseline).
+  bool signature_prefilter = true;
   /// Precise per-rule revalidation (true) or PR-1-style whole-cache flush
   /// on every FlowMod (false; the ablation baseline).
   bool precise_revalidation = true;
   /// Bounded revalidator queue; overflowing falls back to a full flush.
   std::size_t revalidator_queue_limit = 128;
 };
+
+/// Work tallies of one (or one batch of) megaflow lookups — the cost
+/// drivers the caller converts to cycles. Fields accumulate; snapshot
+/// before the call to charge per-call deltas.
+struct ProbeTally {
+  std::uint32_t probes = 0;         ///< per-key subtable probes
+  std::uint32_t sig_blocks = 0;     ///< 16-signature blocks scanned
+  std::uint32_t full_compares = 0;  ///< full masked-key compares
+};
+
+/// 16-bit hash fingerprint of a *masked* key — the per-entry signature
+/// scanned ahead of any full compare. It MUST be computed from the masked
+/// key (mask applied before hashing): the stored slot key is the masked
+/// key and never changes across a repair-in-place, so the signature can
+/// never go stale under revalidation. Hashing the raw key instead would
+/// leave lookups (which only have the masked projection) unable to find
+/// repaired entries.
+[[nodiscard]] inline std::uint16_t flow_signature(
+    const pkt::FlowKey& masked) noexcept {
+  const std::uint32_t h = pkt::flow_key_hash(masked);
+  return static_cast<std::uint16_t>(h ^ (h >> 16));
+}
 
 class MegaflowCache {
  public:
@@ -95,13 +134,32 @@ class MegaflowCache {
 
   /// Probes subtables in rank order for an entry covering `key` that is
   /// provably current: either revalidated up to `table_version` or
-  /// installed at exactly that version. `probed` returns the number of
-  /// subtables examined (the cost driver the caller charges to its cycle
-  /// meter). Unproven entries found along the way are evicted, never
-  /// returned.
+  /// installed at exactly that version. `tally` accumulates the probe /
+  /// signature-scan / compare work (the cost drivers the caller charges
+  /// to its cycle meter). Unproven entries found along the way are
+  /// evicted, never returned.
+  [[nodiscard]] RuleId lookup(const pkt::FlowKey& key,
+                              std::uint64_t table_version, ProbeTally& tally);
+
+  /// Compatibility shim reporting only the subtable-probe count.
   [[nodiscard]] RuleId lookup(const pkt::FlowKey& key,
                               std::uint64_t table_version,
-                              std::uint32_t& probed);
+                              std::uint32_t& probed) {
+    ProbeTally tally;
+    const RuleId rule = lookup(key, table_version, tally);
+    probed = tally.probes;
+    return rule;
+  }
+
+  /// Batched lookup: probes each subtable (rank order) for every still
+  /// unresolved key of the batch before moving to the next subtable, so
+  /// rank dispatch and EWMA accounting are paid once per batch instead of
+  /// once per packet. `out[i]` receives the rule for `keys[i]` (kRuleNone
+  /// on miss). Semantically identical to calling lookup() per key against
+  /// an unchanging table; only the cost profile differs.
+  void lookup_batch(std::span<const pkt::FlowKey> keys,
+                    std::uint64_t table_version, std::span<RuleId> out,
+                    ProbeTally& tally);
 
   /// Installs `key` → `rule` under `mask` (the slow path's accumulated
   /// unwildcard set), stamped with the current table version.
@@ -145,19 +203,43 @@ class MegaflowCache {
   [[nodiscard]] std::vector<MaskSpec> subtable_masks() const;
 
  private:
-  struct Entry {
+  static constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+  /// One megaflow entry. `key` is the MASKED key (the mask was applied
+  /// before storing), so `sigs[i] == flow_signature(slots[i].key)` holds
+  /// for the subtable's whole lifetime — including across repair-in-place,
+  /// which rewrites rule/version but never the key.
+  struct Slot {
+    pkt::FlowKey key;
     RuleId rule = kRuleNone;
     std::uint64_t version = 0;  ///< install/repair version
   };
   struct Subtable {
     explicit Subtable(MaskSpec m) : mask(m) {}
     MaskSpec mask;
-    std::unordered_map<pkt::FlowKey, Entry> flows;
+    /// Contiguous signature array, parallel to `slots` — what a probe
+    /// scans before any full masked compare.
+    std::vector<std::uint16_t> sigs;
+    std::vector<Slot> slots;
     std::uint64_t window_hits = 0;  ///< hits in the current rank window
     double rank = 0.0;              ///< hit EWMA across rank windows
+
+    /// Index of the slot whose masked key equals `masked`, or kNpos.
+    /// With the prefilter, scans `sigs` and full-compares matches only;
+    /// without it, full-compares every slot until a match. Work is
+    /// tallied into `tally`.
+    [[nodiscard]] std::size_t find(const pkt::FlowKey& masked,
+                                   std::uint16_t sig, bool use_signature,
+                                   ProbeTally& tally) const;
+    /// Swap-with-last removal keeping sigs/slots parallel and dense.
+    void erase_at(std::size_t index);
   };
 
-  void maybe_rerank();
+  /// Probes one subtable for `key`, tallying work and signature stats.
+  [[nodiscard]] std::size_t probe_subtable(const Subtable& subtable,
+                                           const pkt::FlowKey& masked,
+                                           ProbeTally& tally);
+  void maybe_rerank(std::uint32_t lookups);
   /// Revalidates entries one event could affect; returns suspects seen.
   std::size_t revalidate_event(const flowtable::TableChangeEvent& event,
                                const Resolver* resolver);
@@ -165,9 +247,8 @@ class MegaflowCache {
   void prune_empty_subtables();
   Subtable& subtable_for(const MaskSpec& mask);
   /// Evicts one entry, preferring the coldest subtable but never the
-  /// freshly inserted entry the caller still holds an iterator to.
-  void evict_one(const Subtable& just_inserted_table,
-                 const pkt::FlowKey& just_inserted_key);
+  /// freshly appended entry at the back of `just_inserted_table`.
+  void evict_one(const Subtable& just_inserted_table);
 
   Config config_;
   Resolver resolver_;  ///< empty: evict suspects instead of repairing
@@ -178,6 +259,9 @@ class MegaflowCache {
   std::size_t entries_ = 0;
   std::uint32_t lookups_since_rerank_ = 0;
   MegaflowStats stats_;
+  // Scratch for lookup_batch (indices of still-unresolved keys), kept
+  // across calls to avoid per-batch allocation.
+  std::vector<std::uint32_t> batch_pending_;
 
   // Revalidator state. The queue is written by on_table_change (any
   // thread) and drained on the owner's thread; events_pending_ keeps the

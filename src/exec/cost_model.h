@@ -34,7 +34,20 @@ struct CostModel {
   // upcall to the slow path costs an order of magnitude more than either.
   std::uint32_t parse_per_pkt = 25;        ///< key extraction
   std::uint32_t emc_hit = 55;              ///< exact-match cache probe
-  std::uint32_t megaflow_per_subtable = 70;  ///< dpcls: mask + hash + compare
+  std::uint32_t megaflow_per_subtable = 70;  ///< dpcls scalar probe: mask + hash + dispatch
+  // Subtable compare work, charged on top of the per-probe base. A probe
+  // first scans the subtable's contiguous 16-bit signature array (one
+  // SIMD compare per 16-entry block) and full-compares only signature
+  // matches; with the prefilter disabled every candidate entry pays the
+  // full masked compare — the linear-scan baseline the signature
+  // ablation measures against.
+  std::uint32_t megaflow_sig_block = 4;      ///< compare one 16-signature block
+  std::uint32_t megaflow_full_compare = 20;  ///< full masked-key compare
+  // Batched classification (dpcls batch loop): probing one subtable for a
+  // whole batch amortizes mask load, rank lookup and EWMA accounting, so
+  // the per-packet-per-subtable charge drops below the scalar base.
+  std::uint32_t megaflow_batch_packet = 25;  ///< per packet per subtable, batched
+  std::uint32_t classify_batch_base = 40;    ///< per-batch dispatch + outcome sort
   std::uint32_t megaflow_insert = 45;      ///< megaflow install on upcall
   std::uint32_t slow_path_base = 150;      ///< fixed upcall overhead
   std::uint32_t classifier_per_rule = 25;  ///< wildcard scan per rule visited

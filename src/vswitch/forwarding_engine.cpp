@@ -18,6 +18,9 @@ ForwardingEngine::ForwardingEngine(
       classifier_(table, cost, classifier_config) {
   rx_buf_.resize(burst_);
   tx_buf_.reserve(burst_);
+  key_buf_.resize(burst_);
+  hash_buf_.resize(burst_);
+  outcome_buf_.resize(burst_);
 }
 
 EngineCounters ForwardingEngine::counters() const noexcept {
@@ -32,6 +35,10 @@ EngineCounters ForwardingEngine::counters() const noexcept {
   out.megaflow_revalidations = tiers.megaflow_revalidations;
   out.emc_revalidations = tiers.emc_revalidations;
   out.slow_path_lookups = tiers.slow_path_lookups;
+  out.sig_hits = tiers.sig_hits;
+  out.sig_false_positives = tiers.sig_false_positives;
+  out.batches = tiers.batches;
+  out.batch_packets = tiers.batch_packets;
   return out;
 }
 
@@ -65,18 +72,32 @@ std::uint32_t ForwardingEngine::poll(exec::CycleMeter& meter) {
   return total;
 }
 
-FlowEntry* ForwardingEngine::classify(mbuf::Mbuf& buf,
-                                      exec::CycleMeter& meter) {
-  meter.charge(cost_->parse_per_pkt);
-  const pkt::FlowKey key = pkt::extract_flow_key(buf);
-  const std::uint32_t hash = pkt::flow_key_hash(key);
-  return classifier_.lookup(key, hash, meter).entry;
-}
-
 void ForwardingEngine::process_burst(SwitchPort& in_port,
                                      std::span<mbuf::Mbuf*> pkts,
                                      exec::CycleMeter& meter) {
   counters_.rx_packets += pkts.size();
+
+  // Parse the whole burst up front, then classify it as one batch (the
+  // dpcls batch loop) — or per packet when the scalar path is configured.
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    mbuf::Mbuf* buf = pkts[i];
+    buf->in_port = in_port.id();
+    buf->flow_hash = 0;  // in_port participates in the key; recompute
+    in_port.stats().rx_bytes += buf->data_len;
+    meter.charge(cost_->parse_per_pkt);
+    key_buf_[i] = pkt::extract_flow_key(*buf);
+    hash_buf_[i] = pkt::flow_key_hash(key_buf_[i]);
+  }
+  const std::size_t n = pkts.size();
+  if (classifier_.config().batch_classify) {
+    classifier_.lookup_batch(std::span(key_buf_.data(), n),
+                             std::span(hash_buf_.data(), n),
+                             std::span(outcome_buf_.data(), n), meter);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      outcome_buf_[i] = classifier_.lookup(key_buf_[i], hash_buf_[i], meter);
+    }
+  }
 
   // Sequential batching: consecutive packets to the same output are
   // flushed as one burst (the common case — an entire burst follows one
@@ -92,12 +113,9 @@ void ForwardingEngine::process_burst(SwitchPort& in_port,
     pending_out = kPortNone;
   };
 
-  for (mbuf::Mbuf* buf : pkts) {
-    buf->in_port = in_port.id();
-    buf->flow_hash = 0;  // in_port participates in the key; recompute
-    in_port.stats().rx_bytes += buf->data_len;
-
-    FlowEntry* entry = classify(*buf, meter);
+  for (std::size_t i = 0; i < n; ++i) {
+    mbuf::Mbuf* buf = pkts[i];
+    FlowEntry* entry = outcome_buf_[i].entry;
     if (entry == nullptr) {
       ++counters_.misses;
       ++in_port.stats().rx_dropped;

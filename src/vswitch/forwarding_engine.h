@@ -13,11 +13,13 @@
 
 /// \file forwarding_engine.h
 /// One OVS-DPDK PMD thread: polls its assigned ports in round-robin
-/// bursts, classifies each frame through the three-tier datapath
-/// classifier (exact-match cache → megaflow tuple-space search → wildcard
-/// table slow path), executes actions, and flushes per-destination
-/// bursts. Every per-hop cost of the "traditional approach" lives here —
-/// which is exactly the work the bypass channel removes.
+/// bursts, classifies each received burst through the three-tier datapath
+/// classifier (exact-match cache → signature-accelerated megaflow
+/// tuple-space search → wildcard table slow path) — as one batched
+/// lookup per burst, like the dpcls batch loop — executes actions, and
+/// flushes per-destination bursts. Every per-hop cost of the "traditional
+/// approach" lives here — which is exactly the work the bypass channel
+/// removes.
 
 namespace hw::vswitch {
 
@@ -38,6 +40,11 @@ struct EngineCounters {
   std::uint64_t megaflow_revalidations = 0;  ///< precise re-checks on FlowMod
   std::uint64_t emc_revalidations = 0;       ///< EMC slots repaired/evicted
   std::uint64_t slow_path_lookups = 0;
+  // Signature prefilter + batch pipeline telemetry (mirrored).
+  std::uint64_t sig_hits = 0;
+  std::uint64_t sig_false_positives = 0;
+  std::uint64_t batches = 0;        ///< batched classify rounds
+  std::uint64_t batch_packets = 0;  ///< packets through the batched path
 };
 
 class ForwardingEngine final : public exec::Context {
@@ -76,11 +83,11 @@ class ForwardingEngine final : public exec::Context {
   }
 
  private:
-  /// Processes one received burst from `in_port`.
+  /// Processes one received burst from `in_port`: parses every frame,
+  /// classifies the whole burst (batched by default), then executes
+  /// actions per packet in arrival order.
   void process_burst(SwitchPort& in_port, std::span<mbuf::Mbuf*> pkts,
                      exec::CycleMeter& meter);
-  /// Classifier lookup with cost accounting.
-  flowtable::FlowEntry* classify(mbuf::Mbuf& buf, exec::CycleMeter& meter);
   void flush_to(PortId out_port, std::span<mbuf::Mbuf* const> pkts,
                 exec::CycleMeter& meter);
   [[nodiscard]] SwitchPort* port_by_id(PortId id) noexcept;
@@ -98,6 +105,11 @@ class ForwardingEngine final : public exec::Context {
 
   std::vector<mbuf::Mbuf*> rx_buf_;
   std::vector<mbuf::Mbuf*> tx_buf_;
+  // Per-burst classification scratch (keys/hashes/outcomes), sized to
+  // the burst once — no per-burst allocation.
+  std::vector<pkt::FlowKey> key_buf_;
+  std::vector<std::uint32_t> hash_buf_;
+  std::vector<classifier::LookupOutcome> outcome_buf_;
 
  public:
   /// Registers a port reachable as an output destination (all switch

@@ -41,7 +41,8 @@ OfSwitch::OfSwitch(shm::ShmManager& shm, mbuf::Mempool& pool,
         "pmd" + std::to_string(i), table_, *pool_, *cost_,
         classifier::DpClassifierConfig{
             .emc_enabled = config_.emc_enabled,
-            .megaflow_enabled = config_.megaflow_enabled},
+            .megaflow_enabled = config_.megaflow_enabled,
+            .batch_classify = config_.batch_classify},
         config_.burst));
   }
 

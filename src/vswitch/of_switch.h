@@ -37,6 +37,7 @@ struct SwitchConfig {
   std::uint32_t burst = 32;
   bool emc_enabled = true;
   bool megaflow_enabled = true;      ///< dpcls-style middle tier
+  bool batch_classify = true;        ///< batched classification per burst
   std::uint32_t engine_count = 1;    ///< PMD threads (OVS pmd-cpu-mask)
   bool bypass_enabled = true;        ///< false = vanilla OVS-DPDK baseline
 };

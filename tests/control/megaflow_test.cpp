@@ -310,6 +310,107 @@ TEST(MegaflowCacheTest, CapacityEvictionPrunesEmptiedSubtable) {
   EXPECT_EQ(probed, 1u);
 }
 
+TEST(MegaflowCacheTest, SignatureScanCountsHitsAndFalsePositives) {
+  MegaflowCache cache;
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  for (PortId p = 1; p <= 8; ++p) {
+    cache.insert(make_key(p, 0, 0, 0), mask, p, 1);
+  }
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(5, 7, 7, 7), 1, probed), 5u);
+  // The hit was confirmed through the signature prefilter, and the only
+  // full compare performed was the confirming one (16-bit fingerprints
+  // over 8 entries collide with probability ~ 8/65536).
+  EXPECT_EQ(cache.stats().sig_hits, 1u);
+  EXPECT_EQ(cache.stats().sig_false_positives, 0u);
+}
+
+/// REGRESSION (masked-key signatures): the per-entry signature must be
+/// the fingerprint of the *masked* key — mask applied before hashing. An
+/// entry repaired in place by the revalidator keeps its stored (masked)
+/// key, so its signature must keep matching the projection every later
+/// lookup computes; a signature derived from the raw inserting key would
+/// go permanently stale here and the repaired entry would never be found
+/// again (a silent cache leak, not a correctness bug — which is exactly
+/// why it needs a dedicated test).
+TEST(MegaflowCacheTest, RepairInPlaceKeepsSignatureValid) {
+  MegaflowCache cache;
+  // The mask strips the low 16 dst bits and every src bit: the raw key
+  // and its masked projection hash differently.
+  MaskSpec mask{.fields = openflow::kMatchInPort | openflow::kMatchIpDst,
+                .ip_dst_plen = 16};
+  cache.set_revalidation_hooks(
+      [](const pkt::FlowKey&) {
+        MegaflowCache::Resolution res;
+        res.found = true;
+        res.rule = 42;
+        res.unwildcarded = MaskSpec{.fields = openflow::kMatchInPort};
+        return res;
+      },
+      nullptr, nullptr);
+  const pkt::FlowKey raw = make_key(3, 0xc0a80101, 0x0a0bccdd, 443);
+  ASSERT_NE(raw, apply(mask, raw));  // projection really differs
+  cache.insert(raw, mask, 7, /*table_version=*/1);
+
+  // An intersecting ADD marks the entry suspect; the resolver's fresh
+  // unwildcard set fits the subtable mask, so it is repaired in place.
+  Match port3;
+  port3.in_port(3);
+  cache.on_table_change(
+      change_event(FlowModCommand::kAdd, port3, 50, /*version=*/2));
+
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(raw, 2, probed), 42u);
+  EXPECT_EQ(cache.stats().revalidated_kept, 1u);
+  EXPECT_EQ(cache.stats().sig_hits, 1u);
+  EXPECT_EQ(cache.stats().sig_false_positives, 0u);
+  // Any other key with the same masked projection finds it too.
+  EXPECT_EQ(cache.lookup(make_key(3, 1, 0x0a0b0000, 80), 2, probed), 42u);
+}
+
+TEST(MegaflowCacheTest, SignaturePrefilterOffStillFindsEntries) {
+  MegaflowCache cache(MegaflowCacheConfig{.signature_prefilter = false});
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  for (PortId p = 1; p <= 4; ++p) {
+    cache.insert(make_key(p, 0, 0, 0), mask, p, 1);
+  }
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(3, 9, 9, 9), 1, probed), 3u);
+  // The scalar baseline never touches the signature counters.
+  EXPECT_EQ(cache.stats().sig_hits, 0u);
+  EXPECT_EQ(cache.stats().sig_false_positives, 0u);
+}
+
+TEST(MegaflowCacheTest, BatchLookupMatchesScalarResults) {
+  MegaflowCache batch_cache;
+  MegaflowCache scalar_cache;
+  MaskSpec port_only{.fields = openflow::kMatchInPort};
+  MaskSpec port_and_dst{
+      .fields = openflow::kMatchInPort | openflow::kMatchL4Dst};
+  for (PortId p = 1; p <= 4; ++p) {
+    batch_cache.insert(make_key(p, 0, 0, 0), port_only, p, 1);
+    scalar_cache.insert(make_key(p, 0, 0, 0), port_only, p, 1);
+  }
+  batch_cache.insert(make_key(9, 0, 0, 80), port_and_dst, 90, 1);
+  scalar_cache.insert(make_key(9, 0, 0, 80), port_and_dst, 90, 1);
+
+  std::vector<pkt::FlowKey> keys = {
+      make_key(1, 5, 5, 5), make_key(3, 6, 6, 6), make_key(9, 0, 0, 80),
+      make_key(7, 1, 1, 1),  // covered by nothing
+  };
+  std::vector<RuleId> out(keys.size(), kRuleNone);
+  ProbeTally tally;
+  batch_cache.lookup_batch(keys, 1, out, tally);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    std::uint32_t probed = 0;
+    EXPECT_EQ(out[i], scalar_cache.lookup(keys[i], 1, probed))
+        << "batch vs scalar diverged on key " << i;
+  }
+  EXPECT_EQ(batch_cache.stats().hits, 3u);
+  EXPECT_EQ(batch_cache.stats().misses, 1u);
+  EXPECT_GT(tally.probes, 0u);
+}
+
 TEST(MegaflowCacheTest, RankingMovesHotSubtableFirst) {
   MegaflowCache cache(MegaflowCache::Config{.rank_interval = 64});
   MaskSpec cold{.fields = openflow::kMatchInPort};
@@ -579,6 +680,125 @@ TEST_F(DpClassifierTest, RevalidationWorkIsChargedToTheMeter) {
   // megaflow, one EMC slot).
   EXPECT_GE(churned.total_used(), cost_.emc_hit + cost_.revalidate_per_event +
                                       2 * cost_.revalidate_per_entry);
+}
+
+TEST_F(DpClassifierTest, BatchUpcallsOnceForIntraBatchDuplicates) {
+  DpClassifier dp(table_, cost_);
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
+  // A whole burst of one brand-new flow: the batched path must upcall
+  // once and resolve the duplicates from the caches that upcall filled,
+  // like the scalar path would — not pay 32 wildcard scans.
+  const pkt::FlowKey key = make_key(1, 1, 2, 80);
+  std::vector<pkt::FlowKey> keys(32, key);
+  std::vector<std::uint32_t> hashes(32, pkt::flow_key_hash(key));
+  std::vector<LookupOutcome> outcomes(32);
+  dp.lookup_batch(keys, hashes, outcomes, meter_);
+  EXPECT_EQ(dp.counters().slow_path_lookups, 1u);
+  EXPECT_EQ(dp.counters().emc_hits, 31u);
+  for (const LookupOutcome& outcome : outcomes) {
+    ASSERT_NE(outcome.entry, nullptr);
+    EXPECT_EQ(outcome.entry, outcomes[0].entry);
+  }
+}
+
+TEST_F(DpClassifierTest, BatchUpcallsOnceForFreshFlowAggregate) {
+  DpClassifier dp(table_, cost_);
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
+  // 32 DISTINCT flows all covered by the in_port-only rule: the first
+  // upcall installs an in_port-only megaflow, and the rest of the batch
+  // must resolve against it instead of re-upcalling.
+  std::vector<pkt::FlowKey> keys;
+  std::vector<std::uint32_t> hashes;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    keys.push_back(make_key(1, 100 + i, 200 + i, 80));
+    hashes.push_back(pkt::flow_key_hash(keys.back()));
+  }
+  std::vector<LookupOutcome> outcomes(32);
+  dp.lookup_batch(keys, hashes, outcomes, meter_);
+  EXPECT_EQ(dp.counters().slow_path_lookups, 1u);
+  EXPECT_EQ(dp.counters().megaflow_hits, 31u);
+  for (const LookupOutcome& outcome : outcomes) {
+    ASSERT_NE(outcome.entry, nullptr);
+    EXPECT_EQ(outcome.entry, outcomes[0].entry);
+  }
+}
+
+// -------------------------------------------- revalidator edge paths
+// The churn oracle below keeps its event queue drained on every lookup,
+// so it can never overflow and it never deletes-then-re-adds an
+// identical match in one drain. These tests pin down exactly those
+// paths.
+
+TEST_F(DpClassifierTest, QueueOverflowCountsFullFlushAndClearsEmc) {
+  // Rules go in before the classifier subscribes, so the only queued
+  // events are the churn burst below.
+  for (PortId p = 1; p <= 4; ++p) {
+    ASSERT_TRUE(
+        table_.apply(openflow::make_p2p_flowmod(p, p + 10, 100, p)).is_ok());
+  }
+  DpClassifierConfig config;
+  config.megaflow.revalidator_queue_limit = 2;
+  DpClassifier dp(table_, cost_, config);
+  const pkt::FlowKey key = make_key(1, 1, 2, 80);
+  ASSERT_NE(lookup(dp, key), nullptr);
+  ASSERT_EQ(dp.lookup(key, pkt::flow_key_hash(key), meter_).tier, Tier::kEmc);
+  ASSERT_GT(dp.megaflow().entry_count(), 0u);
+
+  // A burst of FlowMods (far port — they intersect nothing cached)
+  // overflows the 2-deep queue before the owner thread touches the
+  // caches again: precise tracking is abandoned for one full flush.
+  Match far_port;
+  far_port.in_port(99);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        table_
+            .apply(add_rule(far_port, static_cast<std::uint16_t>(300 + i), 5))
+            .is_ok());
+  }
+
+  const LookupOutcome after = dp.lookup(key, pkt::flow_key_hash(key), meter_);
+  // The flush is counted (megaflow_invalidations) and both tiers were
+  // dropped — the EMC-resident key had to re-upcall — yet the answer is
+  // still the table's.
+  EXPECT_EQ(after.tier, Tier::kSlowPath);
+  ASSERT_NE(after.entry, nullptr);
+  EXPECT_EQ(after.entry, table_.lookup(key));
+  EXPECT_EQ(dp.megaflow().stats().queue_overflows, 1u);
+  EXPECT_GE(dp.counters().megaflow_invalidations, 1u);
+  // Caches re-warm normally afterwards.
+  EXPECT_EQ(dp.lookup(key, pkt::flow_key_hash(key), meter_).tier, Tier::kEmc);
+}
+
+TEST_F(DpClassifierTest, EmcNeverServesStaleRuleAcrossDeleteAndReadd) {
+  DpClassifier dp(table_, cost_);
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
+  const pkt::FlowKey key = make_key(1, 1, 2, 80);
+  ASSERT_NE(lookup(dp, key), nullptr);
+  const LookupOutcome warm = dp.lookup(key, pkt::flow_key_hash(key), meter_);
+  ASSERT_EQ(warm.tier, Tier::kEmc);
+  const RuleId old_id = warm.entry->id;
+
+  // Delete the rule and re-add the SAME match+priority with different
+  // actions, with no lookup in between: both events drain together on
+  // the next touch. The slot's generation stamp is for the dead rule, so
+  // whichever path resolves the slot must end up at the NEW rule.
+  FlowMod del;
+  del.command = FlowModCommand::kDeleteStrict;
+  del.match.in_port(1);
+  del.priority = 10;
+  ASSERT_TRUE(table_.apply(del).is_ok());
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 7, 10, 2)).is_ok());
+
+  const LookupOutcome after = dp.lookup(key, pkt::flow_key_hash(key), meter_);
+  ASSERT_NE(after.entry, nullptr);
+  EXPECT_NE(after.entry->id, old_id);  // the re-add minted a fresh rule
+  EXPECT_EQ(after.entry, table_.lookup(key));
+  EXPECT_EQ(after.entry->actions[0].port, 7);
+  EXPECT_GE(dp.counters().emc_revalidations, 1u);
+  // And the EMC serves the new rule from here on.
+  const LookupOutcome steady = dp.lookup(key, pkt::flow_key_hash(key), meter_);
+  EXPECT_EQ(steady.tier, Tier::kEmc);
+  EXPECT_EQ(steady.entry->actions[0].port, 7);
 }
 
 // ------------------------------------------------- churn torture (oracle)
