@@ -177,6 +177,15 @@ inline void export_counters(benchmark::State& state,
       static_cast<double>(metrics.sig_false_positives);
   state.counters["batches"] = static_cast<double>(metrics.batches);
   state.counters["batch_fill_avg"] = metrics.batch_fill_avg;
+  // Coalescing-revalidator telemetry (see docs/COUNTERS.md).
+  state.counters["reval_batches"] =
+      static_cast<double>(metrics.reval_batches);
+  state.counters["reval_scanned"] =
+      static_cast<double>(metrics.reval_entries_scanned);
+  state.counters["reval_coalesced"] =
+      static_cast<double>(metrics.reval_coalesced_events);
+  state.counters["cache_resizes"] =
+      static_cast<double>(metrics.cache_resizes);
 }
 
 }  // namespace hw::bench

@@ -54,6 +54,8 @@ Status ChainScenario::build() {
                             .emc_enabled = config_.emc_enabled,
                             .megaflow_enabled = config_.megaflow_enabled,
                             .batch_classify = config_.batch_classify,
+                            .revalidate_budget = config_.revalidate_budget,
+                            .megaflow_auto_size = config_.megaflow_auto_size,
                             .engine_count = config_.engine_count,
                             .bypass_enabled = config_.enable_bypass});
   agent_ = std::make_unique<agent::ComputeAgent>(shm_, *runtime_,
@@ -315,6 +317,12 @@ ChainMetrics ChainScenario::measure(TimeNs duration_ns) {
           ? static_cast<double>(batch_pkts) /
                 static_cast<double>(metrics.batches)
           : 0.0;
+  metrics.reval_batches = tiers.reval_batches - snap_tiers_.reval_batches;
+  metrics.reval_entries_scanned =
+      tiers.reval_entries_scanned - snap_tiers_.reval_entries_scanned;
+  metrics.reval_coalesced_events =
+      tiers.reval_coalesced_events - snap_tiers_.reval_coalesced_events;
+  metrics.cache_resizes = tiers.cache_resizes - snap_tiers_.cache_resizes;
 
   std::size_t engine_index = 0;
   const double window_cycles = static_cast<double>(metrics.duration_ns) *

@@ -42,6 +42,10 @@ struct ChainConfig {
   bool emc_enabled = true;
   bool megaflow_enabled = true;  ///< dpcls-style middle classifier tier
   bool batch_classify = true;    ///< batched burst classification
+  /// Pending FlowMod events tolerated before an in-lookup drain; 0 =
+  /// drain eagerly, nonzero defers revalidation to batch boundaries.
+  std::uint32_t revalidate_budget = 0;
+  bool megaflow_auto_size = true;  ///< working-set-driven megaflow sizing
 
   std::uint32_t frame_len = 64;
   std::uint32_t flow_count = 8;
@@ -86,6 +90,11 @@ struct ChainMetrics {
   std::uint64_t sig_false_positives = 0;
   std::uint64_t batches = 0;
   double batch_fill_avg = 0;  ///< packets per batched classify round
+  // Coalescing-revalidator telemetry (see docs/COUNTERS.md).
+  std::uint64_t reval_batches = 0;          ///< suspect-scan passes
+  std::uint64_t reval_entries_scanned = 0;  ///< entries examined by scans
+  std::uint64_t reval_coalesced_events = 0; ///< events folded into shared scans
+  std::uint64_t cache_resizes = 0;          ///< megaflow capacity retargets
 };
 
 class ChainScenario {

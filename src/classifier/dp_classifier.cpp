@@ -20,9 +20,25 @@ DpClassifier::DpClassifier(flowtable::FlowTable& table,
   // exact-match slot serving forever).
   megaflow_.set_revalidation_hooks(
       [this](const pkt::FlowKey& key) { return resolve(key, nullptr); },
-      [this](const TableChangeEvent& event) {
-        if (!config_.emc_enabled) return;
-        const auto counts = emc_.revalidate(event, *table_);
+      [this](std::span<const TableChangeEvent> events) {
+        if (!config_.emc_enabled || events.empty()) return;
+        // The EMC coalesces the same way the megaflow tier does: one
+        // pass over the slots for the whole drained batch (or one pass
+        // per event in the ablation baseline).
+        flowtable::ExactMatchCache::RevalidateCounts counts;
+        if (config_.megaflow.coalesce_revalidation) {
+          counts = emc_.revalidate_batch(events, *table_);
+        } else {
+          for (const TableChangeEvent& event : events) {
+            const auto c = emc_.revalidate(event, *table_);
+            counts.scanned += c.scanned;
+            counts.repaired += c.repaired;
+            counts.evicted += c.evicted;
+          }
+        }
+        emc_accum_.scanned += counts.scanned;
+        emc_accum_.repaired += counts.repaired;
+        emc_accum_.evicted += counts.evicted;
         counters_.emc_revalidations += counts.repaired + counts.evicted;
       },
       [this] {
@@ -68,22 +84,44 @@ MegaflowCache::Resolution DpClassifier::resolve(const pkt::FlowKey& key,
   return res;
 }
 
-void DpClassifier::drain_table_changes(exec::CycleMeter& meter) {
+void DpClassifier::drain_table_changes(exec::CycleMeter& meter, bool force) {
   if (!megaflow_.has_pending_changes()) return;
-  const std::uint64_t emc_before = counters_.emc_revalidations;
-  const MegaflowCache::RevalidateReport report = megaflow_.revalidate();
-  const std::uint64_t emc_touched =
-      counters_.emc_revalidations - emc_before;
-  meter.charge(static_cast<Cycles>(report.events) *
-                   cost_->revalidate_per_event +
-               static_cast<Cycles>(report.revalidated + emc_touched) *
-                   cost_->revalidate_per_entry);
+  if (force) {
+    (void)megaflow_.revalidate();
+  } else {
+    (void)megaflow_.maybe_revalidate();
+  }
+  charge_reval_work(meter);
+}
+
+void DpClassifier::charge_reval_work(exec::CycleMeter& meter) {
+  // Bill the delta of revalidation work since the last call — whatever
+  // path performed it (explicit drain, or a drain triggered inside a
+  // megaflow lookup/insert): cheap suspect test per entry examined, full
+  // re-lookup per repair/evict, both tiers.
+  const MegaflowStats& stats = megaflow_.stats();
+  RevalWork now;
+  now.scanned = stats.reval_entries_scanned + emc_accum_.scanned;
+  now.repaired = stats.revalidated_kept + emc_accum_.repaired;
+  now.evicted = stats.revalidated_evicted + emc_accum_.evicted;
+  meter.charge(
+      static_cast<Cycles>(now.scanned - reval_seen_.scanned) *
+          cost_->revalidate_per_entry +
+      static_cast<Cycles>(now.repaired - reval_seen_.repaired) *
+          cost_->revalidate_repair +
+      static_cast<Cycles>(now.evicted - reval_seen_.evicted) *
+          cost_->revalidate_evict);
+  reval_seen_ = now;
   // Mirror the cache-internal tallies the engines/benches report (the
   // cache's own stats also cover any drain its lookup/insert applied).
-  counters_.megaflow_revalidations = megaflow_.stats().revalidations;
-  counters_.megaflow_invalidations = megaflow_.stats().flushes;
-  counters_.megaflow_revalidation_evictions =
-      megaflow_.stats().revalidated_evicted;
+  counters_.megaflow_revalidations = stats.revalidations;
+  counters_.megaflow_invalidations = stats.flushes;
+  counters_.megaflow_revalidation_evictions = stats.revalidated_evicted;
+  counters_.reval_batches = stats.reval_batches;
+  counters_.reval_entries_scanned =
+      stats.reval_entries_scanned + emc_accum_.scanned;
+  counters_.reval_coalesced_events = stats.reval_coalesced_events;
+  counters_.cache_resizes = stats.cache_resizes;
 }
 
 Cycles DpClassifier::tally_cycles(const ProbeTally& tally,
@@ -97,7 +135,10 @@ Cycles DpClassifier::tally_cycles(const ProbeTally& tally,
   return static_cast<Cycles>(tally.probes) * per_probe +
          static_cast<Cycles>(tally.sig_blocks) * cost_->megaflow_sig_block +
          static_cast<Cycles>(tally.full_compares) *
-             cost_->megaflow_full_compare;
+             cost_->megaflow_full_compare +
+         // Pending-event guard tests paid while a drain was deferred
+         // under a revalidate_budget: one suspect test each.
+         static_cast<Cycles>(tally.reval_checks) * cost_->revalidate_per_entry;
 }
 
 void DpClassifier::mirror_sig_stats() noexcept {
@@ -186,14 +227,36 @@ LookupOutcome DpClassifier::probe_caches(const pkt::FlowKey& key,
 LookupOutcome DpClassifier::lookup(const pkt::FlowKey& key,
                                    std::uint32_t hash,
                                    exec::CycleMeter& meter) {
-  // Apply pending FlowMod events first (owner thread), then snapshot the
-  // version the caches are now synchronized to.
-  drain_table_changes(meter);
+  // Apply pending FlowMod events first (owner thread) — or, under a
+  // nonzero revalidate_budget, defer the drain and guard the cached
+  // tiers against the pending events instead.
+  drain_table_changes(meter, /*force=*/false);
+  if (config_.emc_enabled && megaflow_.has_pending_changes() &&
+      emc_.holds(key, hash)) {
+    // Deferred drain: the EMC's generation/liveness checks already catch
+    // pending DELETEs and MODIFYs, but a pending ADD could steal this
+    // exact key invisibly — if one covers it, pay the coalesced drain
+    // now (it repairs the slot) instead of serving stale. Keys the EMC
+    // does not hold need no guard: they miss tier 1 regardless, and the
+    // megaflow tier runs its own per-entry pending verdict.
+    std::uint32_t checks = 0;
+    const bool steal = megaflow_.pending_add_affects(key, &checks);
+    meter.charge(static_cast<Cycles>(checks) * cost_->revalidate_per_entry);
+    if (steal) {
+      (void)megaflow_.revalidate();
+      charge_reval_work(meter);
+    }
+  }
   const std::uint64_t version = table_->version();
   const LookupOutcome cached =
       probe_caches(key, hash, version, /*batched=*/false, meter);
-  if (cached.entry != nullptr) return cached;
-  return slow_path(key, hash, version, meter);
+  if (cached.entry != nullptr) {
+    charge_reval_work(meter);  // drains triggered inside the megaflow probe
+    return cached;
+  }
+  const LookupOutcome out = slow_path(key, hash, version, meter);
+  charge_reval_work(meter);
+  return out;
 }
 
 void DpClassifier::lookup_batch(std::span<const pkt::FlowKey> keys,
@@ -201,8 +264,10 @@ void DpClassifier::lookup_batch(std::span<const pkt::FlowKey> keys,
                                 std::span<LookupOutcome> out,
                                 exec::CycleMeter& meter) {
   // One drain and one version snapshot cover the whole batch: every
-  // event applied here is visible to all three tier passes below.
-  drain_table_changes(meter);
+  // event applied here is visible to all three tier passes below. A
+  // batch is the boundary a deferred (budgeted) drain waits for, so the
+  // drain is forced here regardless of the budget.
+  drain_table_changes(meter, /*force=*/true);
   const std::uint64_t version = table_->version();
   meter.charge(cost_->classify_batch_base);
   ++counters_.batches;
@@ -272,6 +337,7 @@ void DpClassifier::lookup_batch(std::span<const pkt::FlowKey> keys,
     out[i] = slow_path(keys[i], hashes[i], version, meter);
     installed = installed || out[i].entry != nullptr;
   }
+  charge_reval_work(meter);
 }
 
 }  // namespace hw::classifier

@@ -34,12 +34,22 @@
 /// equivalence fuzzer in tests/control/classifier_equiv_test.cpp.
 ///
 /// Staleness safety: the classifier subscribes to FlowTable changes and
-/// runs an OVS-style revalidator on its own thread — each change event is
-/// applied precisely to both cache tiers (suspect entries re-looked-up
-/// and repaired or evicted; untouched entries keep serving), with
-/// per-rule generation stamps (EMC) and per-entry version stamps
-/// (megaflow) as the safety net. A stale rule is therefore never served,
-/// and a FlowMod no longer costs the whole cache.
+/// runs an OVS-style *coalescing* revalidator on its own thread — each
+/// drain folds the whole pending event burst into one suspect scan over
+/// both cache tiers (suspect entries re-looked-up and repaired or
+/// evicted; untouched entries keep serving), with per-rule generation
+/// stamps (EMC) and per-entry version stamps (megaflow) as the safety
+/// net. A stale rule is therefore never served, a FlowMod no longer
+/// costs the whole cache, and a burst of N FlowMods costs one scan
+/// instead of N. Cost is charged per entry examined plus per
+/// repair/evict (exec::CostModel), mirroring how empirical OVS delay
+/// models attribute cache-maintenance cost under control-plane churn.
+///
+/// With a nonzero revalidate_budget the scalar path defers drains
+/// (serving only hits provably unaffected by the pending events — the
+/// EMC consults pending_add_affects, the megaflow cache its own pending
+/// verdict) so bursts coalesce across lookups until the next batch
+/// boundary; lookup_batch always drains first.
 
 namespace hw::classifier {
 
@@ -74,6 +84,11 @@ struct TierCounters {
   std::uint64_t sig_false_positives = 0;  ///< signature matched, compare failed
   std::uint64_t batches = 0;              ///< batched classify rounds
   std::uint64_t batch_packets = 0;        ///< packets through the batched path
+  // Coalescing-revalidator telemetry (see docs/COUNTERS.md).
+  std::uint64_t reval_batches = 0;          ///< suspect-scan passes executed
+  std::uint64_t reval_entries_scanned = 0;  ///< entries examined (both tiers)
+  std::uint64_t reval_coalesced_events = 0; ///< events folded into shared scans
+  std::uint64_t cache_resizes = 0;          ///< megaflow capacity retargets
 
   TierCounters& operator+=(const TierCounters& other) noexcept {
     emc_hits += other.emc_hits;
@@ -91,6 +106,10 @@ struct TierCounters {
     sig_false_positives += other.sig_false_positives;
     batches += other.batches;
     batch_packets += other.batch_packets;
+    reval_batches += other.reval_batches;
+    reval_entries_scanned += other.reval_entries_scanned;
+    reval_coalesced_events += other.reval_coalesced_events;
+    cache_resizes += other.cache_resizes;
     return *this;
   }
 };
@@ -152,7 +171,14 @@ class DpClassifier {
   MegaflowCache::Resolution resolve(const pkt::FlowKey& key,
                                     std::uint32_t* visited) noexcept;
   /// Applies pending FlowMod events to both cache tiers (owner thread).
-  void drain_table_changes(exec::CycleMeter& meter);
+  /// `force` drains unconditionally (the batch boundary); otherwise the
+  /// megaflow cache's revalidate_budget decides whether to defer.
+  void drain_table_changes(exec::CycleMeter& meter, bool force);
+  /// Charges `meter` for any revalidation work performed since the last
+  /// call (per entry examined + per repair/evict, both tiers — including
+  /// drains triggered inside megaflow lookup/insert) and mirrors the
+  /// revalidator counters into counters_.
+  void charge_reval_work(exec::CycleMeter& meter);
   /// Converts a megaflow probe tally into cycles (scalar or batched
   /// per-subtable base; signature-scan and compare charges are shared).
   [[nodiscard]] Cycles tally_cycles(const ProbeTally& tally,
@@ -186,6 +212,17 @@ class DpClassifier {
   MegaflowCache megaflow_;
   TierCounters counters_;
   std::uint64_t listener_token_ = 0;
+  // Monotonic tallies of revalidation work, for delta-charging the cycle
+  // meter: the megaflow side is read from megaflow_.stats(), the EMC side
+  // accumulates in the events hook, and reval_seen_ is what
+  // charge_reval_work has already billed.
+  struct RevalWork {
+    std::uint64_t scanned = 0;   ///< entries examined (megaflow + EMC)
+    std::uint64_t repaired = 0;
+    std::uint64_t evicted = 0;
+  };
+  RevalWork emc_accum_;
+  RevalWork reval_seen_;
   // Batch scratch (indices of EMC misses, gathered keys, megaflow
   // verdicts), kept across batches to avoid per-batch allocation.
   std::vector<std::uint32_t> batch_miss_;

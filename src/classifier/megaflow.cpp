@@ -7,6 +7,26 @@ namespace hw::classifier {
 using flowtable::TableChangeEvent;
 using openflow::FlowModCommand;
 
+namespace {
+
+[[nodiscard]] bool is_removal(FlowModCommand command) noexcept {
+  return command == FlowModCommand::kDelete ||
+         command == FlowModCommand::kDeleteStrict;
+}
+
+[[nodiscard]] bool is_modify(FlowModCommand command) noexcept {
+  return command == FlowModCommand::kModify ||
+         command == FlowModCommand::kModifyStrict;
+}
+
+[[nodiscard]] std::size_t pow2_ceil(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 std::size_t MegaflowCache::Subtable::find(const pkt::FlowKey& masked,
                                           std::uint16_t sig,
                                           bool use_signature,
@@ -70,32 +90,88 @@ std::size_t MegaflowCache::probe_subtable(const Subtable& subtable,
   return index;
 }
 
+MegaflowCache::PendingVerdict MegaflowCache::pending_verdict(
+    const MaskSpec& mask, const Slot& slot, std::uint64_t table_version,
+    ProbeTally& tally) {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  // The deferral is only sound when the queue precisely explains every
+  // version between the sync point and the caller's table version; an
+  // overflow or an uncovered gap falls back to the stale-evict safety
+  // net.
+  if (queue_overflowed_ || queue_.empty() ||
+      queue_.back().version < table_version) {
+    return PendingVerdict::kUnexplained;
+  }
+  for (const TableChangeEvent& event : queue_) {
+    ++tally.reval_checks;
+    if (is_modify(event.command)) continue;  // rules are resolved live by id
+    if (is_removal(event.command)) {
+      if (std::find(event.removed.begin(), event.removed.end(), slot.rule) !=
+          event.removed.end()) {
+        return PendingVerdict::kSuspect;
+      }
+    } else if (may_intersect(mask, slot.key, event.match)) {
+      return PendingVerdict::kSuspect;
+    }
+  }
+  return PendingVerdict::kClean;
+}
+
+bool MegaflowCache::pending_add_affects(const pkt::FlowKey& key,
+                                        std::uint32_t* checks) {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (queue_overflowed_) return true;
+  for (const TableChangeEvent& event : queue_) {
+    if (checks != nullptr) ++*checks;
+    if (event.command == FlowModCommand::kAdd && event.match.matches(key)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 RuleId MegaflowCache::lookup(const pkt::FlowKey& key,
                              std::uint64_t table_version, ProbeTally& tally) {
-  (void)revalidate();
+  (void)maybe_revalidate();
   const std::uint32_t probes_before = tally.probes;
   RuleId found = kRuleNone;
   bool evicted = false;
-  for (auto& subtable : subtables_) {
-    const pkt::FlowKey masked = apply(subtable->mask, key);
-    const std::size_t index = probe_subtable(*subtable, masked, tally);
-    if (index == kNpos) continue;
-    // Proven current: the revalidator has synchronized the cache to this
-    // version, or the entry was installed/repaired at exactly it. A
-    // version gap the queue has not explained (standalone use, or a
-    // FlowMod racing this probe) means the wildcard table may pick a
-    // different rule now — evict, the slow path will reinstall.
-    if (synced_version_ != table_version &&
-        subtable->slots[index].version != table_version) {
-      subtable->erase_at(index);
-      --entries_;
-      ++stats_.stale_evictions;
-      evicted = true;
-      continue;
+  bool restart = true;
+  while (restart) {
+    restart = false;
+    for (auto& subtable : subtables_) {
+      const pkt::FlowKey masked = apply(subtable->mask, key);
+      const std::size_t index = probe_subtable(*subtable, masked, tally);
+      if (index == kNpos) continue;
+      // Proven current: the revalidator has synchronized the cache to
+      // this version, or the entry was installed/repaired at exactly it.
+      if (synced_version_ != table_version &&
+          subtable->slots[index].version != table_version) {
+        // A deferred drain (revalidate_budget) may explain the gap: serve
+        // only when no pending event can affect this entry; a suspect hit
+        // pays the coalesced drain right now and re-probes. Anything the
+        // queue cannot explain is treated as stale — evict, the slow path
+        // will reinstall.
+        const PendingVerdict verdict = pending_verdict(
+            subtable->mask, subtable->slots[index], table_version, tally);
+        if (verdict == PendingVerdict::kSuspect) {
+          (void)revalidate();
+          restart = true;  // slots moved/repaired: probe from scratch
+          break;
+        }
+        if (verdict == PendingVerdict::kUnexplained) {
+          subtable->erase_at(index);
+          --entries_;
+          ++stats_.stale_evictions;
+          evicted = true;
+          continue;
+        }
+      }
+      found = subtable->slots[index].rule;
+      touch(subtable->slots[index]);
+      ++subtable->window_hits;
+      break;
     }
-    found = subtable->slots[index].rule;
-    ++subtable->window_hits;
-    break;
   }
   stats_.subtables_probed += tally.probes - probes_before;
   if (found != kRuleNone) {
@@ -105,12 +181,15 @@ RuleId MegaflowCache::lookup(const pkt::FlowKey& key,
   }
   if (evicted) prune_empty_subtables();
   maybe_rerank(1);
+  maybe_resize(1);
   return found;
 }
 
 void MegaflowCache::lookup_batch(std::span<const pkt::FlowKey> keys,
                                  std::uint64_t table_version,
                                  std::span<RuleId> out, ProbeTally& tally) {
+  // A batch IS the batch boundary a deferred drain waits for: drain
+  // everything first so the whole batch sees one synchronized cache.
   (void)revalidate();
   const std::uint32_t probes_before = tally.probes;
   batch_pending_.clear();
@@ -142,6 +221,7 @@ void MegaflowCache::lookup_batch(std::span<const pkt::FlowKey> keys,
         continue;
       }
       out[i] = subtable->slots[index].rule;
+      touch(subtable->slots[index]);
       ++subtable->window_hits;
       batch_pending_[p] = batch_pending_.back();
       batch_pending_.pop_back();
@@ -152,12 +232,13 @@ void MegaflowCache::lookup_batch(std::span<const pkt::FlowKey> keys,
   stats_.misses += batch_pending_.size();
   if (evicted) prune_empty_subtables();
   maybe_rerank(static_cast<std::uint32_t>(keys.size()));
+  maybe_resize(static_cast<std::uint32_t>(keys.size()));
 }
 
 void MegaflowCache::insert(const pkt::FlowKey& key, const MaskSpec& mask,
                            RuleId rule, std::uint64_t table_version) {
   if (config_.max_entries == 0) return;
-  (void)revalidate();
+  (void)maybe_revalidate();
   Subtable& subtable = subtable_for(mask);
   const pkt::FlowKey masked = apply(mask, key);
   const std::uint16_t sig = flow_signature(masked);
@@ -171,10 +252,12 @@ void MegaflowCache::insert(const pkt::FlowKey& key, const MaskSpec& mask,
     return;
   }
   subtable.sigs.push_back(sig);
-  subtable.slots.push_back(Slot{masked, rule, table_version});
+  Slot slot{masked, rule, table_version, size_epoch_};
+  subtable.slots.push_back(slot);
   ++stats_.inserts;
   ++entries_;
-  if (entries_ > config_.max_entries) evict_one(subtable);
+  ++window_distinct_;  // a fresh entry is part of the working set
+  if (entries_ > effective_capacity_) evict_one(&subtable);
 }
 
 void MegaflowCache::on_table_change(const TableChangeEvent& event) {
@@ -195,18 +278,28 @@ void MegaflowCache::on_table_change(const TableChangeEvent& event) {
 
 void MegaflowCache::set_revalidation_hooks(
     Resolver resolver,
-    std::function<void(const TableChangeEvent&)> event_sink,
+    std::function<void(std::span<const TableChangeEvent>)> events_sink,
     std::function<void()> flush_sink) {
   resolver_ = std::move(resolver);
-  event_sink_ = std::move(event_sink);
+  events_sink_ = std::move(events_sink);
   flush_sink_ = std::move(flush_sink);
+}
+
+MegaflowCache::RevalidateReport MegaflowCache::maybe_revalidate() {
+  if (!events_pending_.load(std::memory_order_acquire)) return {};
+  bool drain = config_.revalidate_budget == 0;
+  if (!drain) {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    drain = queue_overflowed_ || queue_.size() > config_.revalidate_budget;
+  }
+  return drain ? revalidate() : RevalidateReport{};
 }
 
 MegaflowCache::RevalidateReport MegaflowCache::revalidate() {
   RevalidateReport report;
   if (!events_pending_.load(std::memory_order_acquire)) return report;
 
-  std::deque<TableChangeEvent> events;
+  std::vector<TableChangeEvent> events;
   bool overflowed = false;
   std::uint64_t overflow_version = 0;
   {
@@ -232,44 +325,88 @@ MegaflowCache::RevalidateReport MegaflowCache::revalidate() {
   }
   if (report.flushed && flush_sink_) flush_sink_();
   const Resolver* resolver = resolver_ ? &resolver_ : nullptr;
-  for (const TableChangeEvent& event : events) {
-    report.revalidated += revalidate_event(event, resolver);
-    synced_version_ = std::max(synced_version_, event.version);
-    if (event_sink_) event_sink_(event);
+  if (config_.coalesce_revalidation) {
+    revalidate_coalesced(events, resolver, report);
+  } else {
+    for (const TableChangeEvent& event : events) {
+      revalidate_event(event, resolver, report);
+      synced_version_ = std::max(synced_version_, event.version);
+    }
   }
   report.events = events.size();
-  if (report.revalidated > 0) prune_empty_subtables();
+  if (events_sink_ && !events.empty()) events_sink_(events);
+  if (report.evicted > 0) prune_empty_subtables();
   return report;
 }
 
-std::size_t MegaflowCache::revalidate_event(const TableChangeEvent& event,
-                                            const Resolver* resolver) {
-  std::size_t suspects = 0;
-  // MODIFY rewrites actions/cookie only: the winner for every covered key
-  // is unchanged and the table entry is resolved live by id, so megaflows
-  // need no work (the EMC handles mutation via its generation stamps).
-  if (event.command == FlowModCommand::kModify ||
-      event.command == FlowModCommand::kModifyStrict) {
-    return suspects;
+void MegaflowCache::revalidate_coalesced(
+    std::span<const TableChangeEvent> events, const Resolver* resolver,
+    RevalidateReport& report) {
+  // Fold the whole burst into one plan: DELETE rule-id sets are unioned
+  // into one sorted membership set, ADD matches are merged by containment
+  // (a match whose cover set lies inside an already-kept match cannot
+  // mark any extra entry suspect), MODIFYs need no megaflow work at all
+  // (winners are unchanged and rules resolve live by id).
+  plan_removed_.clear();
+  plan_adds_.clear();
+  std::size_t scan_events = 0;
+  std::uint64_t max_version = synced_version_;
+  for (const TableChangeEvent& event : events) {
+    max_version = std::max(max_version, event.version);
+    if (is_modify(event.command)) continue;
+    if (is_removal(event.command)) {
+      if (event.removed.empty()) continue;
+      ++scan_events;
+      plan_removed_.insert(plan_removed_.end(), event.removed.begin(),
+                           event.removed.end());
+      continue;
+    }
+    ++scan_events;
+    bool absorbed = false;
+    std::erase_if(plan_adds_, [&](const openflow::Match* kept) {
+      if (absorbed) return false;
+      if (kept->contains(event.match)) {
+        absorbed = true;  // an earlier, broader match already covers it
+        return false;
+      }
+      return event.match.contains(*kept);  // the new match supersedes it
+    });
+    if (!absorbed) plan_adds_.push_back(&event.match);
   }
-  const bool removal = event.command == FlowModCommand::kDelete ||
-                       event.command == FlowModCommand::kDeleteStrict;
+  synced_version_ = max_version;
+  if (scan_events == 0) {
+    plan_adds_.clear();  // never leave pointers into `events` behind
+    return;
+  }
+  stats_.reval_coalesced_events += scan_events - 1;
+  std::sort(plan_removed_.begin(), plan_removed_.end());
+
+  // ONE suspect scan over the cache, whatever the burst size was. The
+  // per-entry suspect test is a sorted-set membership probe plus an
+  // intersect test against the merged ADD masks — the O(1)-per-entry
+  // work the cost model charges as revalidate_per_entry.
+  ++stats_.reval_batches;
+  ++report.batches;
   for (auto& subtable : subtables_) {
     for (std::size_t i = 0; i < subtable->slots.size();) {
       Slot& slot = subtable->slots[i];
-      // Suspect tests are exact per command. A removal can only change a
-      // key's winner if that winner was removed (every key in the cover
-      // set resolved to entry.rule at install). An ADD can only steal
-      // keys its match intersects.
-      const bool suspect =
-          removal ? std::find(event.removed.begin(), event.removed.end(),
-                              slot.rule) != event.removed.end()
-                  : may_intersect(subtable->mask, slot.key, event.match);
+      ++stats_.reval_entries_scanned;
+      ++report.entries_scanned;
+      bool suspect = std::binary_search(plan_removed_.begin(),
+                                        plan_removed_.end(), slot.rule);
+      if (!suspect) {
+        for (const openflow::Match* match : plan_adds_) {
+          if (may_intersect(subtable->mask, slot.key, *match)) {
+            suspect = true;
+            break;
+          }
+        }
+      }
       if (!suspect) {
         ++i;
         continue;
       }
-      ++suspects;
+      ++report.revalidated;
       ++stats_.revalidations;
       bool keep = false;
       if (resolver != nullptr) {
@@ -282,21 +419,78 @@ std::size_t MegaflowCache::revalidate_event(const TableChangeEvent& event,
         // masked key — and therefore its signature — is untouched.
         if (res.found && subsumes(subtable->mask, res.unwildcarded)) {
           slot.rule = res.rule;
+          slot.version = max_version;
+          keep = true;
+        }
+      }
+      if (keep) {
+        ++stats_.revalidated_kept;
+        ++report.repaired;
+        ++i;
+      } else {
+        ++stats_.revalidated_evicted;
+        ++report.evicted;
+        subtable->erase_at(i);
+        --entries_;
+      }
+    }
+  }
+  plan_adds_.clear();  // pointers into `events` must not outlive this drain
+}
+
+void MegaflowCache::revalidate_event(const TableChangeEvent& event,
+                                     const Resolver* resolver,
+                                     RevalidateReport& report) {
+  // MODIFY rewrites actions/cookie only: the winner for every covered key
+  // is unchanged and the table entry is resolved live by id, so megaflows
+  // need no work (the EMC handles mutation via its generation stamps).
+  if (is_modify(event.command)) return;
+  const bool removal = is_removal(event.command);
+  if (removal && event.removed.empty()) return;
+  // The per-event ablation baseline: one full suspect scan PER EVENT, the
+  // O(burst × entries) behaviour the coalesced drain retires.
+  ++stats_.reval_batches;
+  ++report.batches;
+  for (auto& subtable : subtables_) {
+    for (std::size_t i = 0; i < subtable->slots.size();) {
+      Slot& slot = subtable->slots[i];
+      ++stats_.reval_entries_scanned;
+      ++report.entries_scanned;
+      // Suspect tests are exact per command. A removal can only change a
+      // key's winner if that winner was removed (every key in the cover
+      // set resolved to entry.rule at install). An ADD can only steal
+      // keys its match intersects.
+      const bool suspect =
+          removal ? std::find(event.removed.begin(), event.removed.end(),
+                              slot.rule) != event.removed.end()
+                  : may_intersect(subtable->mask, slot.key, event.match);
+      if (!suspect) {
+        ++i;
+        continue;
+      }
+      ++report.revalidated;
+      ++stats_.revalidations;
+      bool keep = false;
+      if (resolver != nullptr) {
+        const Resolution res = (*resolver)(slot.key);
+        if (res.found && subsumes(subtable->mask, res.unwildcarded)) {
+          slot.rule = res.rule;
           slot.version = event.version;
           keep = true;
         }
       }
       if (keep) {
         ++stats_.revalidated_kept;
+        ++report.repaired;
         ++i;
       } else {
         ++stats_.revalidated_evicted;
+        ++report.evicted;
         subtable->erase_at(i);
         --entries_;
       }
     }
   }
-  return suspects;
 }
 
 void MegaflowCache::flush_all() {
@@ -332,6 +526,49 @@ void MegaflowCache::maybe_rerank(std::uint32_t lookups) {
                    });
 }
 
+void MegaflowCache::maybe_resize(std::uint32_t lookups) {
+  if (!config_.auto_size) return;
+  lookups_since_resize_ += lookups;
+  if (lookups_since_resize_ < config_.size_interval) return;
+  lookups_since_resize_ = 0;
+
+  // Working set this window: distinct entries hit plus fresh installs
+  // (each a new member of the set). The distinct-hit estimate cannot see
+  // past the window length, so a near-saturated window means "at least
+  // this much" — never shrink below the current population on it.
+  const std::size_t ws = window_distinct_;
+  const double alpha = config_.size_ewma_alpha;
+  working_set_ewma_ = working_set_ewma_ == 0.0
+                          ? static_cast<double>(ws)
+                          : (1.0 - alpha) * working_set_ewma_ +
+                                alpha * static_cast<double>(ws);
+  const double demand =
+      std::max(static_cast<double>(ws), working_set_ewma_) *
+      config_.size_headroom;
+  const std::size_t floor_entries =
+      std::min(config_.min_entries, config_.max_entries);
+  std::size_t target = pow2_ceil(static_cast<std::size_t>(demand));
+  target = std::clamp(target, floor_entries, config_.max_entries);
+  const bool saturated =
+      static_cast<double>(ws) * config_.size_headroom >=
+      static_cast<double>(config_.size_interval);
+  if (saturated) {
+    target = std::clamp(pow2_ceil(std::max(target, entries_)), floor_entries,
+                        config_.max_entries);
+  }
+  if (target != effective_capacity_) {
+    effective_capacity_ = target;
+    ++stats_.cache_resizes;
+  }
+  // Shed down to the new cap from the coldest subtables; the shrink is
+  // what keeps suspect scans proportional to the live working set.
+  while (entries_ > effective_capacity_) evict_one(nullptr);
+
+  ++size_epoch_;
+  if (size_epoch_ == 0) size_epoch_ = 1;  // 0 marks "never touched"
+  window_distinct_ = 0;
+}
+
 MegaflowCache::Subtable& MegaflowCache::subtable_for(const MaskSpec& mask) {
   for (auto& subtable : subtables_) {
     if (subtable->mask == mask) return *subtable;
@@ -340,14 +577,14 @@ MegaflowCache::Subtable& MegaflowCache::subtable_for(const MaskSpec& mask) {
   return *subtables_.back();
 }
 
-void MegaflowCache::evict_one(const Subtable& just_inserted_table) {
+void MegaflowCache::evict_one(const Subtable* protect) {
   // Shed from the coldest subtable holding entries (probe order is rank
   // order, so walk from the back) — but never the freshly appended entry
   // at the back of the caller's subtable.
   for (auto it = subtables_.rbegin(); it != subtables_.rend(); ++it) {
     Subtable& subtable = **it;
     if (subtable.slots.empty()) continue;
-    if (&subtable == &just_inserted_table && subtable.slots.size() == 1) {
+    if (&subtable == protect && subtable.slots.size() == 1) {
       continue;  // only the just-inserted entry lives here
     }
     // Index 0 is never the just-inserted entry (that sits at the back of

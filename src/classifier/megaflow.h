@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -35,12 +34,36 @@
 /// Staleness is handled by an OVS-style *revalidator* instead of a
 /// whole-cache flush: FlowTable change notifications arrive as structured
 /// TableChangeEvents in a bounded queue (any thread), and the cache
-/// owner's next touch drains the queue and re-checks only the entries the
-/// change could affect — repairing them in place when the re-lookup's
-/// unwildcard set still fits the subtable mask, evicting them otherwise.
+/// owner's next drain re-checks only the entries the changes could affect
+/// — repairing them in place when the re-lookup's unwildcard set still
+/// fits the subtable mask, evicting them otherwise.
+///
+/// Drains are *coalescing*: the whole pending queue is folded into one
+/// plan (DELETE rule-id sets unioned, overlapping ADD matches merged via
+/// containment) and applied in a single suspect scan over the cache, so a
+/// burst of N FlowMods costs one O(entries) pass instead of N — the
+/// single-threaded analogue of OVS's dedicated revalidator threads, which
+/// wake on a cadence and sweep the whole burst at once. Cost is charged
+/// per entry examined (see exec::CostModel), not per event. The per-event
+/// path survives as the ablation baseline (`coalesce_revalidation =
+/// false`).
+///
+/// A nonzero `revalidate_budget` defers drains past individual scalar
+/// lookups (mirroring the revalidator-thread cadence): while at most
+/// `budget` events pend, a hit is served only after it is checked against
+/// every pending event — a suspect hit forces the coalesced drain on the
+/// spot — so deferral can never serve a stale rule. Batched lookups are
+/// the batch boundary and always drain first.
+///
 /// Queue overflow falls back to a full flush (counted separately), and a
 /// per-entry version stamp remains the safety net for version skew the
 /// queue has not explained.
+///
+/// Sizing follows the measured working set: an EWMA of distinct entries
+/// touched per sizing window drives the effective entry cap between
+/// `min_entries` and `max_entries` (`auto_size`), shedding cold entries
+/// when the working set shrinks so revalidator scans stay proportional
+/// to what the traffic actually uses.
 
 namespace hw::classifier {
 
@@ -61,6 +84,11 @@ struct MegaflowStats {
   std::uint64_t revalidated_kept = 0;   ///< repaired in place
   std::uint64_t revalidated_evicted = 0;///< evicted by the revalidator
   std::uint64_t subtables_pruned = 0;   ///< empty subtables removed
+  // Coalescing-revalidator telemetry (see docs/COUNTERS.md).
+  std::uint64_t reval_batches = 0;         ///< suspect-scan passes executed
+  std::uint64_t reval_entries_scanned = 0; ///< entries examined by scans
+  std::uint64_t reval_coalesced_events = 0;///< events folded into a shared pass
+  std::uint64_t cache_resizes = 0;         ///< effective-capacity changes
 };
 
 struct MegaflowCacheConfig {
@@ -81,6 +109,27 @@ struct MegaflowCacheConfig {
   bool precise_revalidation = true;
   /// Bounded revalidator queue; overflowing falls back to a full flush.
   std::size_t revalidator_queue_limit = 128;
+  /// Fold every drained event into ONE suspect scan (true) or run one
+  /// scan per event (false; the per-event ablation baseline — this is
+  /// what made a FlowMod burst cost O(burst × entries)).
+  bool coalesce_revalidation = true;
+  /// Pending change events tolerated before an implicit (in-lookup)
+  /// drain is forced. 0 = drain eagerly on the next touch. Nonzero:
+  /// scalar lookups defer the drain — hits are checked against the
+  /// pending events and only provably unaffected entries are served; a
+  /// suspect hit triggers the coalesced drain immediately — so a FlowMod
+  /// burst accumulates into one scan at the next batch boundary without
+  /// ever serving stale.
+  std::uint32_t revalidate_budget = 0;
+  /// Working-set-driven sizing: the effective entry cap follows an EWMA
+  /// of distinct entries touched per `size_interval` lookups, scaled by
+  /// `size_headroom`, clamped to [min_entries, max_entries] and rounded
+  /// up to a power of two. Shrinking sheds the coldest entries.
+  bool auto_size = true;
+  std::size_t min_entries = 1024;
+  double size_headroom = 2.0;
+  double size_ewma_alpha = 0.25;
+  std::uint32_t size_interval = 4096;  ///< lookups per sizing window
 };
 
 /// Work tallies of one (or one batch of) megaflow lookups — the cost
@@ -90,6 +139,10 @@ struct ProbeTally {
   std::uint32_t probes = 0;         ///< per-key subtable probes
   std::uint32_t sig_blocks = 0;     ///< 16-signature blocks scanned
   std::uint32_t full_compares = 0;  ///< full masked-key compares
+  /// Pending-event guard tests run while a drain was deferred under a
+  /// nonzero revalidate_budget (each is one suspect test of a hit entry
+  /// against one queued event; charged at revalidate_per_entry).
+  std::uint32_t reval_checks = 0;
 };
 
 /// 16-bit hash fingerprint of a *masked* key — the per-entry signature
@@ -111,6 +164,15 @@ class MegaflowCache {
 
   /// Result of re-running the wildcard lookup for one masked key: the
   /// winning rule (if any) and the unwildcard set the scan accumulated.
+  ///
+  /// REPAIR-VS-EVICT CONTRACT: a suspect entry is repaired in place only
+  /// when `found` and `unwildcarded` is subsumed by the entry's subtable
+  /// mask — then every key in the entry's cover set provably resolves to
+  /// the same new winner, so rewriting rule/version is sound. A wider
+  /// unwildcard set (or no winner) means the cover set is no longer
+  /// uniform: the entry is evicted and the slow path carves finer
+  /// megaflows on demand. A repair NEVER rewrites the stored masked key,
+  /// which is what keeps the signature invariant below intact.
   struct Resolution {
     bool found = false;
     RuleId rule = kRuleNone;
@@ -120,14 +182,19 @@ class MegaflowCache {
   using Resolver = std::function<Resolution(const pkt::FlowKey&)>;
 
   /// What one drain of the event queue did (the caller charges its cycle
-  /// meter from these and forwards `events` to its own tiers, e.g. EMC).
+  /// meter from these and the hooks see the same `events` batch).
   struct RevalidateReport {
-    std::size_t events = 0;       ///< events drained and processed
-    std::size_t revalidated = 0;  ///< suspect entries re-checked
-    bool flushed = false;         ///< full flush applied (overflow/config)
+    std::size_t events = 0;           ///< events drained and processed
+    std::size_t revalidated = 0;      ///< suspect entries re-checked
+    std::size_t entries_scanned = 0;  ///< entries the suspect scan examined
+    std::size_t repaired = 0;         ///< suspects repaired in place
+    std::size_t evicted = 0;          ///< suspects evicted
+    std::size_t batches = 0;          ///< suspect-scan passes (1 coalesced)
+    bool flushed = false;             ///< full flush applied (overflow/config)
   };
 
-  explicit MegaflowCache(Config config = {}) : config_(config) {}
+  explicit MegaflowCache(Config config = {})
+      : config_(config), effective_capacity_(config.max_entries) {}
 
   MegaflowCache(const MegaflowCache&) = delete;
   MegaflowCache& operator=(const MegaflowCache&) = delete;
@@ -173,25 +240,50 @@ class MegaflowCache {
   void on_table_change(const flowtable::TableChangeEvent& event);
 
   /// Registers the owner's revalidation hooks: the resolver used to
-  /// repair suspect megaflows, a per-event sink (e.g. exact-match-cache
-  /// revalidation) and a flush sink (e.g. EMC clear on the overflow
-  /// fallback). Once set, EVERY drain — including the implicit ones in
-  /// lookup()/insert() — routes through them, so no change event can be
-  /// consumed without the owner's other tiers seeing it. Without hooks
-  /// (standalone use) suspects are simply evicted.
+  /// repair suspect megaflows, a batch sink handed every drained event
+  /// batch (e.g. exact-match-cache revalidation, coalesced the same way)
+  /// and a flush sink (e.g. EMC clear on the overflow fallback). Once
+  /// set, EVERY drain — including the implicit ones in lookup()/insert()
+  /// — routes through them, so no change event can be consumed without
+  /// the owner's other tiers seeing it. Without hooks (standalone use)
+  /// suspects are simply evicted.
   void set_revalidation_hooks(
       Resolver resolver,
-      std::function<void(const flowtable::TableChangeEvent&)> event_sink,
+      std::function<void(std::span<const flowtable::TableChangeEvent>)>
+          events_sink,
       std::function<void()> flush_sink);
 
-  /// Owner thread: drains queued events, revalidates affected megaflows
-  /// and feeds each event (and any flush) to the registered hooks.
-  /// Called implicitly by lookup()/insert(), so standalone use stays
-  /// safe.
+  /// Owner thread: drains ALL queued events in one coalesced pass (or one
+  /// pass per event with coalescing disabled), revalidates affected
+  /// megaflows and feeds the drained batch (and any flush) to the
+  /// registered hooks. This is the forced, batch-boundary drain;
+  /// lookup()/insert() go through maybe_revalidate() instead so a
+  /// revalidate_budget can defer them.
   RevalidateReport revalidate();
+
+  /// Drains only when the budget says so: eagerly with budget 0 (the
+  /// default), otherwise once more than `revalidate_budget` events pend
+  /// or the queue has overflowed. Called implicitly by lookup()/insert().
+  RevalidateReport maybe_revalidate();
 
   [[nodiscard]] bool has_pending_changes() const noexcept {
     return events_pending_.load(std::memory_order_relaxed);
+  }
+
+  /// True iff any *pending* (deferred, not yet drained) ADD event's match
+  /// covers `key` — i.e. a drained revalidation could hand this exact key
+  /// to a different rule. The owner's exact-match tier consults this
+  /// before serving a hit while a drain is deferred (deletes and
+  /// modifies are already caught by its rule-liveness/generation checks).
+  /// `checks` (optional) accumulates the number of pending events
+  /// examined, for per-entry cost accounting.
+  [[nodiscard]] bool pending_add_affects(const pkt::FlowKey& key,
+                                         std::uint32_t* checks = nullptr);
+
+  /// Current effective entry cap (== config.max_entries unless auto_size
+  /// has resized it).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return effective_capacity_;
   }
 
   [[nodiscard]] const MegaflowStats& stats() const noexcept { return stats_; }
@@ -212,7 +304,8 @@ class MegaflowCache {
   struct Slot {
     pkt::FlowKey key;
     RuleId rule = kRuleNone;
-    std::uint64_t version = 0;  ///< install/repair version
+    std::uint64_t version = 0;     ///< install/repair version
+    std::uint32_t touch_epoch = 0; ///< last sizing window this entry hit in
   };
   struct Subtable {
     explicit Subtable(MaskSpec m) : mask(m) {}
@@ -240,19 +333,46 @@ class MegaflowCache {
                                            const pkt::FlowKey& masked,
                                            ProbeTally& tally);
   void maybe_rerank(std::uint32_t lookups);
-  /// Revalidates entries one event could affect; returns suspects seen.
-  std::size_t revalidate_event(const flowtable::TableChangeEvent& event,
-                               const Resolver* resolver);
+  /// Working-set sizing: every size_interval lookups, fold the window's
+  /// distinct-touch count into the EWMA and retarget the effective cap.
+  void maybe_resize(std::uint32_t lookups);
+  /// Marks a served entry touched in the current sizing window.
+  void touch(Slot& slot) noexcept {
+    if (slot.touch_epoch != size_epoch_) {
+      slot.touch_epoch = size_epoch_;
+      ++window_distinct_;
+    }
+  }
+  /// Coalesced pass: one suspect scan applying every drained event.
+  void revalidate_coalesced(std::span<const flowtable::TableChangeEvent> events,
+                            const Resolver* resolver,
+                            RevalidateReport& report);
+  /// Per-event baseline pass; updates `report` the same way.
+  void revalidate_event(const flowtable::TableChangeEvent& event,
+                        const Resolver* resolver, RevalidateReport& report);
+  /// How a hit whose version the cache has not synchronized to relates
+  /// to the pending (deferred) events.
+  enum class PendingVerdict {
+    kClean,       ///< queue explains the gap and no pending event affects it
+    kSuspect,     ///< a pending event could change this entry's winner
+    kUnexplained  ///< overflow / gap the queue does not cover: treat stale
+  };
+  [[nodiscard]] PendingVerdict pending_verdict(const MaskSpec& mask,
+                                               const Slot& slot,
+                                               std::uint64_t table_version,
+                                               ProbeTally& tally);
   void flush_all();
   void prune_empty_subtables();
   Subtable& subtable_for(const MaskSpec& mask);
   /// Evicts one entry, preferring the coldest subtable but never the
-  /// freshly appended entry at the back of `just_inserted_table`.
-  void evict_one(const Subtable& just_inserted_table);
+  /// freshly appended entry at the back of `protect` (pass nullptr when
+  /// no entry needs protecting, e.g. a sizing trim).
+  void evict_one(const Subtable* protect);
 
   Config config_;
   Resolver resolver_;  ///< empty: evict suspects instead of repairing
-  std::function<void(const flowtable::TableChangeEvent&)> event_sink_;
+  std::function<void(std::span<const flowtable::TableChangeEvent>)>
+      events_sink_;
   std::function<void()> flush_sink_;
   // Probe order == rank order (EWMA descending after each re-rank).
   std::vector<std::unique_ptr<Subtable>> subtables_;
@@ -262,13 +382,27 @@ class MegaflowCache {
   // Scratch for lookup_batch (indices of still-unresolved keys), kept
   // across calls to avoid per-batch allocation.
   std::vector<std::uint32_t> batch_pending_;
+  // Scratch for the coalesced drain plan. Capacity is kept across
+  // drains to avoid reallocation, but plan_adds_ holds pointers into
+  // the drain's local event batch and is therefore always cleared
+  // before revalidate_coalesced() returns — never read it elsewhere.
+  std::vector<RuleId> plan_removed_;
+  std::vector<const openflow::Match*> plan_adds_;
+
+  // Working-set sizing state (auto_size): distinct entries touched per
+  // window, its EWMA, and the resulting effective cap.
+  std::size_t effective_capacity_ = 0;  ///< set from config in ctor
+  std::uint32_t size_epoch_ = 1;
+  std::uint32_t lookups_since_resize_ = 0;
+  std::size_t window_distinct_ = 0;
+  double working_set_ewma_ = 0.0;
 
   // Revalidator state. The queue is written by on_table_change (any
   // thread) and drained on the owner's thread; events_pending_ keeps the
   // hot path to one relaxed load when nothing is queued. synced_version_
   // is the table version the surviving entries are proven current for.
   std::mutex queue_mutex_;
-  std::deque<flowtable::TableChangeEvent> queue_;
+  std::vector<flowtable::TableChangeEvent> queue_;
   bool queue_overflowed_ = false;
   std::uint64_t overflow_version_ = 0;
   std::atomic<bool> events_pending_{false};

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -15,6 +16,17 @@
 /// OpenFlow add/modify/delete semantics and per-rule counters. This is the
 /// structure the forwarding engine consults per packet and the p-2-p link
 /// detector scans per FlowMod.
+///
+/// Change-event semantics (the contract every cache tier builds on):
+/// `apply()` mutates the table synchronously, bumps the monotonic table
+/// version, and then notifies subscribers with ONE structured
+/// TableChangeEvent per committed FlowMod — in version order, on the
+/// caller's thread, only for FlowMods that actually changed something
+/// (a no-op delete/modify emits nothing). Events carry the exact rule
+/// ids touched, so a revalidator can coalesce a burst of them into one
+/// precise suspect scan: the sequence of events between two versions
+/// fully explains every table difference between those versions, which
+/// is what makes deferred (budgeted) draining sound.
 
 namespace hw::flowtable {
 
@@ -49,7 +61,18 @@ struct FlowModResult {
 /// for a precise revalidator: the command, the (match, priority) the
 /// FlowMod named, and the rule ids it touched — so caches can re-check
 /// only the entries the change could affect instead of flushing
-/// wholesale (the OVS revalidator model).
+/// wholesale (the OVS revalidator model). Per command:
+///  * kAdd — `added` holds the freshly minted rule id, or `modified`
+///    holds the overwritten rule's id when the ADD landed on an
+///    identical match+priority (actions/cookie rewrite, winners
+///    unchanged). Only the `match` can steal keys from cached entries.
+///  * kModify/kModifyStrict — `modified` lists every rewritten rule.
+///    Winners are unchanged; caches that resolve rules live by id need
+///    no work, generation-stamped tiers re-stamp the affected slots.
+///  * kDelete/kDeleteStrict — `removed` lists every erased rule; a
+///    cached entry can only change winner if its winner is in this set.
+/// `version` is the table version AFTER the change; consecutive events
+/// carry strictly increasing versions with no gaps.
 struct TableChangeEvent {
   openflow::FlowModCommand command = openflow::FlowModCommand::kAdd;
   openflow::Match match;
@@ -159,6 +182,16 @@ class ExactMatchCache {
     return nullptr;
   }
 
+  /// True iff the key's bucket currently holds this exact key — a pure
+  /// probe with no counter side effects. Lets callers scope
+  /// staleness-guard work (e.g. pending-event checks under a deferred
+  /// drain) to keys the cache could actually serve.
+  [[nodiscard]] bool holds(const pkt::FlowKey& key,
+                           std::uint32_t hash) const noexcept {
+    const Slot& slot = slots_[hash & (buckets_ - 1)];
+    return slot.rule != kRuleNone && slot.hash == hash && slot.key == key;
+  }
+
   void insert(const pkt::FlowKey& key, std::uint32_t hash, RuleId rule,
               std::uint64_t generation) noexcept {
     Slot& slot = slots_[hash & (buckets_ - 1)];
@@ -169,6 +202,7 @@ class ExactMatchCache {
   }
 
   struct RevalidateCounts {
+    std::uint32_t scanned = 0;   ///< occupied slots examined by the pass
     std::uint32_t repaired = 0;  ///< re-pointed at the table's new winner
     std::uint32_t evicted = 0;   ///< no rule matches the slot's key anymore
   };
@@ -177,8 +211,18 @@ class ExactMatchCache {
   /// exact key the changed match covers is re-resolved against the table
   /// and repaired (new winner / fresh generation) or evicted. Slots the
   /// change cannot affect are untouched — a FlowMod no longer costs the
-  /// whole exact-match tier.
+  /// whole exact-match tier. This is the per-event ablation baseline; the
+  /// classifier's coalescing drain uses revalidate_batch.
   RevalidateCounts revalidate(const TableChangeEvent& event, FlowTable& table);
+
+  /// Coalesced revalidation for a whole drained event batch: ONE pass
+  /// over the occupied slots, each tested against every event's match and
+  /// re-resolved at most once — so a burst of N FlowMods costs one scan
+  /// instead of N. `scanned` counts slots examined (the per-entry cost
+  /// driver); repaired/evicted count re-resolutions, exactly as the
+  /// per-event path would have ended up after its last event.
+  RevalidateCounts revalidate_batch(std::span<const TableChangeEvent> events,
+                                    FlowTable& table);
 
   /// Drops every slot (overflow fallback of the revalidator queue).
   void clear() noexcept;

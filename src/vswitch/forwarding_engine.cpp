@@ -39,6 +39,10 @@ EngineCounters ForwardingEngine::counters() const noexcept {
   out.sig_false_positives = tiers.sig_false_positives;
   out.batches = tiers.batches;
   out.batch_packets = tiers.batch_packets;
+  out.reval_batches = tiers.reval_batches;
+  out.reval_entries_scanned = tiers.reval_entries_scanned;
+  out.reval_coalesced_events = tiers.reval_coalesced_events;
+  out.cache_resizes = tiers.cache_resizes;
   return out;
 }
 

@@ -45,6 +45,11 @@ struct EngineCounters {
   std::uint64_t sig_false_positives = 0;
   std::uint64_t batches = 0;        ///< batched classify rounds
   std::uint64_t batch_packets = 0;  ///< packets through the batched path
+  // Coalescing-revalidator telemetry (mirrored; see docs/COUNTERS.md).
+  std::uint64_t reval_batches = 0;          ///< suspect-scan passes
+  std::uint64_t reval_entries_scanned = 0;  ///< entries examined by scans
+  std::uint64_t reval_coalesced_events = 0; ///< events folded into shared scans
+  std::uint64_t cache_resizes = 0;          ///< megaflow capacity retargets
 };
 
 class ForwardingEngine final : public exec::Context {

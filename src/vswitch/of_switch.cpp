@@ -36,13 +36,15 @@ OfSwitch::OfSwitch(shm::ShmManager& shm, mbuf::Mempool& pool,
 
   const std::uint32_t engine_count =
       config_.engine_count == 0 ? 1 : config_.engine_count;
+  classifier::DpClassifierConfig classifier_config{
+      .emc_enabled = config_.emc_enabled,
+      .megaflow_enabled = config_.megaflow_enabled,
+      .batch_classify = config_.batch_classify};
+  classifier_config.megaflow.revalidate_budget = config_.revalidate_budget;
+  classifier_config.megaflow.auto_size = config_.megaflow_auto_size;
   for (std::uint32_t i = 0; i < engine_count; ++i) {
     engines_.push_back(std::make_unique<ForwardingEngine>(
-        "pmd" + std::to_string(i), table_, *pool_, *cost_,
-        classifier::DpClassifierConfig{
-            .emc_enabled = config_.emc_enabled,
-            .megaflow_enabled = config_.megaflow_enabled,
-            .batch_classify = config_.batch_classify},
+        "pmd" + std::to_string(i), table_, *pool_, *cost_, classifier_config,
         config_.burst));
   }
 

@@ -26,7 +26,17 @@
 ///   * scalar     — lookup() per packet, signature prefilter on;
 ///   * scalar-ns  — lookup() per packet, signature prefilter off (the
 ///                  linear full-compare baseline);
-///   * batched    — lookup_batch() over 32-packet batches.
+///   * batched    — lookup_batch() over 32-packet batches;
+///   * per-event  — lookup() per packet, coalesce_revalidation off (the
+///                  one-scan-per-event revalidator baseline), which makes
+///                  this fuzzer the mask-merge correctness oracle: the
+///                  coalesced plan (unioned DELETE ids, containment-merged
+///                  ADD masks) must agree with per-event processing on
+///                  every packet;
+///   * deferred   — lookup() per packet with a revalidate_budget, so
+///                  drains are deferred and hits are served through the
+///                  pending-event guards (no stale serve across a
+///                  deferred drain, proven against the oracle).
 ///
 /// Seeds are fixed (deterministic, reproducible); every assertion carries
 /// the reproducing seed, and instances are named by it, so a failure is a
@@ -120,6 +130,12 @@ TEST_P(ClassifierEquivalenceTest, AllPathsAgreeWithWildcardOracle) {
   nosig_config.megaflow.signature_prefilter = false;
   DpClassifier scalar_nosig(table, cost, nosig_config);
   DpClassifier batched(table, cost);
+  DpClassifierConfig perevent_config;
+  perevent_config.megaflow.coalesce_revalidation = false;
+  DpClassifier scalar_perevent(table, cost, perevent_config);
+  DpClassifierConfig deferred_config;
+  deferred_config.megaflow.revalidate_budget = 4;
+  DpClassifier scalar_deferred(table, cost, deferred_config);
   exec::CycleMeter meter;
 
   // Keys recycle through a pool so the cache tiers genuinely serve hits
@@ -152,6 +168,10 @@ TEST_P(ClassifierEquivalenceTest, AllPathsAgreeWithWildcardOracle) {
       const RuleId got_nosig =
           id_of(scalar_nosig.lookup(keys[i], hashes[i], meter).entry);
       const RuleId got_batched = id_of(outcomes[i].entry);
+      const RuleId got_perevent =
+          id_of(scalar_perevent.lookup(keys[i], hashes[i], meter).entry);
+      const RuleId got_deferred =
+          id_of(scalar_deferred.lookup(keys[i], hashes[i], meter).entry);
       ASSERT_EQ(got_scalar, oracle)
           << "seed " << seed << " round " << round << " pkt " << i
           << ": scalar path diverged from the wildcard-table oracle";
@@ -161,6 +181,13 @@ TEST_P(ClassifierEquivalenceTest, AllPathsAgreeWithWildcardOracle) {
       ASSERT_EQ(got_batched, oracle)
           << "seed " << seed << " round " << round << " pkt " << i
           << ": batched path diverged from the oracle";
+      ASSERT_EQ(got_perevent, oracle)
+          << "seed " << seed << " round " << round << " pkt " << i
+          << ": per-event revalidation baseline diverged from the oracle "
+             "(coalesced mask-merge would be unsound if these disagree)";
+      ASSERT_EQ(got_deferred, oracle)
+          << "seed " << seed << " round " << round << " pkt " << i
+          << ": budget-deferred path served stale across a deferred drain";
     }
     packets += kBatch;
   }
@@ -177,6 +204,19 @@ TEST_P(ClassifierEquivalenceTest, AllPathsAgreeWithWildcardOracle) {
   EXPECT_GE(batched.counters().batches, kMinPackets / kBatch)
       << "seed " << seed;
   EXPECT_EQ(batched.counters().batch_packets, packets) << "seed " << seed;
+  // The revalidator variants must have genuinely exercised their paths:
+  // coalesced drains folded multi-event bursts, the per-event baseline
+  // ran at least as many scans, and the deferred classifier both served
+  // cached hits and eventually drained.
+  EXPECT_GT(scalar.counters().reval_batches, 0u) << "seed " << seed;
+  EXPECT_GE(scalar_perevent.counters().reval_batches,
+            scalar.counters().reval_batches)
+      << "seed " << seed;
+  EXPECT_GT(scalar_deferred.counters().reval_batches, 0u) << "seed " << seed;
+  EXPECT_GT(scalar_deferred.counters().emc_hits +
+                scalar_deferred.counters().megaflow_hits,
+            0u)
+      << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(

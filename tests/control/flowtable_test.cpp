@@ -402,6 +402,42 @@ TEST(ExactMatchCache, RevalidateRepairsOnlyAffectedSlots) {
   table.unsubscribe(token);
 }
 
+TEST(ExactMatchCache, BatchRevalidateCoalescesEventsIntoOnePass) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(add_rule(1, 5, 10)).is_ok());
+  ASSERT_TRUE(table.apply(add_rule(2, 6, 10)).is_ok());
+  std::vector<TableChangeEvent> events;
+  const std::uint64_t token = table.subscribe(
+      [&](const TableChangeEvent& event) { events.push_back(event); });
+
+  ExactMatchCache emc(64);
+  const pkt::FlowKey key1 = key_on_port(1);
+  const pkt::FlowKey key2 = key_on_port(2);
+  for (const pkt::FlowKey& key : {key1, key2}) {
+    FlowEntry* rule = table.lookup(key);
+    emc.insert(key, pkt::flow_key_hash(key), rule->id, rule->generation);
+  }
+
+  // A burst: shadow port 1 twice (rising priorities). One coalesced pass
+  // must examine each occupied slot once and re-resolve the affected
+  // slot once — landing on the same winner per-event processing would.
+  ASSERT_TRUE(table.apply(add_rule(1, 9, 200)).is_ok());
+  ASSERT_TRUE(table.apply(add_rule(1, 8, 300)).is_ok());
+  ASSERT_EQ(events.size(), 2u);
+  const auto counts = emc.revalidate_batch(events, table);
+  EXPECT_EQ(counts.scanned, 2u);  // one pass over the two occupied slots
+  EXPECT_EQ(counts.repaired, 1u);
+  EXPECT_EQ(counts.evicted, 0u);
+
+  FlowEntry* hit1 = emc.lookup(key1, pkt::flow_key_hash(key1), table);
+  ASSERT_NE(hit1, nullptr);
+  EXPECT_EQ(hit1->priority, 300);
+  FlowEntry* hit2 = emc.lookup(key2, pkt::flow_key_hash(key2), table);
+  ASSERT_NE(hit2, nullptr);
+  EXPECT_EQ(hit2->priority, 10);
+  table.unsubscribe(token);
+}
+
 /// Property: lookup() equals a brute-force reference over random tables.
 class FlowTableModelTest : public ::testing::TestWithParam<std::uint64_t> {};
 

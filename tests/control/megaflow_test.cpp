@@ -232,6 +232,165 @@ TEST(MegaflowCacheTest, QueueOverflowFallsBackToFullFlush) {
   EXPECT_EQ(cache.stats().flushes, 1u);
 }
 
+TEST(MegaflowCacheTest, CoalescedDrainRunsOneSuspectScanPerBurst) {
+  MegaflowCache cache;
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  for (PortId p = 1; p <= 8; ++p) {
+    cache.insert(make_key(p, 0, 0, 0), mask, p, 1);
+  }
+  // A burst of five FlowMods lands before the owner touches the cache.
+  // The drain must fold them into ONE suspect scan: 8 entries examined,
+  // not 40 — and the identical far-port matches merge into one plan
+  // mask, so nothing is suspect and every entry survives.
+  Match far_port;
+  far_port.in_port(99);
+  for (std::uint64_t v = 2; v <= 6; ++v) {
+    cache.on_table_change(
+        change_event(FlowModCommand::kAdd, far_port, 1, v));
+  }
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 6, probed), 1u);
+  EXPECT_EQ(cache.stats().reval_batches, 1u);
+  EXPECT_EQ(cache.stats().reval_entries_scanned, 8u);
+  EXPECT_EQ(cache.stats().reval_coalesced_events, 4u);
+  EXPECT_EQ(cache.stats().revalidations, 0u);
+  EXPECT_EQ(cache.entry_count(), 8u);
+}
+
+TEST(MegaflowCacheTest, PerEventBaselineScansOncePerEvent) {
+  // The ablation baseline replays PR 2's behaviour: one full suspect
+  // scan per drained event — the O(burst x entries) term the coalesced
+  // drain retires. Same burst as above: 5 scans, 40 entries examined.
+  MegaflowCache cache(MegaflowCacheConfig{.coalesce_revalidation = false});
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  for (PortId p = 1; p <= 8; ++p) {
+    cache.insert(make_key(p, 0, 0, 0), mask, p, 1);
+  }
+  Match far_port;
+  far_port.in_port(99);
+  for (std::uint64_t v = 2; v <= 6; ++v) {
+    cache.on_table_change(
+        change_event(FlowModCommand::kAdd, far_port, 1, v));
+  }
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 6, probed), 1u);
+  EXPECT_EQ(cache.stats().reval_batches, 5u);
+  EXPECT_EQ(cache.stats().reval_entries_scanned, 40u);
+  EXPECT_EQ(cache.stats().reval_coalesced_events, 0u);
+  EXPECT_EQ(cache.entry_count(), 8u);
+}
+
+TEST(MegaflowCacheTest, OverlappingAddMasksResolveEachSuspectOnce) {
+  MegaflowCache cache;
+  int resolver_calls = 0;
+  cache.set_revalidation_hooks(
+      [&resolver_calls](const pkt::FlowKey&) {
+        ++resolver_calls;
+        MegaflowCache::Resolution res;
+        res.found = true;
+        res.rule = 42;
+        res.unwildcarded = MaskSpec{.fields = openflow::kMatchInPort};
+        return res;
+      },
+      nullptr, nullptr);
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  cache.insert(make_key(3, 0, 0, 0), mask, 7, 1);
+  cache.insert(make_key(4, 0, 0, 0), mask, 8, 1);
+  // Two overlapping ADDs touch port 3: a broad port-3 match and a
+  // narrower port-3+l4 match it contains. The plan merges them (the
+  // narrow match cannot suspect anything the broad one does not), so
+  // the suspect entry is re-resolved exactly once.
+  Match broad;
+  broad.in_port(3);
+  Match narrow;
+  narrow.in_port(3).l4_dst(80);
+  cache.on_table_change(change_event(FlowModCommand::kAdd, broad, 50, 2));
+  cache.on_table_change(change_event(FlowModCommand::kAdd, narrow, 60, 3));
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(3, 0, 0, 0), 3, probed), 42u);
+  EXPECT_EQ(resolver_calls, 1);
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+  EXPECT_EQ(cache.stats().reval_batches, 1u);
+  EXPECT_EQ(cache.stats().reval_entries_scanned, 2u);
+  EXPECT_EQ(cache.stats().reval_coalesced_events, 1u);
+  // Port 4's entry was examined but never suspected — and still serves.
+  EXPECT_EQ(cache.lookup(make_key(4, 0, 0, 0), 3, probed), 8u);
+  EXPECT_EQ(cache.stats().revalidated_kept, 1u);
+}
+
+TEST(MegaflowCacheTest, BudgetDefersDrainAndGuardsHits) {
+  MegaflowCache cache(MegaflowCacheConfig{.revalidate_budget = 8});
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  cache.insert(make_key(1, 0, 0, 0), mask, 10, 1);
+  cache.insert(make_key(2, 0, 0, 0), mask, 11, 1);
+  // One pending ADD touching port 1 only: below the budget, the drain is
+  // deferred — the port-2 hit is served after a pending-event guard
+  // check, and no suspect scan runs.
+  Match port1;
+  port1.in_port(1);
+  cache.on_table_change(change_event(FlowModCommand::kAdd, port1, 99, 2));
+  ProbeTally guarded;
+  EXPECT_EQ(cache.lookup(make_key(2, 0, 0, 0), 2, guarded), 11u);
+  EXPECT_TRUE(cache.has_pending_changes());
+  EXPECT_EQ(cache.stats().reval_batches, 0u);
+  EXPECT_GT(guarded.reval_checks, 0u);
+  // A hit the pending ADD could affect forces the coalesced drain on the
+  // spot: without a resolver the suspect is evicted — deferral never
+  // serves stale.
+  ProbeTally suspect;
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 2, suspect), kRuleNone);
+  EXPECT_FALSE(cache.has_pending_changes());
+  EXPECT_EQ(cache.stats().reval_batches, 1u);
+  EXPECT_EQ(cache.stats().revalidated_evicted, 1u);
+  // The untouched entry survived the drain and keeps serving.
+  ProbeTally after;
+  EXPECT_EQ(cache.lookup(make_key(2, 0, 0, 0), 2, after), 11u);
+  EXPECT_EQ(after.reval_checks, 0u);  // nothing pends anymore
+}
+
+TEST(MegaflowCacheTest, WorkingSetEwmaResizesCapacity) {
+  MegaflowCacheConfig config;
+  config.max_entries = 1u << 16;
+  config.min_entries = 16;
+  config.size_interval = 256;
+  MegaflowCache cache(config);
+  MaskSpec mask{.fields = openflow::kMatchInPort | openflow::kMatchL4Dst};
+  auto key_for = [](std::uint32_t i) {
+    return make_key(static_cast<PortId>(1 + (i % 6)), 9, 9,
+                    static_cast<std::uint16_t>(1000 + i));
+  };
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    cache.insert(key_for(i), mask, 100 + i, 1);
+  }
+  ASSERT_EQ(cache.entry_count(), 200u);
+  EXPECT_EQ(cache.capacity(), config.max_entries);  // first window pending
+
+  std::uint32_t probed = 0;
+  // Phase 1: the whole population is hot — the capacity tracks the
+  // measured working set (with headroom) instead of the configured max,
+  // but never dips below what the traffic uses.
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      EXPECT_EQ(cache.lookup(key_for(i), 1, probed), 100u + i);
+    }
+  }
+  EXPECT_LT(cache.capacity(), config.max_entries);
+  EXPECT_GE(cache.capacity(), cache.entry_count());
+  EXPECT_GE(cache.stats().cache_resizes, 1u);
+  EXPECT_EQ(cache.entry_count(), 200u);  // nothing trimmed while hot
+
+  // Phase 2: traffic narrows to one flow; the EWMA decays and the cache
+  // trims to the small working set, shedding cold entries — which is
+  // exactly what keeps later suspect scans proportional to live use.
+  for (int i = 0; i < 256 * 12; ++i) {
+    (void)cache.lookup(key_for(0), 1, probed);
+  }
+  EXPECT_LE(cache.capacity(), 64u);
+  EXPECT_LE(cache.entry_count(), 64u);
+  EXPECT_GE(cache.stats().cache_resizes, 2u);
+  EXPECT_GT(cache.stats().capacity_evictions, 0u);
+}
+
 TEST(MegaflowCacheTest, WholeFlushModeNukesCacheOnAnyEvent) {
   MegaflowCache cache(
       MegaflowCache::Config{.precise_revalidation = false});
@@ -676,10 +835,11 @@ TEST_F(DpClassifierTest, RevalidationWorkIsChargedToTheMeter) {
   ASSERT_TRUE(table_.apply(add_rule(all_port1, 500, 3)).is_ok());
   exec::CycleMeter churned;
   (void)dp.lookup(key, pkt::flow_key_hash(key), churned);
-  // EMC hit + one drained event + at least two repaired entries (one
-  // megaflow, one EMC slot).
-  EXPECT_GE(churned.total_used(), cost_.emc_hit + cost_.revalidate_per_event +
-                                      2 * cost_.revalidate_per_entry);
+  // EMC hit + one coalesced suspect scan (at least the megaflow entry
+  // and the EMC slot examined) + two repairs (one megaflow, one EMC).
+  EXPECT_GE(churned.total_used(), cost_.emc_hit +
+                                      2 * cost_.revalidate_per_entry +
+                                      2 * cost_.revalidate_repair);
 }
 
 TEST_F(DpClassifierTest, BatchUpcallsOnceForIntraBatchDuplicates) {
@@ -799,6 +959,46 @@ TEST_F(DpClassifierTest, EmcNeverServesStaleRuleAcrossDeleteAndReadd) {
   const LookupOutcome steady = dp.lookup(key, pkt::flow_key_hash(key), meter_);
   EXPECT_EQ(steady.tier, Tier::kEmc);
   EXPECT_EQ(steady.entry->actions[0].port, 7);
+}
+
+TEST_F(DpClassifierTest, BudgetDeferralNeverServesStaleAcrossBothTiers) {
+  DpClassifierConfig config;
+  config.megaflow.revalidate_budget = 8;
+  DpClassifier dp(table_, cost_, config);
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(1, 2, 10, 1)).is_ok());
+  ASSERT_TRUE(table_.apply(openflow::make_p2p_flowmod(2, 3, 10, 2)).is_ok());
+  const pkt::FlowKey on1 = make_key(1, 1, 2, 80);
+  const pkt::FlowKey on2 = make_key(2, 1, 2, 80);
+  ASSERT_NE(lookup(dp, on1), nullptr);
+  ASSERT_NE(lookup(dp, on2), nullptr);
+  ASSERT_EQ(dp.lookup(on1, pkt::flow_key_hash(on1), meter_).tier, Tier::kEmc);
+  ASSERT_EQ(dp.lookup(on2, pkt::flow_key_hash(on2), meter_).tier, Tier::kEmc);
+
+  const std::uint64_t batches_before = dp.counters().reval_batches;
+
+  // Shadow port 1 with a higher-priority rule. One pending event is
+  // below the budget, so the drain is DEFERRED past the next lookups.
+  Match all_port1;
+  all_port1.in_port(1);
+  ASSERT_TRUE(table_.apply(add_rule(all_port1, 500, 3)).is_ok());
+
+  // A key the pending ADD cannot cover keeps serving from the EMC with
+  // the drain still deferred — the burst keeps coalescing.
+  const LookupOutcome hit2 = dp.lookup(on2, pkt::flow_key_hash(on2), meter_);
+  EXPECT_EQ(hit2.tier, Tier::kEmc);
+  EXPECT_TRUE(dp.megaflow().has_pending_changes());
+  EXPECT_EQ(dp.counters().reval_batches, batches_before);
+
+  // The covered key forces the coalesced drain on the spot and must see
+  // the new rule: a deferred drain never serves stale.
+  const LookupOutcome hit1 = dp.lookup(on1, pkt::flow_key_hash(on1), meter_);
+  ASSERT_NE(hit1.entry, nullptr);
+  EXPECT_EQ(hit1.entry->priority, 500);
+  EXPECT_EQ(hit1.entry, table_.lookup(on1));
+  EXPECT_FALSE(dp.megaflow().has_pending_changes());
+  EXPECT_EQ(dp.counters().reval_batches, batches_before + 1);
+  // ... and the drain's suspect-scan work was accounted.
+  EXPECT_GT(dp.counters().reval_entries_scanned, 0u);
 }
 
 // ------------------------------------------------- churn torture (oracle)

@@ -45,12 +45,16 @@ TEST(CostModel, Conversions) {
   EXPECT_GT(cost.switch_pkt_cost_megaflow(1), cost.switch_pkt_cost_emc());
   EXPECT_GT(cost.switch_pkt_cost_megaflow(4),
             cost.switch_pkt_cost_megaflow(1));
-  // Revalidating one suspect cache entry re-runs a wildcard lookup: far
+  // Repairing one suspect cache entry re-runs a wildcard lookup: far
   // dearer than serving a cached hit, cheaper than a full upcall (no
-  // boundary crossing), and never free.
-  EXPECT_GT(cost.revalidate_per_entry, cost.emc_hit);
-  EXPECT_LT(cost.revalidate_per_entry, cost.slow_path_base);
-  EXPECT_GT(cost.revalidate_per_event, 0u);
+  // boundary crossing); an eviction additionally pays the erase. The
+  // suspect *test* the coalesced scan runs per entry examined is cheap —
+  // well under a cache hit — and never free.
+  EXPECT_GT(cost.revalidate_repair, cost.emc_hit);
+  EXPECT_LT(cost.revalidate_repair, cost.slow_path_base);
+  EXPECT_GE(cost.revalidate_evict, cost.revalidate_repair);
+  EXPECT_GT(cost.revalidate_per_entry, 0u);
+  EXPECT_LT(cost.revalidate_per_entry, cost.emc_hit);
 }
 
 TEST(SimRuntime, ThroughputMatchesBudget) {

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Markdown link checker (stdlib only) for the repo's docs.
+
+Verifies that every relative link target in the given markdown files
+exists on disk (anchors are stripped; http/https/mailto links are
+skipped — CI must not depend on the network). Also verifies that
+in-file anchor links point at a heading that actually exists.
+
+Usage: check_links.py [FILE.md ...]
+With no arguments, checks README.md and docs/*.md relative to the
+repository root (the parent of this script's directory).
+"""
+
+import glob
+import os
+import re
+import sys
+
+# Inline markdown links: [text](target). Images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"^(`{3,}|~{3,}).*?^\1`*\s*$", re.MULTILINE | re.DOTALL)
+INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced blocks and inline code — links there are not rendered."""
+    return INLINE_CODE_RE.sub("", FENCE_RE.sub("", text))
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\s-]", "", heading, flags=re.UNICODE)
+    return re.sub(r"\s+", "-", heading)
+
+
+def headings_in(path: str) -> set:
+    """All anchors the file defines, with GitHub's -N duplicate suffixes."""
+    with open(path, encoding="utf-8") as fh:
+        text = strip_code(fh.read())
+    anchors, seen = set(), {}
+    for match in HEADING_RE.finditer(text):
+        anchor = anchor_of(match.group(1))
+        count = seen.get(anchor, 0)
+        seen[anchor] = count + 1
+        anchors.add(anchor if count == 0 else f"{anchor}-{count}")
+    return anchors
+
+
+def check_file(path: str) -> list:
+    errors = []
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as fh:
+        text = strip_code(fh.read())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{path}: broken link -> {target}")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if anchor_of(anchor) not in headings_in(resolved):
+                    errors.append(f"{path}: missing anchor -> {target}")
+        elif anchor:
+            if anchor_of(anchor) not in headings_in(path):
+                errors.append(f"{path}: missing anchor -> #{anchor}")
+    return errors
+
+
+def main(argv: list) -> int:
+    files = argv[1:]
+    if not files:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(argv[0])))
+        files = [os.path.join(root, "README.md")] + sorted(
+            glob.glob(os.path.join(root, "docs", "*.md")))
+    errors = []
+    for path in files:
+        if not os.path.exists(path):
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} broken)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
