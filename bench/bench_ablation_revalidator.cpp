@@ -1,6 +1,7 @@
 /// \file bench_ablation_revalidator.cpp
 /// Ablation A9: coalesced revalidation vs per-event revalidation under
-/// FlowMod *bursts*, swept over burst size × cache fill.
+/// FlowMod *bursts*, swept over burst size × cache fill — plus the
+/// subtable prefilter on top of the coalesced drain.
 ///
 /// PR 2 made revalidation precise (only suspect entries are re-checked),
 /// but every drained event still ran its own O(cache) suspect scan, so a
@@ -9,10 +10,21 @@
 /// precise-vs-flush comparison dishonest on full caches. The coalescing
 /// drain folds the whole burst into one plan (DELETE rule-id sets
 /// unioned, overlapping ADD matches merged by containment) and charges
-/// ONE pass, per entry examined. The gap between the two columns is
-/// exactly the coalescing win, and it grows linearly with burst size —
-/// per-event total work diverges superlinearly as bursts lengthen while
-/// coalesced work stays flat.
+/// ONE pass, per entry examined plus per merged-ADD term tested. The gap
+/// between the per-event and coalesced columns is exactly the coalescing
+/// win, and it grows linearly with burst size.
+///
+/// The third mode adds the per-subtable counting-Bloom prefilter: before
+/// scanning a subtable's entries the drain asks the Bloom whether any
+/// removed rule id could live there and whether any merged ADD term's
+/// exact-field values could intersect any entry. The measured traffic
+/// carves megaflows across FIVE subtables (staggered-priority steering
+/// rules interleave mask-diversifier rules, so different ports
+/// accumulate different unwildcard sets), all on ports the churn never
+/// names — the prefilter skips every one, turning the O(entries) scan
+/// into O(entries-in-intersecting-subtables) ≈ 0 and driving
+/// `reval_entries_scanned` to ~zero while the unfiltered coalesced drain
+/// still walks the full cache.
 ///
 /// Methodology: the classifier is driven directly (no chain topology);
 /// the EMC is disabled so the megaflow tier's drain cost is isolated;
@@ -20,11 +32,12 @@
 /// forwarding engine charges. The burst is controller-shaped: one broad
 /// /16 aggregate plus narrow /24 specifics beneath it (they merge into a
 /// compact plan) alternated with strict deletes recycling earlier rules,
-/// all on a port the measured traffic never enters — so neither mode
-/// takes suspects and the columns compare pure scan cost. `--smoke` runs
-/// the reduced sweep and the binary exits non-zero if the coalesced
+/// all on a port the measured traffic never enters — so no mode takes
+/// suspects and the columns compare pure scan cost. `--smoke` runs the
+/// reduced sweep and the binary exits non-zero if (a) the coalesced
 /// drain fails to beat per-event by >= 1.5x at 64-FlowMod bursts on the
-/// >= 4k-entry cache.
+/// >= 4k-entry cache, or (b) the prefilter fails to cut the coalesced
+/// drain's `reval_entries_scanned` by >= 2x there.
 
 #include <benchmark/benchmark.h>
 
@@ -58,12 +71,20 @@ constexpr PortId kChurnPort = 7;  ///< the burst lands here, not on traffic
 bool g_smoke = false;
 std::uint64_t g_rounds = 24;
 
-enum Mode : std::int64_t { kPerEvent = 0, kCoalesced = 1 };
+enum Mode : std::int64_t { kPerEvent = 0, kCoalesced = 1, kCoalescedPf = 2 };
+constexpr std::int64_t kModeCount = 3;
 
 /// Rule set shaped so every traffic flow carves its own megaflow entry:
 /// high-priority exact-ip_dst rules on the churn port are examined first
 /// by every upcall, unwildcarding ip_dst/32 — so cache fill == flow
 /// count, the regime where the suspect scan's O(entries) term matters.
+///
+/// The steering rules are priority-staggered with *mask diversifier*
+/// rules (matching no traffic) interleaved between them: a port-p flow's
+/// upcall examines every rule above its own steering rule, so each
+/// deeper port unites one more field into its unwildcard set — the fill
+/// spreads over five distinct subtables instead of one, which is what
+/// makes the prefilter's whole-subtable skip measurable.
 void install_base_rules(FlowTable& table) {
   for (std::uint32_t j = 0; j < 8; ++j) {
     FlowMod carve;
@@ -74,8 +95,24 @@ void install_base_rules(FlowTable& table) {
     carve.actions = {Action::output(1)};
     (void)table.apply(carve);
   }
+  // Steering at 260, 240, 220, ... with a diversifier between each pair.
+  openflow::Match diversifiers[4];
+  diversifiers[0].l4_dst(9999);                 // no traffic uses 9999
+  diversifiers[1].l4_src(9999);
+  diversifiers[2].ip_src(0xdead0000u, 32);      // outside the flow range
+  diversifiers[3].eth_type(0x86dd);             // traffic is IPv4
   for (PortId p = 1; p <= kTrafficPorts; ++p) {
-    (void)table.apply(openflow::make_p2p_flowmod(p, p + 10, 100, p));
+    (void)table.apply(openflow::make_p2p_flowmod(
+        p, p + 10, static_cast<std::uint16_t>(280 - 20 * p), p));
+    if (p <= 4) {
+      FlowMod div;
+      div.command = FlowModCommand::kAdd;
+      div.priority = static_cast<std::uint16_t>(270 - 20 * p);
+      div.cookie = 0x4000 + p;
+      div.match = diversifiers[p - 1];
+      div.actions = {Action::output(1)};
+      (void)table.apply(div);
+    }
   }
   FlowMod catch_all;
   catch_all.command = FlowModCommand::kAdd;
@@ -130,11 +167,13 @@ std::vector<pkt::FlowKey> make_flows(std::uint32_t count, Rng& rng) {
 struct Row {
   std::uint32_t fill = 0;
   std::uint32_t burst = 0;
-  double drain_cyc[2] = {0, 0};     ///< cycles per drain, per Mode
-  double scanned[2] = {0, 0};       ///< entries scanned per drain, per Mode
-  double scan_passes[2] = {0, 0};   ///< suspect-scan passes per drain
+  double drain_cyc[kModeCount] = {0, 0, 0};   ///< cycles per drain, per Mode
+  double scanned[kModeCount] = {0, 0, 0};     ///< entries scanned per drain
+  double scan_passes[kModeCount] = {0, 0, 0}; ///< suspect-scan passes per drain
+  double skipped = 0;               ///< subtables skipped per drain (pf mode)
   std::uint64_t coalesced = 0;      ///< events folded (coalesced mode)
-  double hit_rate[2] = {0, 0};      ///< steady megaflow hit-rate
+  std::size_t subtables = 0;        ///< distinct megaflow subtables at fill
+  double hit_rate[kModeCount] = {0, 0, 0};    ///< steady megaflow hit-rate
 };
 std::vector<Row> g_rows;
 
@@ -164,14 +203,17 @@ void BM_Revalidator(benchmark::State& state) {
 
   DpClassifierConfig config;
   config.emc_enabled = false;  // isolate the megaflow tier's drain cost
-  config.megaflow.coalesce_revalidation = mode == kCoalesced;
+  config.megaflow.coalesce_revalidation = mode != kPerEvent;
+  config.megaflow.subtable_prefilter = mode == kCoalescedPf;
   config.megaflow.revalidator_queue_limit = 2 * burst + 8;
 
   double drain_cycles = 0;
   double scanned = 0;
   double passes = 0;
+  double skipped = 0;
   double hit_rate = 0;
   std::uint64_t coalesced = 0;
+  std::size_t subtables = 0;
   for (auto _ : state) {
     DpClassifier dp(table, cost, config);
     exec::CycleMeter warm;
@@ -204,7 +246,11 @@ void BM_Revalidator(benchmark::State& state) {
               static_cast<double>(g_rounds);
     passes = static_cast<double>(after.reval_batches - before.reval_batches) /
              static_cast<double>(g_rounds);
+    skipped = static_cast<double>(after.subtables_skipped -
+                                  before.subtables_skipped) /
+              static_cast<double>(g_rounds);
     coalesced = after.reval_coalesced_events - before.reval_coalesced_events;
+    subtables = dp.megaflow().subtable_count();
     hit_rate = steady_lookups > 0
                    ? static_cast<double>(after.megaflow_hits -
                                          steady_hits_before) /
@@ -219,14 +265,18 @@ void BM_Revalidator(benchmark::State& state) {
   state.counters["drain_cyc"] = drain_cycles;
   state.counters["reval_scanned"] = scanned;
   state.counters["reval_batches"] = passes;
+  state.counters["subt_skipped"] = skipped;
   state.counters["mf_hit_rate"] = hit_rate;
+  state.counters["subtables"] = static_cast<double>(subtables);
 
   Row& row = row_for(fill, burst);
   row.drain_cyc[mode] = drain_cycles;
   row.scanned[mode] = scanned;
   row.scan_passes[mode] = passes;
   row.hit_rate[mode] = hit_rate;
+  row.subtables = subtables;
   if (mode == kCoalesced) row.coalesced = coalesced;
+  if (mode == kCoalescedPf) row.skipped = skipped;
 }
 
 }  // namespace
@@ -257,7 +307,7 @@ int main(int argc, char** argv) {
   bench->ArgNames({"fill", "burst", "mode"});
   for (const std::int64_t fill : fills) {
     for (const std::int64_t burst : bursts) {
-      for (const std::int64_t mode : {kPerEvent, kCoalesced}) {
+      for (std::int64_t mode = 0; mode < kModeCount; ++mode) {
         bench->Args({fill, burst, mode});
       }
     }
@@ -269,41 +319,76 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   std::printf(
-      "\n=== A9: coalesced vs per-event revalidation under FlowMod bursts "
-      "===\n");
+      "\n=== A9: per-event vs coalesced vs coalesced+prefilter revalidation "
+      "under FlowMod bursts ===\n");
   std::printf(
-      "%-8s %-8s | %-14s %-14s %-8s | %-12s %-12s | %-8s %-8s\n", "fill",
-      "burst", "per-evt cyc", "coalesced cyc", "speedup", "pe scanned",
-      "co scanned", "pe scans", "co scans");
+      "%-6s %-6s %-5s | %-12s %-12s %-12s %-8s | %-10s %-10s %-10s %-8s "
+      "%-9s\n",
+      "fill", "burst", "subt", "per-evt cyc", "coalesced", "coal+pf",
+      "speedup", "pe scanned", "co scanned", "pf scanned", "pf cut",
+      "pf skips");
   double gate_speedup = -1;
+  double gate_scan_cut = -1;
   for (const auto& row : g_rows) {
     const double speedup = row.drain_cyc[kCoalesced] > 0
                                ? row.drain_cyc[kPerEvent] /
                                      row.drain_cyc[kCoalesced]
                                : 0.0;
+    const double scan_cut =
+        row.scanned[kCoalescedPf] > 0
+            ? row.scanned[kCoalesced] / row.scanned[kCoalescedPf]
+            : (row.scanned[kCoalesced] > 0 ? 1e9 : 0.0);
+    char cut_text[24];
+    if (row.scanned[kCoalescedPf] == 0 && row.scanned[kCoalesced] > 0) {
+      std::snprintf(cut_text, sizeof(cut_text), "inf");
+    } else {
+      std::snprintf(cut_text, sizeof(cut_text), "%.0fx", scan_cut);
+    }
     std::printf(
-        "%-8u %-8u | %-14.0f %-14.0f %-8.1f | %-12.0f %-12.0f | %-8.1f "
-        "%-8.1f\n",
-        row.fill, row.burst, row.drain_cyc[kPerEvent],
-        row.drain_cyc[kCoalesced], speedup, row.scanned[kPerEvent],
-        row.scanned[kCoalesced], row.scan_passes[kPerEvent],
-        row.scan_passes[kCoalesced]);
-    if (row.fill >= 4096 && row.burst == 64) gate_speedup = speedup;
+        "%-6u %-6u %-5zu | %-12.0f %-12.0f %-12.0f %-8.1f | %-10.0f %-10.0f "
+        "%-10.0f %-8s %-9.1f\n",
+        row.fill, row.burst, row.subtables, row.drain_cyc[kPerEvent],
+        row.drain_cyc[kCoalesced], row.drain_cyc[kCoalescedPf], speedup,
+        row.scanned[kPerEvent], row.scanned[kCoalesced],
+        row.scanned[kCoalescedPf], cut_text, row.skipped);
+    if (row.fill >= 4096 && row.burst == 64) {
+      gate_speedup = speedup;
+      gate_scan_cut = scan_cut;
+    }
   }
   std::printf(
       "\nPer-event revalidation runs one O(entries) suspect scan per\n"
       "drained FlowMod, so a burst of N costs N passes; the coalescing\n"
       "drain folds the burst into one plan (DELETE ids unioned, ADD masks\n"
-      "merged by containment) and scans the cache once — its cost is flat\n"
-      "in burst size while per-event diverges, and both charge per entry\n"
-      "examined, never per event.\n");
+      "merged by containment) and scans the cache once — flat in burst\n"
+      "size, charged per entry examined plus per merged-ADD term tested.\n"
+      "The prefilter then asks each subtable's counting-Bloom summary\n"
+      "whether any plan term could touch it at all: churn on ports the\n"
+      "traffic never uses skips every subtable, so the scan examines\n"
+      "~zero entries regardless of fill.\n");
+  bool ok = true;
   if (gate_speedup >= 0) {
-    const bool ok = gate_speedup >= 1.5;
+    const bool pass = gate_speedup >= 1.5;
     std::printf(
         "acceptance: coalesced >= 1.5x per-event drain cost at 64-mod "
         "bursts on a >=4k-entry cache: %.1fx -> %s\n",
-        gate_speedup, ok ? "PASS" : "FAIL");
-    if (!ok) return 1;
+        gate_speedup, pass ? "PASS" : "FAIL");
+    ok = ok && pass;
   }
-  return 0;
+  if (gate_scan_cut >= 0) {
+    const bool pass = gate_scan_cut >= 2.0;
+    if (gate_scan_cut >= 1e9) {
+      std::printf(
+          "acceptance: prefilter cuts coalesced reval_entries_scanned >= 2x "
+          "at 64-mod bursts on a >=4k-entry cache: inf (0 scanned) -> %s\n",
+          pass ? "PASS" : "FAIL");
+    } else {
+      std::printf(
+          "acceptance: prefilter cuts coalesced reval_entries_scanned >= 2x "
+          "at 64-mod bursts on a >=4k-entry cache: %.0fx -> %s\n",
+          gate_scan_cut, pass ? "PASS" : "FAIL");
+    }
+    ok = ok && pass;
+  }
+  return ok ? 0 : 1;
 }

@@ -186,6 +186,12 @@ inline void export_counters(benchmark::State& state,
       static_cast<double>(metrics.reval_coalesced_events);
   state.counters["cache_resizes"] =
       static_cast<double>(metrics.cache_resizes);
+  // SIMD-scan + subtable-prefilter telemetry (see docs/COUNTERS.md).
+  state.counters["simd_blocks"] = static_cast<double>(metrics.simd_blocks);
+  state.counters["subt_skipped"] =
+      static_cast<double>(metrics.subtables_skipped);
+  state.counters["prefilter_fp"] =
+      static_cast<double>(metrics.prefilter_false_positives);
 }
 
 }  // namespace hw::bench

@@ -104,9 +104,16 @@ void DpClassifier::charge_reval_work(exec::CycleMeter& meter) {
   now.scanned = stats.reval_entries_scanned + emc_accum_.scanned;
   now.repaired = stats.revalidated_kept + emc_accum_.repaired;
   now.evicted = stats.revalidated_evicted + emc_accum_.evicted;
+  now.term_tests = stats.reval_term_tests;
+  now.prefilter_checks = stats.reval_prefilter_checks;
   meter.charge(
       static_cast<Cycles>(now.scanned - reval_seen_.scanned) *
           cost_->revalidate_per_entry +
+      static_cast<Cycles>(now.term_tests - reval_seen_.term_tests) *
+          cost_->revalidate_per_term +
+      static_cast<Cycles>(now.prefilter_checks -
+                          reval_seen_.prefilter_checks) *
+          cost_->megaflow_prefilter_check +
       static_cast<Cycles>(now.repaired - reval_seen_.repaired) *
           cost_->revalidate_repair +
       static_cast<Cycles>(now.evicted - reval_seen_.evicted) *
@@ -122,6 +129,9 @@ void DpClassifier::charge_reval_work(exec::CycleMeter& meter) {
       stats.reval_entries_scanned + emc_accum_.scanned;
   counters_.reval_coalesced_events = stats.reval_coalesced_events;
   counters_.cache_resizes = stats.cache_resizes;
+  counters_.simd_blocks = stats.simd_blocks;
+  counters_.subtables_skipped = stats.subtables_skipped;
+  counters_.prefilter_false_positives = stats.prefilter_false_positives;
 }
 
 Cycles DpClassifier::tally_cycles(const ProbeTally& tally,
@@ -134,6 +144,9 @@ Cycles DpClassifier::tally_cycles(const ProbeTally& tally,
                                           : cost_->megaflow_per_subtable;
   return static_cast<Cycles>(tally.probes) * per_probe +
          static_cast<Cycles>(tally.sig_blocks) * cost_->megaflow_sig_block +
+         static_cast<Cycles>(tally.sig_scalar) * cost_->megaflow_sig_scalar +
+         static_cast<Cycles>(tally.prefilter_checks) *
+             cost_->megaflow_prefilter_check +
          static_cast<Cycles>(tally.full_compares) *
              cost_->megaflow_full_compare +
          // Pending-event guard tests paid while a drain was deferred
@@ -142,8 +155,12 @@ Cycles DpClassifier::tally_cycles(const ProbeTally& tally,
 }
 
 void DpClassifier::mirror_sig_stats() noexcept {
-  counters_.sig_hits = megaflow_.stats().sig_hits;
-  counters_.sig_false_positives = megaflow_.stats().sig_false_positives;
+  const MegaflowStats& stats = megaflow_.stats();
+  counters_.sig_hits = stats.sig_hits;
+  counters_.sig_false_positives = stats.sig_false_positives;
+  counters_.simd_blocks = stats.simd_blocks;
+  counters_.subtables_skipped = stats.subtables_skipped;
+  counters_.prefilter_false_positives = stats.prefilter_false_positives;
 }
 
 LookupOutcome DpClassifier::slow_path(const pkt::FlowKey& key,

@@ -17,7 +17,12 @@
 ///   1. exact-match cache   — O(1) direct-mapped, full-key compare;
 ///   2. megaflow cache      — tuple-space search over masked keys, with a
 ///                            per-subtable 16-bit signature array scanned
-///                            ahead of any full masked compare;
+///                            ahead of any full masked compare (real SIMD
+///                            blocks via hw::simd, `sig_scan_mode` picks
+///                            the scalar loop for ablation) and a
+///                            counting-Bloom subtable prefilter that
+///                            skips subtables which provably cannot hold
+///                            the masked key;
 ///   3. slow path           — priority-ordered wildcard table scan, which
 ///                            *installs* a megaflow covering every field
 ///                            it examined (the upcall's unwildcard set)
@@ -89,6 +94,10 @@ struct TierCounters {
   std::uint64_t reval_entries_scanned = 0;  ///< entries examined (both tiers)
   std::uint64_t reval_coalesced_events = 0; ///< events folded into shared scans
   std::uint64_t cache_resizes = 0;          ///< megaflow capacity retargets
+  // SIMD-scan + subtable-prefilter telemetry (see docs/COUNTERS.md).
+  std::uint64_t simd_blocks = 0;            ///< 16-signature SIMD blocks scanned
+  std::uint64_t subtables_skipped = 0;      ///< whole-subtable prefilter skips
+  std::uint64_t prefilter_false_positives = 0; ///< Bloom passed, scan found nothing
 
   TierCounters& operator+=(const TierCounters& other) noexcept {
     emc_hits += other.emc_hits;
@@ -110,6 +119,9 @@ struct TierCounters {
     reval_entries_scanned += other.reval_entries_scanned;
     reval_coalesced_events += other.reval_coalesced_events;
     cache_resizes += other.cache_resizes;
+    simd_blocks += other.simd_blocks;
+    subtables_skipped += other.subtables_skipped;
+    prefilter_false_positives += other.prefilter_false_positives;
     return *this;
   }
 };
@@ -220,6 +232,8 @@ class DpClassifier {
     std::uint64_t scanned = 0;   ///< entries examined (megaflow + EMC)
     std::uint64_t repaired = 0;
     std::uint64_t evicted = 0;
+    std::uint64_t term_tests = 0;       ///< merged-ADD-term intersect tests
+    std::uint64_t prefilter_checks = 0; ///< revalidator Bloom consults
   };
   RevalWork emc_accum_;
   RevalWork reval_seen_;

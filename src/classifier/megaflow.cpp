@@ -1,6 +1,7 @@
 #include "classifier/megaflow.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace hw::classifier {
 
@@ -25,57 +26,205 @@ namespace {
   return p;
 }
 
+[[nodiscard]] constexpr std::size_t block_ceil(std::size_t n) noexcept {
+  return (n + simd::kLanesU16 - 1) & ~(simd::kLanesU16 - 1);
+}
+
+/// Invokes `fn(field_bit, value)` for every *exact-valued* field the mask
+/// constrains (IPv4 prefixes are excluded: their per-entry values are not
+/// set-membership-testable under differing prefix lengths). These are the
+/// value fingerprints the subtable Bloom carries for the revalidator's
+/// subtable-level may-intersect test.
+template <typename F>
+void for_each_exact_field(const MaskSpec& mask, const pkt::FlowKey& masked,
+                          F&& fn) {
+  if (mask.fields & openflow::kMatchInPort) {
+    fn(openflow::kMatchInPort, static_cast<std::uint32_t>(masked.in_port));
+  }
+  if (mask.fields & openflow::kMatchEthType) {
+    fn(openflow::kMatchEthType, static_cast<std::uint32_t>(masked.ether_type));
+  }
+  if (mask.fields & openflow::kMatchIpProto) {
+    fn(openflow::kMatchIpProto, static_cast<std::uint32_t>(masked.ip_proto));
+  }
+  if (mask.fields & openflow::kMatchL4Src) {
+    fn(openflow::kMatchL4Src, static_cast<std::uint32_t>(masked.src_port));
+  }
+  if (mask.fields & openflow::kMatchL4Dst) {
+    fn(openflow::kMatchL4Dst, static_cast<std::uint32_t>(masked.dst_port));
+  }
+}
+
+/// The exact-field value `match` pins for `field`, for the same
+/// fingerprint space as for_each_exact_field.
+[[nodiscard]] std::uint32_t match_field_value(const openflow::Match& match,
+                                              std::uint32_t field) noexcept {
+  switch (field) {
+    case openflow::kMatchInPort:
+      return match.in_port_value();
+    case openflow::kMatchEthType:
+      return match.eth_type_value();
+    case openflow::kMatchIpProto:
+      return match.ip_proto_value();
+    case openflow::kMatchL4Src:
+      return match.l4_src_value();
+    default:
+      return match.l4_dst_value();
+  }
+}
+
+constexpr std::uint32_t kExactFields =
+    openflow::kMatchInPort | openflow::kMatchEthType |
+    openflow::kMatchIpProto | openflow::kMatchL4Src | openflow::kMatchL4Dst;
+
 }  // namespace
 
 std::size_t MegaflowCache::Subtable::find(const pkt::FlowKey& masked,
-                                          std::uint16_t sig,
-                                          bool use_signature,
+                                          std::uint16_t sig, ScanKind kind,
                                           ProbeTally& tally) const {
   const std::size_t n = slots.size();
-  if (!use_signature) {
-    // Scalar baseline: one full masked compare per candidate entry.
+  if (kind == ScanKind::kLinear) {
+    // Linear baseline: one full masked compare per candidate entry.
     for (std::size_t i = 0; i < n; ++i) {
       ++tally.full_compares;
       if (slots[i].key == masked) return i;
     }
     return kNpos;
   }
-  // Signature scan: the 16-bit fingerprint array is contiguous, so this
-  // loop is one vector compare per 16-entry block; full compares fire
-  // only on fingerprint matches. Blocks are charged up to the match.
-  const std::uint16_t* s = sigs.data();
-  std::size_t found = kNpos;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (s[i] != sig) continue;
-    ++tally.full_compares;
-    if (slots[i].key == masked) {
-      found = i;
-      break;
+  if (kind == ScanKind::kSigScalar) {
+    // Portable signature scan: one scalar compare per signature; full
+    // compares fire only on fingerprint matches. Compares are charged up
+    // to the match.
+    const std::uint16_t* s = sigs.data();
+    std::size_t found = kNpos;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s[i] != sig) continue;
+      ++tally.full_compares;
+      if (slots[i].key == masked) {
+        found = i;
+        break;
+      }
+    }
+    tally.sig_scalar +=
+        static_cast<std::uint32_t>(found == kNpos ? n : found + 1);
+    return found;
+  }
+  // SIMD signature scan: one 16-lane vector compare per block (the array
+  // is padded to a block multiple; tail lanes are masked off inside
+  // match_mask_u16), then one full compare per surviving lane. Blocks
+  // are charged up to the match.
+  for (std::size_t base = 0; base < n; base += simd::kLanesU16) {
+    ++tally.sig_blocks;
+    std::uint32_t lanes = simd::match_mask_u16(
+        sigs.data() + base, std::min(simd::kLanesU16, n - base), sig);
+    while (lanes != 0) {
+      const std::size_t index = base + std::countr_zero(lanes);
+      lanes &= lanes - 1;
+      ++tally.full_compares;
+      if (slots[index].key == masked) return index;
     }
   }
-  const std::size_t scanned = found == kNpos ? n : found + 1;
-  tally.sig_blocks += static_cast<std::uint32_t>((scanned + 15) / 16);
-  return found;
+  return kNpos;
+}
+
+void MegaflowCache::Subtable::sig_push(std::uint16_t sig) {
+  if (slots.size() > sigs.size()) {
+    sigs.resize(sigs.size() + simd::kLanesU16, 0);
+  }
+  sigs[slots.size() - 1] = sig;
 }
 
 void MegaflowCache::Subtable::erase_at(std::size_t index) {
-  sigs[index] = sigs.back();
-  sigs.pop_back();
+  bloom_remove_slot(slots[index]);
+  const std::size_t last = slots.size() - 1;
+  sigs[index] = sigs[last];
+  sigs[last] = 0;  // padding lanes stay zero (masked off anyway)
   slots[index] = std::move(slots.back());
   slots.pop_back();
+  if (block_ceil(slots.size()) < sigs.size()) {
+    sigs.resize(block_ceil(slots.size()));
+  }
+}
+
+void MegaflowCache::Subtable::bloom_add_slot(const Slot& slot) {
+  key_bloom.add(fp_signature(flow_signature(slot.key)));
+  plan_bloom.add(fp_rule(slot.rule));
+  for_each_exact_field(mask, slot.key,
+                       [this](std::uint32_t field, std::uint32_t value) {
+                         plan_bloom.add(fp_field(field, value));
+                       });
+}
+
+void MegaflowCache::Subtable::bloom_remove_slot(const Slot& slot) {
+  key_bloom.remove(fp_signature(flow_signature(slot.key)));
+  plan_bloom.remove(fp_rule(slot.rule));
+  for_each_exact_field(mask, slot.key,
+                       [this](std::uint32_t field, std::uint32_t value) {
+                         plan_bloom.remove(fp_field(field, value));
+                       });
+}
+
+void MegaflowCache::Subtable::bloom_update_rule(RuleId old_rule,
+                                                RuleId new_rule) {
+  if (old_rule == new_rule) return;
+  plan_bloom.remove(fp_rule(old_rule));
+  plan_bloom.add(fp_rule(new_rule));
+}
+
+void MegaflowCache::Subtable::maybe_grow_blooms() {
+  if (slots.size() * 16 <= key_bloom.buckets()) return;
+  // Rebuild at 32 buckets per slot: the next doubling is a population
+  // doubling away, and sig-absent probes keep a ~1-2% pass rate instead
+  // of saturating. Shrink is never needed — emptied subtables are
+  // pruned, and a trimmed population only makes the filter sparser.
+  const std::size_t target = pow2_ceil(slots.size() * 32);
+  key_bloom.reset(target);
+  plan_bloom.reset(target);
+  for (const Slot& slot : slots) bloom_add_slot(slot);
+}
+
+bool MegaflowCache::subtable_may_intersect(const Subtable& subtable,
+                                           const openflow::Match& match,
+                                           std::uint64_t& checks) {
+  // A per-entry may_intersect requires equality on every exact field both
+  // sides constrain. If ANY common exact field's match value is provably
+  // absent from the subtable (no entry carries it), no entry can
+  // intersect — the whole subtable is clean for this term. IPv4 prefixes
+  // and terms sharing no exact field stay conservative (scan).
+  const std::uint32_t common = subtable.mask.fields & match.fields();
+  for (std::uint32_t field = 1; field != 0 && field <= common; field <<= 1) {
+    if ((common & field & kExactFields) == 0) continue;
+    ++checks;
+    if (!subtable.plan_bloom.may_contain(
+            fp_field(field, match_field_value(match, field)))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::size_t MegaflowCache::probe_subtable(const Subtable& subtable,
                                           const pkt::FlowKey& masked,
                                           ProbeTally& tally) {
   ++tally.probes;
-  // The fingerprint is only needed by the prefilter scan; the linear
-  // baseline must not pay the hash.
-  const std::uint16_t sig =
-      config_.signature_prefilter ? flow_signature(masked) : 0;
+  // The fingerprint is needed by the signature scan and the Bloom
+  // prefilter; the bare linear baseline must not pay the hash.
+  const bool need_sig = config_.signature_prefilter || config_.subtable_prefilter;
+  const std::uint16_t sig = need_sig ? flow_signature(masked) : 0;
+  if (config_.subtable_prefilter) {
+    // Whole-subtable skip: a masked key whose signature the counting
+    // Bloom provably lacks cannot be stored here — don't touch the
+    // arrays at all.
+    ++tally.prefilter_checks;
+    if (!subtable.key_bloom.may_contain(fp_signature(sig))) {
+      ++stats_.subtables_skipped;
+      return kNpos;
+    }
+  }
+  const std::uint32_t blocks_before = tally.sig_blocks;
   const std::uint32_t compares_before = tally.full_compares;
-  const std::size_t index =
-      subtable.find(masked, sig, config_.signature_prefilter, tally);
+  const std::size_t index = subtable.find(masked, sig, scan_kind(), tally);
+  stats_.simd_blocks += tally.sig_blocks - blocks_before;
   if (config_.signature_prefilter) {
     // Every fingerprint match that failed its full compare is a false
     // positive; a confirmed match is a signature hit.
@@ -86,6 +235,11 @@ std::size_t MegaflowCache::probe_subtable(const Subtable& subtable,
     } else {
       stats_.sig_false_positives += compares;
     }
+  }
+  if (config_.subtable_prefilter && index == kNpos) {
+    // The Bloom let the scan through but nothing matched — the skip
+    // opportunity a collision (or a same-signature key) wasted.
+    ++stats_.prefilter_false_positives;
   }
   return index;
 }
@@ -244,16 +398,19 @@ void MegaflowCache::insert(const pkt::FlowKey& key, const MaskSpec& mask,
   const std::uint16_t sig = flow_signature(masked);
   ProbeTally scratch;  // dup-scan work is covered by the caller's insert charge
   const std::size_t existing =
-      subtable.find(masked, sig, config_.signature_prefilter, scratch);
+      subtable.find(masked, sig, scan_kind(), scratch);
   if (existing != kNpos) {
+    subtable.bloom_update_rule(subtable.slots[existing].rule, rule);
     subtable.slots[existing].rule = rule;
     subtable.slots[existing].version = table_version;
     ++stats_.overwrites;
     return;
   }
-  subtable.sigs.push_back(sig);
   Slot slot{masked, rule, table_version, size_epoch_};
   subtable.slots.push_back(slot);
+  subtable.sig_push(sig);
+  subtable.bloom_add_slot(subtable.slots.back());
+  subtable.maybe_grow_blooms();
   ++stats_.inserts;
   ++entries_;
   ++window_distinct_;  // a fresh entry is part of the working set
@@ -382,12 +539,41 @@ void MegaflowCache::revalidate_coalesced(
   std::sort(plan_removed_.begin(), plan_removed_.end());
 
   // ONE suspect scan over the cache, whatever the burst size was. The
-  // per-entry suspect test is a sorted-set membership probe plus an
-  // intersect test against the merged ADD masks — the O(1)-per-entry
-  // work the cost model charges as revalidate_per_entry.
+  // per-entry suspect test is a sorted-set membership probe (charged as
+  // revalidate_per_entry) plus one intersect test per merged ADD mask
+  // actually examined (each charged as revalidate_per_term). With the
+  // subtable prefilter, whole subtables whose Bloom summary provably
+  // contains no removed rule id and no entry an ADD term could intersect
+  // are skipped without touching their entries — the scan is O(entries
+  // in intersecting subtables), not O(entries).
   ++stats_.reval_batches;
   ++report.batches;
   for (auto& subtable : subtables_) {
+    if (config_.subtable_prefilter) {
+      bool relevant = false;
+      for (const RuleId removed : plan_removed_) {
+        ++stats_.reval_prefilter_checks;
+        if (subtable->plan_bloom.may_contain(fp_rule(removed))) {
+          relevant = true;
+          break;
+        }
+      }
+      if (!relevant) {
+        for (const openflow::Match* match : plan_adds_) {
+          if (subtable_may_intersect(*subtable, *match,
+                                     stats_.reval_prefilter_checks)) {
+            relevant = true;
+            break;
+          }
+        }
+      }
+      if (!relevant) {
+        ++stats_.subtables_skipped;
+        ++report.subtables_skipped;
+        continue;
+      }
+    }
+    std::size_t suspects_here = 0;
     for (std::size_t i = 0; i < subtable->slots.size();) {
       Slot& slot = subtable->slots[i];
       ++stats_.reval_entries_scanned;
@@ -396,6 +582,8 @@ void MegaflowCache::revalidate_coalesced(
                                         plan_removed_.end(), slot.rule);
       if (!suspect) {
         for (const openflow::Match* match : plan_adds_) {
+          ++stats_.reval_term_tests;
+          ++report.term_tests;
           if (may_intersect(subtable->mask, slot.key, *match)) {
             suspect = true;
             break;
@@ -406,6 +594,7 @@ void MegaflowCache::revalidate_coalesced(
         ++i;
         continue;
       }
+      ++suspects_here;
       ++report.revalidated;
       ++stats_.revalidations;
       bool keep = false;
@@ -418,6 +607,7 @@ void MegaflowCache::revalidate_coalesced(
         // finer megaflows. The repair rewrites rule/version only; the
         // masked key — and therefore its signature — is untouched.
         if (res.found && subsumes(subtable->mask, res.unwildcarded)) {
+          subtable->bloom_update_rule(slot.rule, res.rule);
           slot.rule = res.rule;
           slot.version = max_version;
           keep = true;
@@ -433,6 +623,11 @@ void MegaflowCache::revalidate_coalesced(
         subtable->erase_at(i);
         --entries_;
       }
+    }
+    if (config_.subtable_prefilter && suspects_here == 0) {
+      // The Bloom let this subtable's scan through but no entry turned
+      // out suspect — the skip a collision wasted.
+      ++stats_.prefilter_false_positives;
     }
   }
   plan_adds_.clear();  // pointers into `events` must not outlive this drain
@@ -459,11 +654,17 @@ void MegaflowCache::revalidate_event(const TableChangeEvent& event,
       // Suspect tests are exact per command. A removal can only change a
       // key's winner if that winner was removed (every key in the cover
       // set resolved to entry.rule at install). An ADD can only steal
-      // keys its match intersects.
-      const bool suspect =
-          removal ? std::find(event.removed.begin(), event.removed.end(),
-                              slot.rule) != event.removed.end()
-                  : may_intersect(subtable->mask, slot.key, event.match);
+      // keys its match intersects — one term test per entry, the same
+      // charge the coalesced plan pays per merged ADD mask examined.
+      bool suspect;
+      if (removal) {
+        suspect = std::find(event.removed.begin(), event.removed.end(),
+                            slot.rule) != event.removed.end();
+      } else {
+        ++stats_.reval_term_tests;
+        ++report.term_tests;
+        suspect = may_intersect(subtable->mask, slot.key, event.match);
+      }
       if (!suspect) {
         ++i;
         continue;
@@ -474,6 +675,7 @@ void MegaflowCache::revalidate_event(const TableChangeEvent& event,
       if (resolver != nullptr) {
         const Resolution res = (*resolver)(slot.key);
         if (res.found && subsumes(subtable->mask, res.unwildcarded)) {
+          subtable->bloom_update_rule(slot.rule, res.rule);
           slot.rule = res.rule;
           slot.version = event.version;
           keep = true;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "classifier/mask.h"
+#include "common/simd.h"
 #include "common/types.h"
 #include "flowtable/flow_table.h"
 #include "pkt/flow_key.h"
@@ -23,13 +25,25 @@
 ///
 /// Signature acceleration: each subtable keeps a contiguous array of
 /// 16-bit signatures (hash fingerprints of the *masked* keys) parallel to
-/// its entry slots. A probe scans the signature array first — one
-/// vector-friendly compare per 16-entry block — and runs the full masked
-/// compare only on signature matches, so a probe that misses touches one
-/// contiguous array instead of N candidate entries. Batched lookups
-/// (lookup_batch) probe each subtable for the whole batch in one pass,
-/// amortizing rank dispatch and EWMA accounting, which is how DPDK's
-/// dpcls keeps up with line rate once the EMC thrashes.
+/// its entry slots, padded to a 16-lane block multiple. A probe scans the
+/// signature array first — one real SIMD compare per 16-entry block
+/// (SSE2/NEON via hw::simd, with a portable scalar loop as the build-time
+/// fallback and `sig_scan_mode` as the runtime ablation knob) — and runs
+/// the full masked compare only on signature matches, so a probe that
+/// misses touches one contiguous array instead of N candidate entries.
+/// Batched lookups (lookup_batch) probe each subtable for the whole batch
+/// in one pass, amortizing rank dispatch and EWMA accounting, which is
+/// how DPDK's dpcls keeps up with line rate once the EMC thrashes.
+///
+/// Subtable prefilter: each subtable additionally maintains a counting
+/// Bloom summary of its contents — masked-key signatures, rule ids, and
+/// exact-field values — so a probe (or the coalesced revalidator's
+/// suspect scan, below) can skip a whole subtable that provably cannot
+/// contain a matching entry (or a suspect) without touching its arrays.
+/// The filter is *counting*, updated on every insert/erase/repair, so it
+/// has no false negatives by construction: a skip is always sound, and
+/// the only cost of a collision is a wasted scan (counted as
+/// `prefilter_false_positives`).
 ///
 /// Staleness is handled by an OVS-style *revalidator* instead of a
 /// whole-cache flush: FlowTable change notifications arrive as structured
@@ -67,6 +81,14 @@
 
 namespace hw::classifier {
 
+/// How a probe scans a subtable's signature array. kAuto resolves to the
+/// SIMD backend compiled into this binary (simd::kSimdCompiledIn) and to
+/// the portable loop otherwise; kScalar forces the portable loop at
+/// runtime (the ablation baseline); kSimd requests the vector path and
+/// silently degrades to scalar in a -DHW_FORCE_SCALAR (or no-SIMD) build.
+/// All three produce bit-identical results — only the cost differs.
+enum class SigScanMode : std::uint8_t { kAuto = 0, kSimd = 1, kScalar = 2 };
+
 struct MegaflowStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -89,6 +111,12 @@ struct MegaflowStats {
   std::uint64_t reval_entries_scanned = 0; ///< entries examined by scans
   std::uint64_t reval_coalesced_events = 0;///< events folded into a shared pass
   std::uint64_t cache_resizes = 0;         ///< effective-capacity changes
+  // SIMD-scan + subtable-prefilter telemetry (see docs/COUNTERS.md).
+  std::uint64_t simd_blocks = 0;           ///< 16-signature SIMD blocks scanned
+  std::uint64_t subtables_skipped = 0;     ///< whole-subtable prefilter skips
+  std::uint64_t prefilter_false_positives = 0; ///< Bloom passed, scan found nothing
+  std::uint64_t reval_term_tests = 0;      ///< per-entry merged-ADD-term intersect tests
+  std::uint64_t reval_prefilter_checks = 0;///< Bloom consults by suspect-scan skips
 };
 
 struct MegaflowCacheConfig {
@@ -102,8 +130,17 @@ struct MegaflowCacheConfig {
   double rank_ewma_alpha = 0.25;
   /// Scan the subtable's 16-bit signature array before any full masked
   /// compare (true), or full-compare every candidate entry linearly
-  /// (false; the scalar ablation baseline).
+  /// (false; the linear-compare ablation baseline).
   bool signature_prefilter = true;
+  /// How the signature array is scanned: real SIMD (SSE2/NEON) or the
+  /// portable scalar loop. kAuto picks whatever this binary compiled in.
+  SigScanMode sig_scan_mode = SigScanMode::kAuto;
+  /// Consult each subtable's counting-Bloom summary before scanning it —
+  /// a probe skips subtables that provably lack the masked key, and the
+  /// coalesced revalidator skips subtables no merged plan term (removed
+  /// rule id or ADD-mask exact-field value) can touch. False = always
+  /// scan (the ablation baseline).
+  bool subtable_prefilter = true;
   /// Precise per-rule revalidation (true) or PR-1-style whole-cache flush
   /// on every FlowMod (false; the ablation baseline).
   bool precise_revalidation = true;
@@ -137,8 +174,10 @@ struct MegaflowCacheConfig {
 /// before the call to charge per-call deltas.
 struct ProbeTally {
   std::uint32_t probes = 0;         ///< per-key subtable probes
-  std::uint32_t sig_blocks = 0;     ///< 16-signature blocks scanned
+  std::uint32_t sig_blocks = 0;     ///< 16-signature SIMD blocks scanned
+  std::uint32_t sig_scalar = 0;     ///< scalar signature compares (portable scan)
   std::uint32_t full_compares = 0;  ///< full masked-key compares
+  std::uint32_t prefilter_checks = 0; ///< subtable-Bloom consults
   /// Pending-event guard tests run while a drain was deferred under a
   /// nonzero revalidate_budget (each is one suspect test of a hit entry
   /// against one queued event; charged at revalidate_per_entry).
@@ -190,6 +229,8 @@ class MegaflowCache {
     std::size_t repaired = 0;         ///< suspects repaired in place
     std::size_t evicted = 0;          ///< suspects evicted
     std::size_t batches = 0;          ///< suspect-scan passes (1 coalesced)
+    std::size_t term_tests = 0;       ///< per-entry merged-ADD-term tests
+    std::size_t subtables_skipped = 0;///< whole subtables the prefilter skipped
     bool flushed = false;             ///< full flush applied (overflow/config)
   };
 
@@ -294,8 +335,85 @@ class MegaflowCache {
   /// Masks in current probe order (rank-descending); for tests/diagnostics.
   [[nodiscard]] std::vector<MaskSpec> subtable_masks() const;
 
+ public:
+  /// Counting Bloom summary of (part of) one subtable's contents. Two
+  /// counter positions per fingerprint; add/remove are exact inverses, so
+  /// `may_contain` can never answer "absent" for a fingerprint that is
+  /// still present (no false negatives — a skip is always sound). The
+  /// fingerprint spaces (masked-key signature, rule id, exact-field
+  /// value) are tag-separated before mixing. The bucket count is a power
+  /// of two sized relative to the subtable's population (the owner
+  /// rebuilds on growth, see maybe_grow_blooms) — a fixed-size filter
+  /// would saturate at high fill and silently stop skipping.
+  class SubtableBloom {
+   public:
+    static constexpr std::size_t kMinBuckets = 256;
+
+    explicit SubtableBloom(std::size_t buckets = kMinBuckets)
+        : counts_(buckets) {}
+
+    void add(std::uint32_t fp) noexcept {
+      ++counts_[pos1(fp)];
+      ++counts_[pos2(fp)];
+    }
+    void remove(std::uint32_t fp) noexcept {
+      --counts_[pos1(fp)];
+      --counts_[pos2(fp)];
+    }
+    [[nodiscard]] bool may_contain(std::uint32_t fp) const noexcept {
+      return counts_[pos1(fp)] != 0 && counts_[pos2(fp)] != 0;
+    }
+    [[nodiscard]] std::size_t buckets() const noexcept {
+      return counts_.size();
+    }
+    /// Drops every fingerprint and retargets the bucket count (a power
+    /// of two); the owner re-adds the live population afterwards.
+    void reset(std::size_t buckets) {
+      counts_.assign(buckets, 0);
+    }
+
+   private:
+    // splitmix32 finalizer: cheap, good avalanche over tagged inputs.
+    [[nodiscard]] static std::uint32_t mix(std::uint32_t x) noexcept {
+      x ^= x >> 16;
+      x *= 0x7feb352du;
+      x ^= x >> 15;
+      x *= 0x846ca68bu;
+      x ^= x >> 16;
+      return x;
+    }
+    [[nodiscard]] std::size_t pos1(std::uint32_t fp) const noexcept {
+      return mix(fp) & (counts_.size() - 1);
+    }
+    [[nodiscard]] std::size_t pos2(std::uint32_t fp) const noexcept {
+      return mix(fp ^ 0x9e3779b9u) & (counts_.size() - 1);
+    }
+    // 32-bit counters: repeated IDENTICAL fingerprints all land on the
+    // same two buckets (e.g. a subtable masked on eth_type adds one
+    // fp_field(kMatchEthType, 0x0800) per entry — 64k entries means a
+    // 64k count), so the counter width must cover the max entry count,
+    // not just hash collisions. A 16-bit counter would wrap to zero
+    // there and turn into a false negative — an unsound skip.
+    std::vector<std::uint32_t> counts_;
+  };
+
+  // Tag-separated Bloom fingerprint constructors.
+  [[nodiscard]] static std::uint32_t fp_signature(std::uint16_t sig) noexcept {
+    return 0x53490000u | sig;  // "SI" | signature
+  }
+  [[nodiscard]] static std::uint32_t fp_rule(RuleId rule) noexcept {
+    return 0xa5000000u ^ (rule * 2654435761u);
+  }
+  [[nodiscard]] static std::uint32_t fp_field(std::uint32_t field,
+                                              std::uint32_t value) noexcept {
+    return (field * 0x01000193u) ^ (value * 2654435761u) ^ 0x46440000u;
+  }
+
  private:
   static constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+  /// Which signature-scan strategy a probe resolved to.
+  enum class ScanKind : std::uint8_t { kLinear, kSigScalar, kSigSimd };
 
   /// One megaflow entry. `key` is the MASKED key (the mask was applied
   /// before storing), so `sigs[i] == flow_signature(slots[i].key)` holds
@@ -310,23 +428,66 @@ class MegaflowCache {
   struct Subtable {
     explicit Subtable(MaskSpec m) : mask(m) {}
     MaskSpec mask;
-    /// Contiguous signature array, parallel to `slots` — what a probe
-    /// scans before any full masked compare.
+    /// Contiguous signature array, parallel to `slots` but padded with
+    /// zeros to a 16-lane block multiple so the SIMD scan can always
+    /// load full blocks; padding lanes are masked off before use.
     std::vector<std::uint16_t> sigs;
     std::vector<Slot> slots;
     std::uint64_t window_hits = 0;  ///< hits in the current rank window
     double rank = 0.0;              ///< hit EWMA across rank windows
+    /// Counting summaries the prefilter consults to skip this subtable:
+    /// key_bloom holds the masked-key signatures (probe skip),
+    /// plan_bloom the rule ids and exact-field values (revalidator
+    /// skip). Split so neither test pays the other's load, both resized
+    /// with the population (maybe_grow_blooms).
+    SubtableBloom key_bloom;
+    SubtableBloom plan_bloom;
 
     /// Index of the slot whose masked key equals `masked`, or kNpos.
-    /// With the prefilter, scans `sigs` and full-compares matches only;
-    /// without it, full-compares every slot until a match. Work is
-    /// tallied into `tally`.
+    /// kLinear full-compares every slot until a match (the no-signature
+    /// baseline); the signature kinds scan `sigs` first (SIMD blocks or
+    /// scalar compares per `kind`) and full-compare matches only. Work
+    /// is tallied into `tally`.
     [[nodiscard]] std::size_t find(const pkt::FlowKey& masked,
-                                   std::uint16_t sig, bool use_signature,
+                                   std::uint16_t sig, ScanKind kind,
                                    ProbeTally& tally) const;
-    /// Swap-with-last removal keeping sigs/slots parallel and dense.
+    /// Appends `sig` for the slot just pushed onto `slots`, keeping the
+    /// block padding invariant.
+    void sig_push(std::uint16_t sig);
+    /// Swap-with-last removal keeping sigs/slots parallel, dense and
+    /// block-padded, and the Bloom summary exact.
     void erase_at(std::size_t index);
+    // Bloom bookkeeping: every slot's fingerprints (signature, rule id,
+    // exact-field values under this subtable's mask) enter on insert and
+    // leave on erase; a repair/overwrite swaps only the rule fingerprint.
+    void bloom_add_slot(const Slot& slot);
+    void bloom_remove_slot(const Slot& slot);
+    void bloom_update_rule(RuleId old_rule, RuleId new_rule);
+    /// Keeps the filters ≥ 16 buckets per slot (growing to 32× for
+    /// hysteresis): rebuilds both from the live slots when the
+    /// population outgrows them, so skip efficacy survives high fill.
+    void maybe_grow_blooms();
   };
+
+  /// Resolves the configured sig_scan_mode against what this binary
+  /// compiled in.
+  [[nodiscard]] bool use_simd_scan() const noexcept {
+    return config_.sig_scan_mode != SigScanMode::kScalar &&
+           simd::kSimdCompiledIn;
+  }
+  /// The scan strategy every find() in this cache resolves to — the
+  /// single definition shared by lookups and the insert dup-scan.
+  [[nodiscard]] ScanKind scan_kind() const noexcept {
+    if (!config_.signature_prefilter) return ScanKind::kLinear;
+    return use_simd_scan() ? ScanKind::kSigSimd : ScanKind::kSigScalar;
+  }
+  /// True iff some entry of `subtable` could intersect `match` — the
+  /// subtable-level projection of the per-entry may_intersect test,
+  /// answered from the Bloom summary's exact-field values alone
+  /// (conservative: true whenever no common exact field can refute).
+  [[nodiscard]] static bool subtable_may_intersect(
+      const Subtable& subtable, const openflow::Match& match,
+      std::uint64_t& checks);
 
   /// Probes one subtable for `key`, tallying work and signature stats.
   [[nodiscard]] std::size_t probe_subtable(const Subtable& subtable,

@@ -36,12 +36,18 @@ struct CostModel {
   std::uint32_t emc_hit = 55;              ///< exact-match cache probe
   std::uint32_t megaflow_per_subtable = 70;  ///< dpcls scalar probe: mask + hash + dispatch
   // Subtable compare work, charged on top of the per-probe base. A probe
-  // first scans the subtable's contiguous 16-bit signature array (one
-  // SIMD compare per 16-entry block) and full-compares only signature
-  // matches; with the prefilter disabled every candidate entry pays the
-  // full masked compare — the linear-scan baseline the signature
-  // ablation measures against.
-  std::uint32_t megaflow_sig_block = 4;      ///< compare one 16-signature block
+  // may first consult the subtable's counting-Bloom summary (one hash +
+  // two counter loads) and skip the subtable outright; otherwise it
+  // scans the contiguous 16-bit signature array — one real SIMD compare
+  // per 16-entry block (hw::simd), or one scalar compare per signature
+  // when the portable fallback is built in or `sig_scan_mode` forces it
+  // — and full-compares only signature matches. With the signature
+  // prefilter disabled every candidate entry pays the full masked
+  // compare: the linear-scan baseline the signature ablation measures
+  // against.
+  std::uint32_t megaflow_sig_block = 4;      ///< one 16-lane SIMD signature block
+  std::uint32_t megaflow_sig_scalar = 2;     ///< one scalar signature compare
+  std::uint32_t megaflow_prefilter_check = 6;///< one subtable-Bloom consult
   std::uint32_t megaflow_full_compare = 20;  ///< full masked-key compare
   // Batched classification (dpcls batch loop): probing one subtable for a
   // whole batch amortizes mask load, rank lookup and EWMA accounting, so
@@ -54,16 +60,20 @@ struct CostModel {
   std::uint32_t action_per_pkt = 20;       ///< action execution + batching
   // Revalidator (precise cache repair on FlowMod, charged on the owner
   // thread when pending change events are drained). A drain coalesces the
-  // whole event burst into ONE suspect scan over the cache, so the cost
-  // is charged per entry *examined*, not per event: the per-entry suspect
-  // test is a sorted-id membership probe plus an intersect test against
-  // the drain's merged ADD masks — modeled O(1) per entry, like one more
-  // signature-style block test (bursts whose ADD masks defy merging would
-  // be undercharged; the bench's controller-shaped bursts merge well).
+  // whole event burst into ONE suspect scan over the cache, charged per
+  // entry *examined*, never per event — and the per-entry suspect test is
+  // itself charged exactly: a sorted-id membership probe per entry
+  // (revalidate_per_entry) plus one intersect test per merged ADD mask
+  // actually examined for that entry (revalidate_per_term), so bursts
+  // whose ADD masks defy containment-merging pay their true O(terms)
+  // cost instead of the old O(1)-per-entry simplification. The subtable
+  // prefilter charges its Bloom consults at megaflow_prefilter_check and
+  // skips whole subtables, shrinking the entries-examined term itself.
   // Only the suspects then pay a wildcard re-lookup, anchored to the slow
   // path: about an upcall minus the fixed boundary crossing, repair and
   // evict split so the two outcomes are separately visible in ablations.
-  std::uint32_t revalidate_per_entry = 8;  ///< suspect test per entry examined
+  std::uint32_t revalidate_per_entry = 8;  ///< membership probe per entry examined
+  std::uint32_t revalidate_per_term = 3;   ///< one merged-ADD-mask intersect test
   std::uint32_t revalidate_repair = 130;   ///< re-lookup + repair in place
   std::uint32_t revalidate_evict = 140;    ///< failed re-lookup + eviction
 

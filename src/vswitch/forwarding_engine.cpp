@@ -43,6 +43,9 @@ EngineCounters ForwardingEngine::counters() const noexcept {
   out.reval_entries_scanned = tiers.reval_entries_scanned;
   out.reval_coalesced_events = tiers.reval_coalesced_events;
   out.cache_resizes = tiers.cache_resizes;
+  out.simd_blocks = tiers.simd_blocks;
+  out.subtables_skipped = tiers.subtables_skipped;
+  out.prefilter_false_positives = tiers.prefilter_false_positives;
   return out;
 }
 

@@ -50,6 +50,10 @@ struct EngineCounters {
   std::uint64_t reval_entries_scanned = 0;  ///< entries examined by scans
   std::uint64_t reval_coalesced_events = 0; ///< events folded into shared scans
   std::uint64_t cache_resizes = 0;          ///< megaflow capacity retargets
+  // SIMD-scan + subtable-prefilter telemetry (mirrored).
+  std::uint64_t simd_blocks = 0;            ///< 16-signature SIMD blocks scanned
+  std::uint64_t subtables_skipped = 0;      ///< whole-subtable prefilter skips
+  std::uint64_t prefilter_false_positives = 0; ///< Bloom passed, scan empty
 };
 
 class ForwardingEngine final : public exec::Context {

@@ -36,7 +36,13 @@
 ///   * deferred   — lookup() per packet with a revalidate_budget, so
 ///                  drains are deferred and hits are served through the
 ///                  pending-event guards (no stale serve across a
-///                  deferred drain, proven against the oracle).
+///                  deferred drain, proven against the oracle);
+///   * scalar-scan— lookup() per packet with sig_scan_mode = kScalar, so
+///                  the portable signature loop must agree bit-for-bit
+///                  with the SIMD block scan the default variants run;
+///   * nopf       — lookup() per packet with the subtable prefilter off,
+///                  proving a Bloom skip never hides an entry (and that
+///                  the default variants' skips never change a result).
 ///
 /// Seeds are fixed (deterministic, reproducible); every assertion carries
 /// the reproducing seed, and instances are named by it, so a failure is a
@@ -136,6 +142,12 @@ TEST_P(ClassifierEquivalenceTest, AllPathsAgreeWithWildcardOracle) {
   DpClassifierConfig deferred_config;
   deferred_config.megaflow.revalidate_budget = 4;
   DpClassifier scalar_deferred(table, cost, deferred_config);
+  DpClassifierConfig scalarscan_config;
+  scalarscan_config.megaflow.sig_scan_mode = SigScanMode::kScalar;
+  DpClassifier scalar_scan(table, cost, scalarscan_config);
+  DpClassifierConfig nopf_config;
+  nopf_config.megaflow.subtable_prefilter = false;
+  DpClassifier scalar_nopf(table, cost, nopf_config);
   exec::CycleMeter meter;
 
   // Keys recycle through a pool so the cache tiers genuinely serve hits
@@ -172,6 +184,10 @@ TEST_P(ClassifierEquivalenceTest, AllPathsAgreeWithWildcardOracle) {
           id_of(scalar_perevent.lookup(keys[i], hashes[i], meter).entry);
       const RuleId got_deferred =
           id_of(scalar_deferred.lookup(keys[i], hashes[i], meter).entry);
+      const RuleId got_scalarscan =
+          id_of(scalar_scan.lookup(keys[i], hashes[i], meter).entry);
+      const RuleId got_nopf =
+          id_of(scalar_nopf.lookup(keys[i], hashes[i], meter).entry);
       ASSERT_EQ(got_scalar, oracle)
           << "seed " << seed << " round " << round << " pkt " << i
           << ": scalar path diverged from the wildcard-table oracle";
@@ -188,6 +204,15 @@ TEST_P(ClassifierEquivalenceTest, AllPathsAgreeWithWildcardOracle) {
       ASSERT_EQ(got_deferred, oracle)
           << "seed " << seed << " round " << round << " pkt " << i
           << ": budget-deferred path served stale across a deferred drain";
+      ASSERT_EQ(got_scalarscan, oracle)
+          << "seed " << seed << " round " << round << " pkt " << i
+          << ": portable scalar signature scan diverged from the oracle "
+             "(SIMD and scalar scans must be bit-identical)";
+      ASSERT_EQ(got_nopf, oracle)
+          << "seed " << seed << " round " << round << " pkt " << i
+          << ": no-prefilter baseline diverged from the oracle (a Bloom "
+             "skip in the default variants would be unsound if these "
+             "disagree)";
     }
     packets += kBatch;
   }
@@ -217,6 +242,18 @@ TEST_P(ClassifierEquivalenceTest, AllPathsAgreeWithWildcardOracle) {
                 scalar_deferred.counters().megaflow_hits,
             0u)
       << "seed " << seed;
+  // The SIMD/prefilter machinery must have genuinely run: the default
+  // variants scanned SIMD blocks (when this binary compiled a backend
+  // in) and skipped provably clean subtables; the ablation variants
+  // never touched either path.
+  if (simd::kSimdCompiledIn) {
+    EXPECT_GT(scalar.counters().simd_blocks, 0u) << "seed " << seed;
+  } else {
+    EXPECT_EQ(scalar.counters().simd_blocks, 0u) << "seed " << seed;
+  }
+  EXPECT_EQ(scalar_scan.counters().simd_blocks, 0u) << "seed " << seed;
+  EXPECT_GT(scalar.counters().subtables_skipped, 0u) << "seed " << seed;
+  EXPECT_EQ(scalar_nopf.counters().subtables_skipped, 0u) << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -233,7 +233,10 @@ TEST(MegaflowCacheTest, QueueOverflowFallsBackToFullFlush) {
 }
 
 TEST(MegaflowCacheTest, CoalescedDrainRunsOneSuspectScanPerBurst) {
-  MegaflowCache cache;
+  // Subtable prefilter ablated so the scan-count arithmetic below stays
+  // exact (with it on, the far-port burst skips the subtable entirely —
+  // asserted by the prefilter tests further down).
+  MegaflowCache cache(MegaflowCacheConfig{.subtable_prefilter = false});
   MaskSpec mask{.fields = openflow::kMatchInPort};
   for (PortId p = 1; p <= 8; ++p) {
     cache.insert(make_key(p, 0, 0, 0), mask, p, 1);
@@ -254,6 +257,9 @@ TEST(MegaflowCacheTest, CoalescedDrainRunsOneSuspectScanPerBurst) {
   EXPECT_EQ(cache.stats().reval_entries_scanned, 8u);
   EXPECT_EQ(cache.stats().reval_coalesced_events, 4u);
   EXPECT_EQ(cache.stats().revalidations, 0u);
+  // The merged plan has ONE ADD term; every entry pays exactly one
+  // intersect test on top of its membership probe.
+  EXPECT_EQ(cache.stats().reval_term_tests, 8u);
   EXPECT_EQ(cache.entry_count(), 8u);
 }
 
@@ -538,6 +544,166 @@ TEST(MegaflowCacheTest, SignaturePrefilterOffStillFindsEntries) {
   // The scalar baseline never touches the signature counters.
   EXPECT_EQ(cache.stats().sig_hits, 0u);
   EXPECT_EQ(cache.stats().sig_false_positives, 0u);
+}
+
+TEST(MegaflowCacheTest, SimdAndScalarSigScansAgree) {
+  // The SIMD block scan and the portable scalar loop must be
+  // bit-identical — same hits, same misses — including over the padded
+  // tail block (37 entries = 2 full blocks + a 5-lane tail).
+  MegaflowCache simd_cache;  // sig_scan_mode = kAuto
+  MegaflowCache scalar_cache(
+      MegaflowCacheConfig{.sig_scan_mode = SigScanMode::kScalar});
+  MaskSpec mask{.fields = openflow::kMatchInPort | openflow::kMatchIpDst,
+                .ip_dst_plen = 32};
+  for (std::uint32_t i = 0; i < 37; ++i) {
+    const pkt::FlowKey key = make_key(1, 0, 0x0a000000u + i, 80);
+    simd_cache.insert(key, mask, i + 1, 1);
+    scalar_cache.insert(key, mask, i + 1, 1);
+  }
+  for (std::uint32_t i = 0; i < 64; ++i) {  // 37 hits + 27 misses
+    const pkt::FlowKey key = make_key(1, 0, 0x0a000000u + i, 80);
+    std::uint32_t probed = 0;
+    EXPECT_EQ(simd_cache.lookup(key, 1, probed),
+              scalar_cache.lookup(key, 1, probed))
+        << "dst index " << i;
+  }
+  // The scalar mode never touches the vector path; the auto mode uses it
+  // whenever this binary compiled a backend in.
+  EXPECT_EQ(scalar_cache.stats().simd_blocks, 0u);
+  if (simd::kSimdCompiledIn) {
+    EXPECT_GT(simd_cache.stats().simd_blocks, 0u);
+  } else {
+    EXPECT_EQ(simd_cache.stats().simd_blocks, 0u);
+  }
+}
+
+TEST(MegaflowCacheTest, SubtablePrefilterSkipsNonMatchingSubtablesOnLookup) {
+  MegaflowCache cache;
+  MegaflowCache unfiltered(MegaflowCacheConfig{.subtable_prefilter = false});
+  MaskSpec port_mask{.fields = openflow::kMatchInPort};
+  MaskSpec port_l4_mask{.fields =
+                            openflow::kMatchInPort | openflow::kMatchL4Dst};
+  for (MegaflowCache* c : {&cache, &unfiltered}) {
+    c->insert(make_key(1, 0, 0, 0), port_mask, 10, 1);
+    c->insert(make_key(2, 0, 0, 443), port_l4_mask, 20, 1);
+  }
+  // A key matching neither subtable: the Bloom provably lacks both
+  // masked projections, so the probe skips both without touching a
+  // signature array or a slot.
+  ProbeTally tally;
+  EXPECT_EQ(cache.lookup(make_key(3, 0, 0, 7), 1, tally), kRuleNone);
+  EXPECT_EQ(tally.probes, 2u);
+  EXPECT_EQ(tally.prefilter_checks, 2u);
+  EXPECT_EQ(tally.sig_blocks + tally.sig_scalar, 0u);
+  EXPECT_EQ(tally.full_compares, 0u);
+  EXPECT_EQ(cache.stats().subtables_skipped, 2u);
+  // Hits still resolve identically to the unfiltered cache.
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(1, 5, 5, 5), 1, probed), 10u);
+  EXPECT_EQ(cache.lookup(make_key(2, 0, 0, 443), 1, probed), 20u);
+  EXPECT_EQ(unfiltered.lookup(make_key(3, 0, 0, 7), 1, probed), kRuleNone);
+  EXPECT_EQ(unfiltered.lookup(make_key(1, 5, 5, 5), 1, probed), 10u);
+  EXPECT_EQ(unfiltered.lookup(make_key(2, 0, 0, 443), 1, probed), 20u);
+  EXPECT_EQ(unfiltered.stats().subtables_skipped, 0u);
+}
+
+TEST(MegaflowCacheTest, PrefilterSkipsRevalidatorScanForUntouchedSubtables) {
+  MegaflowCache cache;
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  for (PortId p = 1; p <= 4; ++p) {
+    cache.insert(make_key(p, 0, 0, 0), mask, p, 1);
+  }
+  // An ADD on a port no entry carries: the merged plan's only term
+  // cannot intersect the subtable (its Bloom lacks in_port=9), so the
+  // whole subtable is skipped — zero entries examined, zero suspects.
+  Match far_port;
+  far_port.in_port(9);
+  cache.on_table_change(change_event(FlowModCommand::kAdd, far_port, 1, 2));
+  const MegaflowCache::RevalidateReport clean = cache.revalidate();
+  EXPECT_EQ(clean.subtables_skipped, 1u);
+  EXPECT_EQ(clean.entries_scanned, 0u);
+  EXPECT_EQ(clean.revalidated, 0u);
+  EXPECT_EQ(cache.stats().subtables_skipped, 1u);
+  EXPECT_EQ(cache.stats().reval_entries_scanned, 0u);
+  EXPECT_EQ(cache.entry_count(), 4u);
+  // An ADD on a port an entry DOES carry must not be skipped: the scan
+  // runs, finds exactly the one suspect and (no resolver) evicts it —
+  // the prefilter can only skip provably clean subtables, never hide a
+  // suspect.
+  Match port2;
+  port2.in_port(2);
+  cache.on_table_change(change_event(FlowModCommand::kAdd, port2, 1, 3));
+  const MegaflowCache::RevalidateReport dirty = cache.revalidate();
+  EXPECT_EQ(dirty.subtables_skipped, 0u);
+  EXPECT_EQ(dirty.entries_scanned, 4u);
+  EXPECT_EQ(dirty.revalidated, 1u);
+  EXPECT_EQ(dirty.evicted, 1u);
+  EXPECT_EQ(cache.entry_count(), 3u);
+  std::uint32_t probed = 0;
+  EXPECT_EQ(cache.lookup(make_key(2, 0, 0, 0), 3, probed), kRuleNone);
+  EXPECT_EQ(cache.lookup(make_key(1, 0, 0, 0), 3, probed), 1u);
+}
+
+TEST(MegaflowCacheTest, PrefilterTracksRuleIdsAcrossRepairAndOverwrite) {
+  // The Bloom's rule-id fingerprints must follow every rule rewrite —
+  // repair-in-place and insert-overwrite — or a later DELETE could be
+  // skipped while the cache still serves the deleted rule.
+  MegaflowCache cache;
+  cache.set_revalidation_hooks(
+      [](const pkt::FlowKey&) {
+        MegaflowCache::Resolution res;
+        res.found = true;
+        res.rule = 42;
+        res.unwildcarded = MaskSpec{.fields = openflow::kMatchInPort};
+        return res;
+      },
+      nullptr, nullptr);
+  MaskSpec mask{.fields = openflow::kMatchInPort};
+  cache.insert(make_key(3, 0, 0, 0), mask, 7, 1);
+
+  // Repair: an intersecting ADD re-resolves the entry to rule 42.
+  Match port3;
+  port3.in_port(3);
+  cache.on_table_change(change_event(FlowModCommand::kAdd, port3, 50, 2));
+  (void)cache.revalidate();
+  ASSERT_EQ(cache.stats().revalidated_kept, 1u);
+
+  // Deleting the OLD rule id must now skip the subtable (id 7 left the
+  // Bloom with the repair)...
+  TableChangeEvent del_old =
+      change_event(FlowModCommand::kDeleteStrict, port3, 50, 3);
+  del_old.removed = {7};
+  cache.on_table_change(del_old);
+  const MegaflowCache::RevalidateReport old_gone = cache.revalidate();
+  EXPECT_EQ(old_gone.subtables_skipped, 1u);
+  EXPECT_EQ(old_gone.revalidated, 0u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+
+  // ...while deleting the CURRENT rule id must still find the suspect.
+  TableChangeEvent del_new =
+      change_event(FlowModCommand::kDeleteStrict, port3, 50, 4);
+  del_new.removed = {42};
+  cache.on_table_change(del_new);
+  const MegaflowCache::RevalidateReport new_gone = cache.revalidate();
+  EXPECT_EQ(new_gone.subtables_skipped, 0u);
+  EXPECT_EQ(new_gone.revalidated, 1u);
+
+  // Overwrite: re-installing the same masked key under a new rule swaps
+  // the fingerprint the same way.
+  MegaflowCache cache2;
+  cache2.insert(make_key(4, 0, 0, 0), mask, 5, 1);
+  cache2.insert(make_key(4, 9, 9, 9), mask, 6, 1);  // same masked key
+  ASSERT_EQ(cache2.stats().overwrites, 1u);
+  TableChangeEvent del5 = change_event(FlowModCommand::kDeleteStrict,
+                                       Match{}.in_port(4), 50, 2);
+  del5.removed = {5};
+  cache2.on_table_change(del5);
+  EXPECT_EQ(cache2.revalidate().subtables_skipped, 1u);
+  TableChangeEvent del6 = change_event(FlowModCommand::kDeleteStrict,
+                                       Match{}.in_port(4), 50, 3);
+  del6.removed = {6};
+  cache2.on_table_change(del6);
+  EXPECT_EQ(cache2.revalidate().revalidated, 1u);
 }
 
 TEST(MegaflowCacheTest, BatchLookupMatchesScalarResults) {

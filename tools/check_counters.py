@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Counter-name drift checker (stdlib only).
+
+docs/COUNTERS.md documents every counter the datapath exposes, including
+the google-benchmark column names `export_counters` publishes. Those
+tables are hand-written prose — nothing stops a counter rename in code
+from silently stranding them. This checker closes the loop:
+
+  * every `state.counters["name"]` in bench/bench_common.h must appear
+    (as `name`, in backticks) in docs/COUNTERS.md;
+  * every field of classifier::TierCounters in
+    src/classifier/dp_classifier.h must appear there too;
+  * every field of chain::ChainMetrics in src/chain/chain.h likewise.
+
+Run from anywhere: paths resolve relative to the repository root (the
+parent of this script's directory). CI runs it next to check_links.py.
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+BENCH_COMMON = os.path.join(ROOT, "bench", "bench_common.h")
+TIER_COUNTERS = os.path.join(ROOT, "src", "classifier", "dp_classifier.h")
+CHAIN_METRICS = os.path.join(ROOT, "src", "chain", "chain.h")
+COUNTERS_MD = os.path.join(ROOT, "docs", "COUNTERS.md")
+
+BENCH_RE = re.compile(r'state\.counters\["([A-Za-z0-9_]+)"\]')
+FIELD_RE = re.compile(r"^\s*(?:std::uint64_t|double|TimeNs)\s+([a-z]\w*)\s*=",
+                      re.MULTILINE)
+
+
+def read(path):
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def struct_fields(text, struct_name):
+    """Field names of `struct <name> { ... };` (first brace block)."""
+    start = text.find("struct %s {" % struct_name)
+    if start < 0:
+        return []
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return FIELD_RE.findall(text[start:i])
+    return []
+
+
+def main():
+    errors = []
+    docs = read(COUNTERS_MD)
+    documented = set(re.findall(r"`([A-Za-z0-9_]+)`", docs))
+
+    bench_columns = sorted(set(BENCH_RE.findall(read(BENCH_COMMON))))
+    if not bench_columns:
+        errors.append("no state.counters[...] found in bench_common.h "
+                      "(parser broken?)")
+    for name in bench_columns:
+        if name not in documented:
+            errors.append(
+                f"bench column `{name}` (bench/bench_common.h) is not "
+                f"mentioned in docs/COUNTERS.md")
+
+    tier_fields = struct_fields(read(TIER_COUNTERS), "TierCounters")
+    if not tier_fields:
+        errors.append("no fields parsed from TierCounters (parser broken?)")
+    for name in tier_fields:
+        if name not in documented:
+            errors.append(
+                f"TierCounters field `{name}` "
+                f"(src/classifier/dp_classifier.h) is not mentioned in "
+                f"docs/COUNTERS.md")
+
+    chain_fields = struct_fields(read(CHAIN_METRICS), "ChainMetrics")
+    if not chain_fields:
+        errors.append("no fields parsed from ChainMetrics (parser broken?)")
+    for name in chain_fields:
+        if name not in documented:
+            errors.append(
+                f"ChainMetrics field `{name}` (src/chain/chain.h) is not "
+                f"mentioned in docs/COUNTERS.md")
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(bench_columns)} bench columns, "
+          f"{len(tier_fields)} TierCounters fields, "
+          f"{len(chain_fields)} ChainMetrics fields: "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} undocumented)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
