@@ -34,6 +34,7 @@
 #include "flowtable/flow_table.h"
 #include "openflow/messages.h"
 #include "pkt/headers.h"
+#include "telemetry/metrics.h"
 
 namespace hw::bench {
 namespace {
@@ -111,6 +112,45 @@ struct Row {
 };
 std::vector<Row> g_rows;
 
+/// Hit-rate time series (telemetry::MetricsSampler CSV) captured at the
+/// highest churn rate, per Mode: shows the flush mode's sawtooth
+/// recovery after every FlowMod vs the precise mode's flat line.
+std::string g_series_csv[2];
+std::uint32_t g_series_flows[2] = {0, 0};
+
+/// Registers per-interval hit-rate gauges over `dp`'s cumulative tier
+/// counters — the same dp.* gauge names the chain scenario exports, so
+/// docs/OBSERVABILITY.md covers both. The mutable captures snapshot the
+/// previous sample; each callback runs exactly once per sample_now().
+void register_hit_rate_gauges(telemetry::MetricsRegistry& registry,
+                              const DpClassifier& dp) {
+  const auto rate = [](std::uint64_t hits, std::uint64_t lookups) {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  };
+  registry.gauge("dp.emc_hit_rate")
+      .set_callback([&dp, rate, prev = TierCounters{}]() mutable {
+        const TierCounters now = dp.counters();
+        const std::uint64_t hits = now.emc_hits - prev.emc_hits;
+        const std::uint64_t lookups =
+            hits + (now.megaflow_hits - prev.megaflow_hits) +
+            (now.slow_path_lookups - prev.slow_path_lookups);
+        prev = now;
+        return rate(hits, lookups);
+      });
+  registry.gauge("dp.megaflow_hit_rate")
+      .set_callback([&dp, rate, prev = TierCounters{}]() mutable {
+        const TierCounters now = dp.counters();
+        const std::uint64_t hits = now.megaflow_hits - prev.megaflow_hits;
+        const std::uint64_t lookups =
+            hits + (now.emc_hits - prev.emc_hits) +
+            (now.slow_path_lookups - prev.slow_path_lookups);
+        prev = now;
+        return rate(hits, lookups);
+      });
+}
+
 Row& row_for(std::uint32_t flows, std::uint32_t mods) {
   for (Row& row : g_rows) {
     if (row.flows == flows && row.mods_per_kpkt == mods) return row;
@@ -157,6 +197,13 @@ void BM_Churn(benchmark::State& state) {
     }
     exec::CycleMeter meter;
     const TierCounters before = dp.counters();
+    // No runtime here, so the sampler is driven manually: one sample per
+    // 1/20th of the run, stamped with virtual time from the meter.
+    telemetry::MetricsRegistry registry;
+    register_hit_rate_gauges(registry, dp);
+    telemetry::MetricsSampler sampler(registry);
+    const std::uint64_t sample_interval = std::max<std::uint64_t>(
+        g_lookups / 20, 1);
     std::uint64_t churn = 1;
     for (std::uint64_t i = 0; i < g_lookups; ++i) {
       if (mod_interval != 0 && i % mod_interval == 0) {
@@ -164,6 +211,10 @@ void BM_Churn(benchmark::State& state) {
       }
       const std::size_t f = static_cast<std::size_t>(i % flows.size());
       benchmark::DoNotOptimize(dp.lookup(flows[f], hashes[f], meter));
+      if ((i + 1) % sample_interval == 0) {
+        sampler.sample_now(static_cast<TimeNs>(
+            static_cast<double>(meter.total_used()) * cost.ns_per_cycle()));
+      }
     }
     const TierCounters& after = dp.counters();
     hit_rate = static_cast<double>(after.megaflow_hits -
@@ -175,6 +226,12 @@ void BM_Churn(benchmark::State& state) {
     flushes = after.megaflow_invalidations - before.megaflow_invalidations;
     state.SetIterationTime(static_cast<double>(meter.total_used()) *
                            cost.ns_per_cycle() / 1e9);
+    if (mods_per_kpkt == 256) {
+      // Keep the highest-churn time series for the post-run printout
+      // (last flow count wins; the shape is what matters).
+      g_series_csv[mode] = sampler.export_csv();
+      g_series_flows[mode] = flow_count;
+    }
   }
 
   state.counters["mf_hit_rate"] = hit_rate;
@@ -261,6 +318,16 @@ int main(int argc, char** argv) {
       "revalidator retains every megaflow (hit-rate flat as churn grows),\n"
       "while the whole-flush baseline restarts from a cold cache after\n"
       "every FlowMod and collapses toward slow-path-only.\n");
+  for (const std::int64_t mode : {kWholeFlush, kPrecise}) {
+    if (g_series_csv[mode].empty()) continue;
+    // dp.emc_hit_rate stays 0 here by construction: this ablation runs
+    // with the EMC disabled to isolate the megaflow tier.
+    std::printf(
+        "\n--- hit-rate time series (%s, flows=%u, 256 mods/kpkt, virtual "
+        "ns) ---\n%s",
+        mode == kPrecise ? "precise" : "whole-flush", g_series_flows[mode],
+        g_series_csv[mode].c_str());
+  }
   if (worst_gain_at_max_rate >= 0) {
     const bool ok = worst_gain_at_max_rate >= 5.0;
     std::printf("acceptance: precise >= 5x flush hit-rate at %u mods/kpkt: "

@@ -47,6 +47,13 @@ Status ChainScenario::build() {
   runtime_ = std::make_unique<exec::SimRuntime>(
       exec::SimConfig{.epoch_ns = config_.epoch_ns, .cost = config_.cost});
 
+  if (config_.telemetry.tracing) {
+    tracer_ =
+        std::make_unique<telemetry::Tracer>(config_.telemetry.trace_capacity);
+    tracer_->set_enabled(true);
+    tracer_->set_span_cost(config_.cost.trace_span);
+  }
+
   of_ = std::make_unique<vswitch::OfSwitch>(
       shm_, *pool_, *runtime_, config_.cost,
       vswitch::SwitchConfig{.ring_capacity = config_.ring_capacity,
@@ -59,7 +66,8 @@ Status ChainScenario::build() {
                             .sig_scan_mode = config_.sig_scan_mode,
                             .subtable_prefilter = config_.subtable_prefilter,
                             .engine_count = config_.engine_count,
-                            .bypass_enabled = config_.enable_bypass});
+                            .bypass_enabled = config_.enable_bypass,
+                            .tracer = tracer_.get()});
   agent_ = std::make_unique<agent::ComputeAgent>(shm_, *runtime_,
                                                  config_.hotplug);
   agent_->set_event_sink(&of_->bypass_manager());
@@ -155,8 +163,87 @@ Status ChainScenario::build() {
   runtime_->add_context(agent_.get());
 
   HW_RETURN_IF_ERROR(install_chain_rules());
+  wire_telemetry();
   built_ = true;
   return Status::ok();
+}
+
+void ChainScenario::wire_telemetry() {
+  if (config_.telemetry.int_stamping) {
+    // Every dpdkr PMD stamps and completes hop records; the endpoint
+    // sinks aggregate the trailers they receive.
+    for (std::uint32_t i = 0; i < config_.vm_count; ++i) {
+      vm::Vm& guest = hypervisor_->vm(i);
+      guest.pmd_for_port(left_ports_[i])->configure_int(runtime_.get());
+      guest.pmd_for_port(right_ports_[i])->configure_int(runtime_.get());
+    }
+    if (head_ != nullptr) head_->set_collect_int(true);
+    if (tail_ != nullptr) tail_->set_collect_int(true);
+  }
+
+  if (!config_.telemetry.metrics) return;
+  metrics_ = std::make_unique<telemetry::MetricsRegistry>();
+
+  metrics_->gauge("chain.bypass_links").set_callback([this] {
+    return static_cast<double>(of_->bypass_manager().active_links());
+  });
+  metrics_->gauge("chain.mempool_in_use").set_callback([this] {
+    return static_cast<double>(pool_->in_use());
+  });
+  metrics_->gauge("chain.delivered_pkts").set_callback([this] {
+    std::uint64_t total = 0;
+    if (config_.use_nics) {
+      if (sink_fwd_) total += sink_fwd_->received();
+      if (sink_rev_) total += sink_rev_->received();
+    } else {
+      if (head_ != nullptr) total += head_->counters().delivered;
+      if (tail_ != nullptr) total += tail_->counters().delivered;
+    }
+    return static_cast<double>(total);
+  });
+  // Per-interval tier hit rates: each callback is evaluated once per
+  // sample, so the mutable snapshot turns cumulative tier counters into
+  // a rate over the window since the previous sample.
+  metrics_->gauge("dp.emc_hit_rate")
+      .set_callback([this, prev = classifier::TierCounters{}]() mutable {
+        const classifier::TierCounters now = of_->datapath_stats();
+        const std::uint64_t hits = now.emc_hits - prev.emc_hits;
+        const std::uint64_t lookups =
+            hits + (now.megaflow_hits - prev.megaflow_hits) +
+            (now.slow_path_lookups - prev.slow_path_lookups);
+        prev = now;
+        return lookups == 0 ? 0.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(lookups);
+      });
+  metrics_->gauge("dp.megaflow_hit_rate")
+      .set_callback([this, prev = classifier::TierCounters{}]() mutable {
+        const classifier::TierCounters now = of_->datapath_stats();
+        const std::uint64_t hits = now.megaflow_hits - prev.megaflow_hits;
+        const std::uint64_t lookups =
+            hits + (now.emc_hits - prev.emc_hits) +
+            (now.slow_path_lookups - prev.slow_path_lookups);
+        prev = now;
+        return lookups == 0 ? 0.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(lookups);
+      });
+
+  sampler_ = std::make_unique<telemetry::MetricsSampler>(*metrics_);
+  sampler_->start(*runtime_, config_.telemetry.sample_interval_ns);
+}
+
+std::string ChainScenario::export_trace_json() const {
+  if (!tracer_) return {};
+  return tracer_->export_chrome_json(0, runtime_->elapsed_ns());
+}
+
+std::string ChainScenario::export_metrics_csv() const {
+  return sampler_ ? sampler_->export_csv() : std::string{};
+}
+
+std::string ChainScenario::export_metrics_prometheus() const {
+  return metrics_ ? metrics_->export_prometheus() : std::string{};
 }
 
 Status ChainScenario::send_flow_mod(const FlowMod& mod) {

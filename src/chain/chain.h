@@ -12,6 +12,9 @@
 #include "nic/sim_nic.h"
 #include "pkt/traffic_profile.h"
 #include "shm/shm.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "vm/apps.h"
 #include "vm/vm.h"
 #include "vswitch/of_switch.h"
@@ -63,6 +66,10 @@ struct ChainConfig {
   exec::CostModel cost{};
   agent::HotplugLatencyModel hotplug{};
   std::uint64_t nic_bps = 10'000'000'000ULL;
+
+  /// Observability (docs/OBSERVABILITY.md). Everything defaults OFF, in
+  /// which case the scenario runs the exact pre-telemetry schedule.
+  telemetry::TelemetryConfig telemetry{};
 };
 
 struct ChainMetrics {
@@ -168,13 +175,39 @@ class ChainScenario {
   [[nodiscard]] Status install_chain_rules();
   [[nodiscard]] Status remove_chain_rules();
 
+  // ------------------------------------------------------- observability
+  /// Null unless the corresponding TelemetryConfig feature is enabled.
+  [[nodiscard]] telemetry::Tracer* tracer() noexcept { return tracer_.get(); }
+  [[nodiscard]] telemetry::MetricsRegistry* metrics() noexcept {
+    return metrics_.get();
+  }
+  [[nodiscard]] telemetry::MetricsSampler* sampler() noexcept {
+    return sampler_.get();
+  }
+
+  /// chrome://tracing JSON of everything recorded so far (empty string
+  /// when tracing is off). Run bounds are [0, elapsed_ns()].
+  [[nodiscard]] std::string export_trace_json() const;
+  /// Sampled metric time series as CSV / current values in Prometheus
+  /// text format (empty string when metrics are off).
+  [[nodiscard]] std::string export_metrics_csv() const;
+  [[nodiscard]] std::string export_metrics_prometheus() const;
+
  private:
   [[nodiscard]] pkt::TrafficProfile profile_fwd() const;
   [[nodiscard]] pkt::TrafficProfile profile_rev() const;
   void snapshot();
 
+  void wire_telemetry();
+
   ChainConfig config_;
   shm::ShmManager shm_;
+  // Telemetry objects are declared before runtime_: the sampler's
+  // rescheduling lambda lives in the runtime event queue and must outlive
+  // it (members destruct in reverse declaration order).
+  std::unique_ptr<telemetry::Tracer> tracer_;
+  std::unique_ptr<telemetry::MetricsRegistry> metrics_;
+  std::unique_ptr<telemetry::MetricsSampler> sampler_;
   std::unique_ptr<mbuf::Mempool> pool_;
   std::unique_ptr<exec::SimRuntime> runtime_;
   std::unique_ptr<vswitch::OfSwitch> of_;

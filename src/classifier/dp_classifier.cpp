@@ -1,5 +1,7 @@
 #include "classifier/dp_classifier.h"
 
+#include "exec/runtime.h"
+
 namespace hw::classifier {
 
 using flowtable::FlowEntry;
@@ -84,14 +86,34 @@ MegaflowCache::Resolution DpClassifier::resolve(const pkt::FlowKey& key,
   return res;
 }
 
+TimeNs DpClassifier::trace_base() const noexcept {
+  // Epoch start, not now_ns(): now_with() adds this context's burned
+  // cycles itself, so a sub-epoch base would count them twice and let
+  // later passes drift past their enclosing burst span.
+  return trace_clock_ != nullptr ? trace_clock_->epoch_start_ns() : 0;
+}
+
 void DpClassifier::drain_table_changes(exec::CycleMeter& meter, bool force) {
   if (!megaflow_.has_pending_changes()) return;
+  // Span only around drains with pending work, so an idle steady state
+  // produces no reval spans at all.
+  const std::uint64_t scanned_before =
+      megaflow_.stats().reval_entries_scanned + emc_accum_.scanned;
+  telemetry::ScopedSpan span(tracer_, "drain", "reval", trace_track_,
+                             trace_base(), &meter, cost_);
   if (force) {
     (void)megaflow_.revalidate();
   } else {
     (void)megaflow_.maybe_revalidate();
   }
   charge_reval_work(meter);
+  const std::uint64_t scanned =
+      counters_.reval_entries_scanned - scanned_before;
+  // A budgeted drain may defer; nothing happened, so no span either.
+  if (!force && scanned == 0 && megaflow_.has_pending_changes()) {
+    span.cancel();
+  }
+  span.set_args(scanned, counters_.reval_coalesced_events);
 }
 
 void DpClassifier::charge_reval_work(exec::CycleMeter& meter) {
@@ -292,20 +314,28 @@ void DpClassifier::lookup_batch(std::span<const pkt::FlowKey> keys,
 
   // Tier 1 pass: EMC for every packet; misses queue for tier 2.
   batch_miss_.clear();
-  for (std::uint32_t i = 0; i < keys.size(); ++i) {
-    out[i] = {nullptr, Tier::kMiss};
-    if (config_.emc_enabled) {
-      if (FlowEntry* entry = probe_emc(keys[i], hashes[i], meter);
-          entry != nullptr) {
-        out[i] = {entry, Tier::kEmc};
-        continue;
+  {
+    telemetry::ScopedSpan span(tracer_, "emc_pass", "classify", trace_track_,
+                               trace_base(), &meter, cost_);
+    for (std::uint32_t i = 0; i < keys.size(); ++i) {
+      out[i] = {nullptr, Tier::kMiss};
+      if (config_.emc_enabled) {
+        if (FlowEntry* entry = probe_emc(keys[i], hashes[i], meter);
+            entry != nullptr) {
+          out[i] = {entry, Tier::kEmc};
+          continue;
+        }
       }
+      batch_miss_.push_back(i);
     }
-    batch_miss_.push_back(i);
+    span.set_args(keys.size(), keys.size() - batch_miss_.size());
   }
 
   // Tier 2 pass: one megaflow batch probe over the whole miss set.
   if (config_.megaflow_enabled && !batch_miss_.empty()) {
+    telemetry::ScopedSpan span(tracer_, "megaflow_pass", "classify",
+                               trace_track_, trace_base(), &meter, cost_);
+    const std::size_t pass_size = batch_miss_.size();
     batch_keys_.clear();
     for (const std::uint32_t i : batch_miss_) batch_keys_.push_back(keys[i]);
     batch_rules_.assign(batch_miss_.size(), kRuleNone);
@@ -330,6 +360,7 @@ void DpClassifier::lookup_batch(std::span<const pkt::FlowKey> keys,
       batch_miss_[still_missing++] = i;
     }
     batch_miss_.resize(still_missing);
+    span.set_args(pass_size, pass_size - still_missing);
   }
 
   // Tier 3 pass: the remaining packets upcall, and all their megaflow
@@ -340,6 +371,14 @@ void DpClassifier::lookup_batch(std::span<const pkt::FlowKey> keys,
   // 32 packets behind one fresh wildcard rule pays one upcall, not 32.
   // While every upcall keeps missing, the caches stay empty and the
   // straight upcall already matches the scalar path's probes exactly.
+  telemetry::ScopedSpan slow_span(
+      tracer_, "slowpath_pass", "classify", trace_track_, trace_base(),
+      &meter, cost_);
+  if (batch_miss_.empty()) {
+    slow_span.cancel();
+  } else {
+    slow_span.set_args(batch_miss_.size());
+  }
   bool installed = false;
   for (const std::uint32_t i : batch_miss_) {
     if (installed) {

@@ -9,6 +9,11 @@
 #include "exec/cost_model.h"
 #include "flowtable/flow_table.h"
 #include "pkt/flow_key.h"
+#include "telemetry/trace.h"
+
+namespace hw::exec {
+class Runtime;
+}
 
 /// \file dp_classifier.h
 /// The full three-tier OVS-DPDK datapath classifier, one instance per
@@ -163,6 +168,16 @@ class DpClassifier {
                     std::span<const std::uint32_t> hashes,
                     std::span<LookupOutcome> out, exec::CycleMeter& meter);
 
+  /// Enables span recording (tier passes, revalidator drains). `clock`
+  /// supplies the epoch base; sub-epoch offsets come from the meter at
+  /// each span boundary. Pass a null tracer to disable again.
+  void configure_trace(telemetry::Tracer* tracer, const exec::Runtime* clock,
+                       std::uint16_t track) noexcept {
+    tracer_ = tracer;
+    trace_clock_ = tracer != nullptr ? clock : nullptr;
+    trace_track_ = track;
+  }
+
   [[nodiscard]] const TierCounters& counters() const noexcept {
     return counters_;
   }
@@ -217,9 +232,15 @@ class DpClassifier {
   /// Mirrors cache-internal signature tallies into counters_.
   void mirror_sig_stats() noexcept;
 
+  /// Epoch base for span timestamps; 0 when tracing is unconfigured.
+  [[nodiscard]] TimeNs trace_base() const noexcept;
+
   flowtable::FlowTable* table_;
   const exec::CostModel* cost_;
   DpClassifierConfig config_;
+  telemetry::Tracer* tracer_ = nullptr;
+  const exec::Runtime* trace_clock_ = nullptr;
+  std::uint16_t trace_track_ = 0;
   flowtable::ExactMatchCache emc_;
   MegaflowCache megaflow_;
   TierCounters counters_;

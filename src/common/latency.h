@@ -48,16 +48,28 @@ class LatencyRecorder {
                              static_cast<double>(count_);
   }
 
-  /// Approximate quantile (q in [0,1]) from the log2 histogram: returns
-  /// the upper bound of the bucket containing the q-th sample.
+  /// Approximate quantile (q in [0,1]) from the log2 histogram. The q-th
+  /// sample's bucket yields the estimate: its upper bound clamped to max_
+  /// — except in the lowest occupied bucket, where max(min_, lower bound)
+  /// is exact whenever that bucket holds a single distinct value (bucket
+  /// 0 holds both 0 ns and 1 ns; the upper bound alone misreported an
+  /// all-zero distribution as 1 ns and ignored min_ entirely).
   [[nodiscard]] TimeNs quantile(double q) const noexcept {
     if (count_ == 0) return 0;
     const auto target = static_cast<std::uint64_t>(
         q * static_cast<double>(count_ - 1)) + 1;
     std::uint64_t seen = 0;
+    bool lowest_occupied = true;
     for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (buckets_[i] == 0) continue;
       seen += buckets_[i];
-      if (seen >= target) return (TimeNs{1} << (i + 1)) - 1;
+      if (seen >= target) {
+        if (lowest_occupied) {
+          return std::max(min_, i == 0 ? TimeNs{0} : TimeNs{1} << i);
+        }
+        return std::min(max_, (TimeNs{1} << (i + 1)) - 1);
+      }
+      lowest_occupied = false;
     }
     return max_;
   }

@@ -1,14 +1,17 @@
 #include "common/log.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 
 namespace hw {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_stderr_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_ring_level{static_cast<int>(LogLevel::kOff)};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -21,24 +24,106 @@ const char* level_tag(LogLevel level) {
   return "???";
 }
 
+/// Ring sink state. Lazily sized on enable; one mutex serializes capture
+/// and snapshot (log volume is control-plane only, contention is nil).
+struct RingSink {
+  std::mutex mu;
+  std::vector<LogRecord> ring;
+  std::size_t head = 0;   ///< next write position
+  std::size_t count = 0;  ///< retained records
+  std::uint64_t seq = 0;
+
+  void capture(LogLevel level, std::string_view component,
+               std::string_view msg) {
+    std::lock_guard lock(mu);
+    if (ring.empty()) return;  // raced with disable
+    LogRecord& rec = ring[head];
+    rec.level = level;
+    rec.seq = seq++;
+    const auto copy_into = [](char* dst, std::size_t cap,
+                              std::string_view src) {
+      const std::size_t n = std::min(cap - 1, src.size());
+      std::memcpy(dst, src.data(), n);
+      dst[n] = '\0';
+    };
+    copy_into(rec.component, sizeof rec.component, component);
+    copy_into(rec.message, sizeof rec.message, msg);
+    head = head + 1 == ring.size() ? 0 : head + 1;
+    count = std::min(count + 1, ring.size());
+  }
+};
+
+RingSink& ring_sink() {
+  static RingSink sink;
+  return sink;
+}
+
 }  // namespace
 
 namespace log_internal {
 
 LogLevel get_level() noexcept {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(
+      std::min(g_stderr_level.load(std::memory_order_relaxed),
+               g_ring_level.load(std::memory_order_relaxed)));
 }
 
 void emit(LogLevel level, std::string_view component, std::string_view msg) {
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_tag(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(msg.size()), msg.data());
+  if (static_cast<int>(level) >=
+      g_stderr_level.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_tag(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+  if (static_cast<int>(level) >=
+      g_ring_level.load(std::memory_order_relaxed)) {
+    ring_sink().capture(level, component, msg);
+  }
 }
 
 }  // namespace log_internal
 
 void set_log_level(LogLevel level) noexcept {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_stderr_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_ring_enable(std::size_t capacity, LogLevel level) {
+  RingSink& sink = ring_sink();
+  std::lock_guard lock(sink.mu);
+  sink.ring.assign(std::max<std::size_t>(capacity, 1), LogRecord{});
+  sink.head = 0;
+  sink.count = 0;
+  g_ring_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_ring_disable() {
+  RingSink& sink = ring_sink();
+  g_ring_level.store(static_cast<int>(LogLevel::kOff),
+                     std::memory_order_relaxed);
+  std::lock_guard lock(sink.mu);
+  sink.ring.clear();
+  sink.head = 0;
+  sink.count = 0;
+}
+
+std::vector<LogRecord> log_ring_snapshot() {
+  RingSink& sink = ring_sink();
+  std::lock_guard lock(sink.mu);
+  std::vector<LogRecord> out;
+  out.reserve(sink.count);
+  const std::size_t start =
+      sink.count == sink.ring.size() ? sink.head : 0;
+  for (std::size_t i = 0; i < sink.count; ++i) {
+    out.push_back(sink.ring[(start + i) % sink.ring.size()]);
+  }
+  return out;
+}
+
+void log_ring_clear() {
+  RingSink& sink = ring_sink();
+  std::lock_guard lock(sink.mu);
+  sink.head = 0;
+  sink.count = 0;
 }
 
 void log_printf(LogLevel level, std::string_view component,

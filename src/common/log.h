@@ -1,15 +1,26 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <vector>
 
 /// \file log.h
 /// Minimal leveled logger for control-plane diagnostics.
 ///
 /// The data plane must never log per packet; logging is for lifecycle
 /// events (port added, bypass established, teardown) and test diagnostics.
-/// Output goes to stderr. Thread-safe at line granularity (single fprintf).
+///
+/// Two sinks, each with its own threshold:
+///   * stderr (set_log_level) — human-readable lines, the default;
+///   * a bounded in-memory ring (log_ring_enable) — last-N structured
+///     records, so tests assert on lifecycle events ("bypass ACTIVE",
+///     "torn down") instead of scraping stderr. Off by default.
+/// A message is formatted once if EITHER sink wants it, then fanned out.
+/// stderr emission stays thread-safe at line granularity; the ring is
+/// guarded by a mutex inside the sink.
 
 namespace hw {
 
@@ -21,14 +32,34 @@ enum class LogLevel : int {
   kOff = 4,
 };
 
+/// One captured log line (ring sink). Fixed-size fields: capture must not
+/// allocate, so enabling the ring cannot perturb timing-sensitive tests.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::uint64_t seq = 0;  ///< monotonic across ring wraps
+  char component[16] = {};
+  char message[120] = {};  ///< truncated with NUL, never unterminated
+};
+
 namespace log_internal {
-/// Global minimum level; messages below it are discarded.
+/// Effective minimum level: min(stderr level, ring level). HW_LOG gates
+/// on this, each sink re-applies its own threshold in emit().
 LogLevel get_level() noexcept;
 void emit(LogLevel level, std::string_view component, std::string_view msg);
 }  // namespace log_internal
 
-/// Sets the global log level (e.g. LogLevel::kOff in benchmarks).
+/// Sets the stderr sink's level (e.g. LogLevel::kOff in benchmarks).
 void set_log_level(LogLevel level) noexcept;
+
+/// Enables the ring sink: keep the most recent `capacity` records at
+/// `level` or above. Clears any previous contents.
+void log_ring_enable(std::size_t capacity, LogLevel level = LogLevel::kInfo);
+/// Disables and clears the ring sink.
+void log_ring_disable();
+/// Copies the retained records, oldest first.
+[[nodiscard]] std::vector<LogRecord> log_ring_snapshot();
+/// Drops the retained records (sink stays enabled).
+void log_ring_clear();
 
 /// printf-style logging helper used via the HW_LOG macro.
 void log_printf(LogLevel level, std::string_view component,

@@ -87,6 +87,14 @@ struct CostModel {
   std::uint32_t idle_poll = 35;        ///< cost of an empty poll iteration
   std::uint32_t ctrl_poll = 20;        ///< control-channel check
 
+  // Telemetry (charged only when the corresponding layer is enabled, so
+  // bench_telemetry_overhead's <5% gate is deterministic virtual cost,
+  // not wall-clock noise). Anchors: a span record is two rdtsc-class
+  // stamps plus a ring store; an INT stamp is a 24 B memcpy + footer
+  // rewrite on the frame tail.
+  std::uint32_t trace_span = 8;        ///< one completed trace span
+  std::uint32_t int_stamp = 12;        ///< one INT hop push or complete
+
   [[nodiscard]] constexpr double ns_per_cycle() const noexcept {
     return 1e9 / static_cast<double>(hz);
   }

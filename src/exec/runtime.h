@@ -28,6 +28,15 @@ class Runtime {
   /// ThreadedRuntime.
   [[nodiscard]] virtual TimeNs now_ns() const noexcept = 0;
 
+  /// Epoch-granular time. Under SimRuntime, now_ns() adds the active
+  /// context's intra-epoch cycle offset, so two contexts in the same
+  /// epoch read clocks that are not mutually ordered; epoch_start_ns()
+  /// is the shared epoch start, comparable across contexts. Timestamps
+  /// that cross a context boundary (e.g. INT hop stamps) must use this.
+  [[nodiscard]] virtual TimeNs epoch_start_ns() const noexcept {
+    return now_ns();
+  }
+
   /// Runs `fn` once, `delay_ns` from now (epoch-granular under SimRuntime).
   virtual void schedule(TimeNs delay_ns, std::function<void()> fn) = 0;
 };
@@ -82,6 +91,9 @@ class SimRuntime final : public Runtime {
     return config_.cost;
   }
   [[nodiscard]] TimeNs epoch_ns() const noexcept { return config_.epoch_ns; }
+  [[nodiscard]] TimeNs epoch_start_ns() const noexcept override {
+    return epoch_start_;
+  }
 
   /// Virtual time elapsed since construction.
   [[nodiscard]] TimeNs elapsed_ns() const noexcept { return epoch_start_; }

@@ -1,0 +1,98 @@
+#include "pkt/int_stamp.h"
+
+#include <cstring>
+
+namespace hw::pkt {
+
+namespace {
+
+/// Reads the footer if `buf` plausibly ends in one. memcpy everywhere:
+/// the trailer is byte-positioned by data_len, so direct struct access
+/// would be misaligned UB.
+bool read_footer(const mbuf::Mbuf& buf, IntFooter& footer) noexcept {
+  if (buf.data_len < sizeof(IntFooter)) return false;
+  std::memcpy(&footer, buf.data + buf.data_len - sizeof(IntFooter),
+              sizeof footer);
+  if (footer.magic != kIntMagic) return false;
+  return buf.data_len >= int_trailer_len(footer.hop_count);
+}
+
+std::size_t record_offset(const mbuf::Mbuf& buf, const IntFooter& footer,
+                          std::uint16_t index) noexcept {
+  return buf.data_len - sizeof(IntFooter) -
+         sizeof(IntHopRecord) *
+             static_cast<std::size_t>(footer.hop_count - index);
+}
+
+}  // namespace
+
+std::uint16_t int_hop_count(const mbuf::Mbuf& buf) noexcept {
+  IntFooter footer;
+  return read_footer(buf, footer) ? footer.hop_count : 0;
+}
+
+bool int_push_hop(mbuf::Mbuf& buf, std::uint32_t hop_id,
+                  std::uint64_t ingress_ns,
+                  std::uint32_t queue_depth) noexcept {
+  IntHopRecord record;
+  record.hop_id = hop_id;
+  record.queue_depth = queue_depth;
+  record.ingress_ns = ingress_ns;
+
+  IntFooter footer;
+  if (read_footer(buf, footer)) {
+    if (buf.data_len + sizeof(IntHopRecord) > mbuf::kMbufDataRoom ||
+        footer.hop_count == UINT16_MAX) {
+      return false;
+    }
+    // Shift the footer out by one record and write the new record where
+    // it used to start.
+    const std::size_t footer_at = buf.data_len - sizeof(IntFooter);
+    std::memcpy(buf.data + footer_at, &record, sizeof record);
+    ++footer.hop_count;
+    std::memcpy(buf.data + footer_at + sizeof(IntHopRecord), &footer,
+                sizeof footer);
+    buf.data_len += sizeof(IntHopRecord);
+    return true;
+  }
+
+  if (buf.data_len + int_trailer_len(1) > mbuf::kMbufDataRoom) return false;
+  footer = IntFooter{};
+  footer.hop_count = 1;
+  std::memcpy(buf.data + buf.data_len, &record, sizeof record);
+  std::memcpy(buf.data + buf.data_len + sizeof(IntHopRecord), &footer,
+              sizeof footer);
+  buf.data_len += int_trailer_len(1);
+  return true;
+}
+
+bool int_complete_hop(mbuf::Mbuf& buf, std::uint64_t egress_ns) noexcept {
+  IntFooter footer;
+  if (!read_footer(buf, footer) || footer.hop_count == 0) return false;
+  const std::size_t at =
+      record_offset(buf, footer,
+                    static_cast<std::uint16_t>(footer.hop_count - 1));
+  IntHopRecord record;
+  std::memcpy(&record, buf.data + at, sizeof record);
+  if (record.egress_ns != 0) return false;
+  record.egress_ns = egress_ns;
+  std::memcpy(buf.data + at, &record, sizeof record);
+  return true;
+}
+
+bool int_read_hop(const mbuf::Mbuf& buf, std::uint16_t index,
+                  IntHopRecord& out) noexcept {
+  IntFooter footer;
+  if (!read_footer(buf, footer) || index >= footer.hop_count) return false;
+  std::memcpy(&out, buf.data + record_offset(buf, footer, index),
+              sizeof out);
+  return true;
+}
+
+std::uint32_t int_payload_len(const mbuf::Mbuf& buf) noexcept {
+  IntFooter footer;
+  if (!read_footer(buf, footer)) return buf.data_len;
+  return buf.data_len - int_trailer_len(footer.hop_count);
+}
+
+}  // namespace hw::pkt

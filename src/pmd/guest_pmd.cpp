@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "exec/runtime.h"
+#include "pkt/int_stamp.h"
 
 namespace hw::pmd {
 
@@ -61,7 +63,33 @@ std::uint16_t GuestPmd::rx_burst(std::span<mbuf::Mbuf*> out,
     counters_.rx_bypass += n;
     total += n;
   }
+  if (int_clock_ != nullptr && total > 0) {
+    // Close the newest hop record: this dequeue is the frame leaving the
+    // link it was stamped onto. Frames without a trailer (packet-out,
+    // pre-enable traffic) are left untouched and charged nothing.
+    // Epoch-granular: stamps from different contexts must be comparable,
+    // and the sub-epoch clock is only ordered within one context.
+    const TimeNs now = int_clock_->epoch_start_ns();
+    for (std::size_t i = 0; i < total; ++i) {
+      if (pkt::int_complete_hop(*out[i], now)) {
+        meter.charge(cost_->int_stamp);
+      }
+    }
+  }
   return static_cast<std::uint16_t>(total);
+}
+
+void GuestPmd::int_stamp_burst(std::span<mbuf::Mbuf* const> pkts,
+                               std::size_t accepted,
+                               std::size_t queue_depth,
+                               exec::CycleMeter& meter) noexcept {
+  const TimeNs now = int_clock_->epoch_start_ns();
+  for (std::size_t i = 0; i < accepted; ++i) {
+    if (pkt::int_push_hop(*pkts[i], port_, now,
+                          static_cast<std::uint32_t>(queue_depth))) {
+      meter.charge(cost_->int_stamp);
+    }
+  }
 }
 
 std::uint16_t GuestPmd::tx_burst(std::span<mbuf::Mbuf* const> pkts,
@@ -71,6 +99,11 @@ std::uint16_t GuestPmd::tx_burst(std::span<mbuf::Mbuf* const> pkts,
   if (bypass_tx_ring_ != nullptr) {
     accepted = bypass_tx_ring_->enqueue_burst(pkts);
     meter.charge(static_cast<Cycles>(accepted) * cost_->ring_enq_per_pkt);
+    if (int_clock_ != nullptr) {
+      // Stamp before the byte sum so the accounted bytes include the
+      // grown trailer — what the receiver will actually count.
+      int_stamp_burst(pkts, accepted, bypass_tx_ring_->size(), meter);
+    }
     std::uint64_t bytes = 0;
     for (std::size_t i = 0; i < accepted; ++i) bytes += pkts[i]->data_len;
     // The switch never sees these frames; account them against the
@@ -81,6 +114,9 @@ std::uint16_t GuestPmd::tx_burst(std::span<mbuf::Mbuf* const> pkts,
   } else {
     accepted = normal_.b2a().enqueue_burst(pkts);
     meter.charge(static_cast<Cycles>(accepted) * cost_->ring_enq_per_pkt);
+    if (int_clock_ != nullptr) {
+      int_stamp_burst(pkts, accepted, normal_.b2a().size(), meter);
+    }
     counters_.tx_normal += accepted;
   }
   counters_.tx_rejected += pkts.size() - accepted;

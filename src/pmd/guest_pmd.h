@@ -30,6 +30,19 @@
 /// the bypass, the PMD accounts packets/bytes against the OpenFlow rule
 /// and ports in the shared statistics memory, keeping the switch's
 /// OpenFlow statistics truthful for traffic it never forwards.
+///
+/// With INT hop-stamping enabled (configure_int), the PMD appends one
+/// pkt::IntHopRecord per transmitted frame (ingress time + tx queue
+/// depth) and completes the newest record with the egress time when the
+/// frame is received on the far side — so one record measures one link
+/// transit, switch fabric included, which is exactly the latency the
+/// bypass channel collapses. Stamping happens before byte accounting, so
+/// every byte counter (shared stats, port stats, sink) consistently
+/// includes the trailer.
+
+namespace hw::exec {
+class Runtime;
+}
 
 namespace hw::pmd {
 
@@ -75,6 +88,17 @@ class GuestPmd {
   std::uint16_t tx_burst(std::span<mbuf::Mbuf* const> pkts,
                          exec::CycleMeter& meter) noexcept;
 
+  /// Enables INT hop-stamping using `clock` for virtual timestamps
+  /// (null disables). SimRuntime scenarios only: the egress stamp is
+  /// written into a frame already sitting in the ring, which is safe
+  /// under the lock-step driver but racy under real threads.
+  void configure_int(const exec::Runtime* clock) noexcept {
+    int_clock_ = clock;
+  }
+  [[nodiscard]] bool int_enabled() const noexcept {
+    return int_clock_ != nullptr;
+  }
+
   /// Drains the agent command ring and applies reconfigurations. Called
   /// automatically every kCtrlPollInterval rx_bursts; exposed for tests
   /// and for apps that want immediate reconfiguration.
@@ -103,10 +127,17 @@ class GuestPmd {
   void handle_ctrl(const CtrlMsg& msg);
   void send_ack(const CtrlMsg& cmd, bool ok);
 
+  /// Stamps every accepted frame of a tx burst (called after enqueue;
+  /// the pointers are still ours to write through under SimRuntime).
+  void int_stamp_burst(std::span<mbuf::Mbuf* const> pkts,
+                       std::size_t accepted, std::size_t queue_depth,
+                       exec::CycleMeter& meter) noexcept;
+
   shm::ShmManager* shm_ = nullptr;
   VmId vm_ = 0;
   PortId port_ = kPortNone;
   const exec::CostModel* cost_ = nullptr;
+  const exec::Runtime* int_clock_ = nullptr;
 
   ChannelView normal_;        ///< a2b = switch→VM, b2a = VM→switch
   ControlChannel ctrl_;

@@ -1,0 +1,160 @@
+#include "telemetry/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "exec/runtime.h"
+
+namespace hw::telemetry {
+
+namespace {
+
+/// "dp.emc_hits" -> "hw_dp_emc_hits" (Prometheus metric-name charset).
+std::string prom_name(std::string_view name) {
+  std::string out = "hw_";
+  out.reserve(name.size() + 3);
+  for (const char c : name) {
+    out.push_back(c == '.' ? '_' : c);
+  }
+  return out;
+}
+
+void append_f(std::string& out, const char* fmt, auto... args) {
+  char buf[192];
+  const int n = std::snprintf(buf, sizeof buf, fmt, args...);
+  if (n > 0) out.append(buf, std::min<std::size_t>(n, sizeof buf - 1));
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (Counter* existing = find_in(counters_, name)) return *existing;
+  counters_.push_back({std::string(name), std::make_unique<Counter>()});
+  return *counters_.back().value;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (Gauge* existing = find_in(gauges_, name)) return *existing;
+  gauges_.push_back({std::string(name), std::make_unique<Gauge>()});
+  return *gauges_.back().value;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  if (Histogram* existing = find_in(histograms_, name)) return *existing;
+  histograms_.push_back({std::string(name), std::make_unique<Histogram>()});
+  return *histograms_.back().value;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_in(counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_in(gauges_, name);
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  return find_in(histograms_, name);
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(size());
+  for (const auto& c : counters_) out.push_back(c.name);
+  for (const auto& g : gauges_) out.push_back(g.name);
+  for (const auto& h : histograms_) out.push_back(h.name);
+  return out;
+}
+
+std::string MetricsRegistry::export_prometheus() const {
+  std::string out;
+  for (const auto& c : counters_) {
+    const std::string name = prom_name(c.name);
+    append_f(out, "# TYPE %s counter\n", name.c_str());
+    append_f(out, "%s %" PRIu64 "\n", name.c_str(), c.value->value());
+  }
+  for (const auto& g : gauges_) {
+    const std::string name = prom_name(g.name);
+    append_f(out, "# TYPE %s gauge\n", name.c_str());
+    append_f(out, "%s %.6g\n", name.c_str(), g.value->value());
+  }
+  for (const auto& h : histograms_) {
+    const std::string name = prom_name(h.name);
+    const Histogram& hist = *h.value;
+    append_f(out, "# TYPE %s histogram\n", name.c_str());
+    // Cumulative le-labelled buckets; empty buckets are elided (the
+    // cumulative count carries forward), which keeps the 256-bucket
+    // layout from producing pages of zeros.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (hist.bucket_count(i) == 0) continue;
+      cumulative += hist.bucket_count(i);
+      append_f(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+               name.c_str(), Histogram::bucket_upper(i), cumulative);
+    }
+    append_f(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
+             hist.count());
+    append_f(out, "%s_sum %" PRIu64 "\n", name.c_str(), hist.sum());
+    append_f(out, "%s_count %" PRIu64 "\n", name.c_str(), hist.count());
+  }
+  return out;
+}
+
+void MetricsSampler::start(exec::Runtime& runtime, TimeNs interval_ns) {
+  running_ = true;
+  arm(runtime, interval_ns);
+}
+
+void MetricsSampler::arm(exec::Runtime& runtime, TimeNs interval_ns) {
+  // Self-rearming event chain: each firing records a row, then schedules
+  // the next one. stop() lets the final queued event fall through without
+  // recording (the sampler may be destroyed only after the runtime, never
+  // before — ChainScenario orders its members accordingly).
+  runtime.schedule(interval_ns, [this, &runtime, interval_ns] {
+    if (!running_) return;
+    sample_now(runtime.now_ns());
+    arm(runtime, interval_ns);
+  });
+}
+
+void MetricsSampler::sample_now(TimeNs now_ns) {
+  Sample sample;
+  sample.time_ns = now_ns;
+  sample.values.reserve(registry_->size());
+  for (const auto& c : registry_->counters_) {
+    sample.values.push_back(static_cast<double>(c.value->value()));
+  }
+  for (const auto& g : registry_->gauges_) {
+    sample.values.push_back(g.value->value());
+  }
+  for (const auto& h : registry_->histograms_) {
+    sample.values.push_back(static_cast<double>(h.value->count()));
+  }
+  samples_.push_back(std::move(sample));
+}
+
+std::string MetricsSampler::export_csv() const {
+  std::string out = "time_ns";
+  for (const auto& name : registry_->names()) {
+    out.push_back(',');
+    out += name;
+  }
+  out.push_back('\n');
+  for (const auto& sample : samples_) {
+    append_f(out, "%" PRIu64, sample.time_ns);
+    for (const double v : sample.values) {
+      // Counters dominate; print integral values without noise.
+      if (v >= 0 && v < 9.0e18 &&
+          v == static_cast<double>(static_cast<std::uint64_t>(v))) {
+        append_f(out, ",%" PRIu64, static_cast<std::uint64_t>(v));
+      } else {
+        append_f(out, ",%.6g", v);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace hw::telemetry

@@ -1,0 +1,69 @@
+#include "telemetry/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hw::telemetry {
+
+std::uint16_t Tracer::register_track(std::string name) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  tracks_.push_back(std::move(name));
+  return static_cast<std::uint16_t>(tracks_.size() - 1);
+}
+
+std::vector<Span> Tracer::snapshot() const {
+  std::vector<Span> out;
+  out.reserve(count_);
+  // Oldest retained span sits at head_ once the ring has wrapped.
+  const std::size_t start = count_ == capacity_ ? head_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+namespace {
+
+void append_f(std::string& out, const char* fmt, auto... args) {
+  char buf[256];
+  const int n = std::snprintf(buf, sizeof buf, fmt, args...);
+  if (n > 0) out.append(buf, std::min<std::size_t>(n, sizeof buf - 1));
+}
+
+}  // namespace
+
+std::string Tracer::export_chrome_json(TimeNs run_begin_ns,
+                                       TimeNs run_end_ns) const {
+  std::string out = "{\n\"traceEvents\": [\n";
+  bool first = true;
+  for (std::size_t tid = 0; tid < tracks_.size(); ++tid) {
+    append_f(out,
+             "%s{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+             "\"tid\": %zu, \"args\": {\"name\": \"%s\"}}",
+             first ? "" : ",\n", tid, tracks_[tid].c_str());
+    first = false;
+  }
+  for (const Span& span : snapshot()) {
+    // ts/dur are µs floats in the trace event format; 3 decimals keeps
+    // exact ns.
+    append_f(out,
+             "%s{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+             "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+             "\"args\": {\"a0\": %" PRIu64 ", \"a1\": %" PRIu64 "}}",
+             first ? "" : ",\n", span.name, span.category,
+             static_cast<double>(span.begin_ns) / 1000.0,
+             static_cast<double>(span.end_ns - span.begin_ns) / 1000.0,
+             span.track, span.a0, span.a1);
+    first = false;
+  }
+  out += "\n],\n";
+  append_f(out,
+           "\"otherData\": {\"runBeginNs\": %" PRIu64
+           ", \"runEndNs\": %" PRIu64 ", \"droppedSpans\": %" PRIu64 "}\n}\n",
+           run_begin_ns, run_end_ns, dropped_);
+  return out;
+}
+
+}  // namespace hw::telemetry

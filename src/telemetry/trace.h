@@ -1,0 +1,189 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "exec/context.h"
+#include "exec/cost_model.h"
+
+/// \file trace.h
+/// Fixed-footprint virtual-time span recorder with a chrome://tracing
+/// exporter (docs/OBSERVABILITY.md lists the span categories).
+///
+/// Design constraints, in order:
+///   * zero footprint when compiled out — ScopedSpan's members vanish
+///     under HW_TRACE_DISABLED (cmake -DHW_TRACING=OFF), so call sites
+///     never need #ifdefs;
+///   * near-zero when runtime-disabled — every record path starts with a
+///     null/enabled check, and a disabled tracer charges no cycles;
+///   * bounded when enabled — spans land in a preallocated ring;
+///     overflow drops the OLDEST spans (the tail of a run is what you
+///     are usually debugging) and counts the drops, never reallocates.
+///
+/// Recording charges exec::CostModel::trace_span virtual cycles per
+/// completed span when handed a CycleMeter, so telemetry overhead is part
+/// of the deterministic schedule that bench_telemetry_overhead gates.
+///
+/// Not thread-safe: tracing is a SimRuntime-only facility (single driver
+/// thread). ThreadedRuntime scenarios must leave the tracer null.
+
+namespace hw::telemetry {
+
+/// One completed span. Names and categories are string literals (the
+/// ring stores pointers, never copies) — pass only static strings.
+struct Span {
+  TimeNs begin_ns = 0;
+  TimeNs end_ns = 0;
+  const char* name = "";
+  const char* category = "";
+  std::uint16_t track = 0;    ///< display row: chrome://tracing "tid"
+  std::uint64_t a0 = 0;       ///< span-specific arg (e.g. batch size)
+  std::uint64_t a1 = 0;       ///< span-specific arg (e.g. tier/hits)
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 16384)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.resize(capacity_);
+  }
+
+  /// Runtime switch. A disabled tracer records nothing and charges no
+  /// cycles, so flipping this off restores the baseline schedule.
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Registers a display row ("pmd0", "ctrl", "vm1"). Returns the track
+  /// id to put into spans. Idempotent per name.
+  std::uint16_t register_track(std::string name);
+
+  /// Sub-epoch timestamp: epoch start plus the cycles this context has
+  /// already burned in it. Gives spans virtual-cycle resolution even
+  /// though now_ns() only moves at epoch boundaries.
+  [[nodiscard]] static TimeNs now_with(TimeNs epoch_start_ns,
+                                       const exec::CycleMeter& meter,
+                                       const exec::CostModel& cost) noexcept {
+    return epoch_start_ns +
+           static_cast<TimeNs>(static_cast<double>(meter.epoch_used()) *
+                               cost.ns_per_cycle());
+  }
+
+  /// Records a completed span; drops the oldest entry when the ring is
+  /// full. `meter` (optional) is charged CostModel::trace_span cycles so
+  /// the recording cost is part of the virtual schedule.
+  void record(const Span& span, exec::CycleMeter* meter = nullptr) noexcept {
+    if (!enabled_) return;
+    if (meter != nullptr) meter->charge(span_cost_);
+    ring_[head_] = span;
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+    if (count_ < capacity_) {
+      ++count_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  /// Cycles charged per recorded span (CostModel::trace_span; the
+  /// default matches the default model).
+  void set_span_cost(Cycles cycles) noexcept { span_cost_ = cycles; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Retained spans, oldest first.
+  [[nodiscard]] std::vector<Span> snapshot() const;
+
+  /// chrome://tracing "trace event format": one complete ("ph":"X")
+  /// event per span, ts/dur in fractional µs, track names as
+  /// thread_name metadata, run bounds in otherData. Load via
+  /// chrome://tracing or https://ui.perfetto.dev.
+  [[nodiscard]] std::string export_chrome_json(TimeNs run_begin_ns,
+                                               TimeNs run_end_ns) const;
+
+  [[nodiscard]] const std::vector<std::string>& tracks() const noexcept {
+    return tracks_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Span> ring_;
+  std::size_t head_ = 0;   ///< next write position
+  std::size_t count_ = 0;  ///< retained spans (<= capacity_)
+  std::uint64_t dropped_ = 0;
+  bool enabled_ = false;
+  Cycles span_cost_ = 8;
+  std::vector<std::string> tracks_;
+};
+
+/// RAII span: stamps begin on construction, records on destruction.
+/// With a null tracer (or HW_TRACE_DISABLED) every member is a no-op the
+/// optimizer deletes. Pass only string literals for name/category.
+class ScopedSpan {
+ public:
+#ifdef HW_TRACE_DISABLED
+  ScopedSpan(Tracer* /*tracer*/, const char* /*name*/,
+             const char* /*category*/, std::uint16_t /*track*/,
+             TimeNs /*epoch_start_ns*/, exec::CycleMeter* /*meter*/ = nullptr,
+             const exec::CostModel* /*cost*/ = nullptr) noexcept {}
+  void set_args(std::uint64_t, std::uint64_t = 0) noexcept {}
+  void cancel() noexcept {}
+  ~ScopedSpan() = default;
+#else
+  ScopedSpan(Tracer* tracer, const char* name, const char* category,
+             std::uint16_t track, TimeNs epoch_start_ns,
+             exec::CycleMeter* meter = nullptr,
+             const exec::CostModel* cost = nullptr) noexcept
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        meter_(meter) {
+    if (tracer_ == nullptr) return;
+    span_.name = name;
+    span_.category = category;
+    span_.track = track;
+    span_.begin_ns = meter != nullptr && cost != nullptr
+                         ? Tracer::now_with(epoch_start_ns, *meter, *cost)
+                         : epoch_start_ns;
+    epoch_start_ns_ = epoch_start_ns;
+    cost_ = cost;
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_args(std::uint64_t a0, std::uint64_t a1 = 0) noexcept {
+    span_.a0 = a0;
+    span_.a1 = a1;
+  }
+
+  /// Drops the span (e.g. idle poll with nothing to report).
+  void cancel() noexcept { tracer_ = nullptr; }
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) return;
+    span_.end_ns = meter_ != nullptr && cost_ != nullptr
+                       ? Tracer::now_with(epoch_start_ns_, *meter_, *cost_)
+                       : epoch_start_ns_;
+    tracer_->record(span_, meter_);
+  }
+#endif
+
+ private:
+#ifndef HW_TRACE_DISABLED
+  Tracer* tracer_ = nullptr;
+  exec::CycleMeter* meter_ = nullptr;
+  const exec::CostModel* cost_ = nullptr;
+  TimeNs epoch_start_ns_ = 0;
+  Span span_;
+#endif
+};
+
+}  // namespace hw::telemetry

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "pkt/int_stamp.h"
 #include "pkt/packet.h"
 
 namespace hw::vm {
@@ -93,6 +94,22 @@ std::uint32_t GenSinkApp::poll(exec::CycleMeter& meter) {
       if (pkt->seq != 0) {
         if (pkt->seq < last_rx_seq_) ++counters_.reorders;
         last_rx_seq_ = std::max(last_rx_seq_, pkt->seq);
+      }
+      counters_.delivered_bytes += pkt->data_len;
+      if (collect_int_) {
+        const std::uint16_t hops = pkt::int_hop_count(*pkt);
+        if (hops > int_hops_.size()) int_hops_.resize(hops);
+        pkt::IntHopRecord rec;
+        for (std::uint16_t h = 0; h < hops; ++h) {
+          if (!pkt::int_read_hop(*pkt, h, rec)) break;
+          IntHopStats& stats = int_hops_[h];
+          stats.hop_id = rec.hop_id;
+          ++stats.samples;
+          stats.queue_depth_sum += rec.queue_depth;
+          if (rec.egress_ns >= rec.ingress_ns && rec.egress_ns != 0) {
+            stats.transit.record(rec.egress_ns - rec.ingress_ns);
+          }
+        }
       }
       meter.charge(cost_->mbuf_free);
       pool_->free(pkt);

@@ -24,8 +24,23 @@ struct AppCounters {
   std::uint64_t forwarded = 0;
   std::uint64_t generated = 0;
   std::uint64_t delivered = 0;   ///< sunk packets
+  std::uint64_t delivered_bytes = 0;  ///< sunk bytes (INT trailer included)
   std::uint64_t tx_drops = 0;    ///< destination ring full, frame freed
   std::uint64_t reorders = 0;
+};
+
+/// Per-hop-position aggregate a sink collects from INT trailers: one
+/// entry per trailer position (0 = first stamping element on the path).
+struct IntHopStats {
+  std::uint32_t hop_id = 0;        ///< stamping port (last seen)
+  std::uint64_t samples = 0;
+  std::uint64_t queue_depth_sum = 0;
+  LatencyRecorder transit;         ///< egress - ingress per record
+  [[nodiscard]] double mean_queue_depth() const noexcept {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(queue_depth_sum) /
+                              static_cast<double>(samples);
+  }
 };
 
 /// Bidirectional port-to-port forwarder (the chain VNF): everything
@@ -88,6 +103,16 @@ class GenSinkApp final : public exec::Context {
   void reset_latency() noexcept { latency_.reset(); }
   void set_generate(bool on) noexcept { generate_ = on; }
 
+  /// Enables INT trailer collection on sunk frames: per-hop-position
+  /// transit latency and queue depth (docs/OBSERVABILITY.md). The sink's
+  /// own GuestPmd must have INT configured so the final hop record is
+  /// completed before the app sees the frame.
+  void set_collect_int(bool on) noexcept { collect_int_ = on; }
+  /// Collected per-hop-position stats, index = trailer position.
+  [[nodiscard]] const std::vector<IntHopStats>& int_hops() const noexcept {
+    return int_hops_;
+  }
+
  private:
   std::string name_;
   pmd::GuestPmd* port_;
@@ -106,6 +131,8 @@ class GenSinkApp final : public exec::Context {
   std::vector<mbuf::Mbuf*> buf_;
   AppCounters counters_;
   LatencyRecorder latency_;
+  bool collect_int_ = false;
+  std::vector<IntHopStats> int_hops_;
 };
 
 }  // namespace hw::vm

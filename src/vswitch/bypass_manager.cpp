@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "exec/runtime.h"
 #include "pmd/channel.h"
 
 namespace hw::vswitch {
@@ -29,6 +30,20 @@ std::optional<std::uint32_t> BypassManager::alloc_slot() noexcept {
     }
   }
   return std::nullopt;
+}
+
+void BypassManager::record_span(const char* name, TimeNs begin_ns,
+                                PortId from, PortId to) noexcept {
+  if (tracer_ == nullptr || trace_clock_ == nullptr) return;
+  telemetry::Span span;
+  span.name = name;
+  span.category = "bypass";
+  span.track = trace_track_;
+  span.begin_ns = begin_ns;
+  span.end_ns = trace_clock_->epoch_start_ns();
+  span.a0 = from;
+  span.a1 = to;
+  tracer_->record(span);
 }
 
 std::size_t BypassManager::region_users(const std::string& region) const {
@@ -138,6 +153,9 @@ void BypassManager::initiate_setup(const P2pLink& link) {
   info.state = LinkState::kSettingUp;
   info.rule_slot = *slot;
   info.region = region_name;
+  if (trace_clock_ != nullptr) {
+    info.setup_requested_ns = trace_clock_->epoch_start_ns();
+  }
   links_[link.from] = info;
 
   ++counters_.setups_requested;
@@ -156,6 +174,9 @@ void BypassManager::initiate_setup(const P2pLink& link) {
 
 void BypassManager::initiate_teardown(LinkInfo& info) {
   info.state = LinkState::kTearingDown;
+  if (trace_clock_ != nullptr) {
+    info.teardown_requested_ns = trace_clock_->epoch_start_ns();
+  }
   ++counters_.teardowns_requested;
   // Unplug when this is the last direction still holding the region:
   // siblings already tearing down do not count, otherwise two concurrent
@@ -214,6 +235,7 @@ void BypassManager::on_bypass_ready(PortId from, PortId to, bool ok) {
   }
   info.state = LinkState::kActive;
   ++counters_.setups_completed;
+  record_span("bypass_setup", info.setup_requested_ns, from, to);
   HW_LOG(kInfo, "bypass", "ACTIVE %u->%u", from, to);
 }
 
@@ -223,6 +245,7 @@ void BypassManager::on_bypass_torn_down(PortId from, PortId to) {
     HW_LOG(kWarn, "bypass", "stray teardown completion %u->%u", from, to);
     return;
   }
+  record_span("bypass_teardown", it->second.teardown_requested_ns, from, to);
   fold_and_release_slot(it->second);
   const std::string region = it->second.region;
   links_.erase(it);

@@ -9,7 +9,12 @@
 #include "common/status.h"
 #include "pmd/shared_stats.h"
 #include "shm/shm.h"
+#include "telemetry/trace.h"
 #include "vswitch/p2p_detector.h"
+
+namespace hw::exec {
+class Runtime;
+}
 
 /// \file bypass_manager.h
 /// Owns the lifecycle of bypass channels: reacts to detector output,
@@ -72,6 +77,11 @@ struct LinkInfo {
   /// Set when the link stopped being desired while setup was in flight;
   /// triggers teardown as soon as setup completes.
   bool cancel_after_setup = false;
+  /// Virtual times the async transitions were requested — the begin
+  /// timestamps of the bypass_setup / bypass_teardown trace spans
+  /// recorded when the agent's completion lands.
+  TimeNs setup_requested_ns = 0;
+  TimeNs teardown_requested_ns = 0;
 };
 
 struct BypassManagerConfig {
@@ -93,6 +103,15 @@ class BypassManager final : public BypassEventSink {
                 BypassManagerConfig config);
 
   void set_agent(AgentInterface* agent) noexcept { agent_ = agent; }
+
+  /// Enables lifecycle spans (setup request → ACTIVE, teardown request →
+  /// torn down) on display row `track`.
+  void configure_trace(telemetry::Tracer* tracer, const exec::Runtime* clock,
+                       std::uint16_t track) noexcept {
+    tracer_ = tracer;
+    trace_clock_ = tracer != nullptr ? clock : nullptr;
+    trace_track_ = track;
+  }
 
   /// Registers a dpdkr port as a candidate bypass endpoint.
   void add_candidate_port(PortId port);
@@ -127,12 +146,20 @@ class BypassManager final : public BypassEventSink {
   /// Directions (this or reverse) currently holding the region.
   [[nodiscard]] std::size_t region_users(const std::string& region) const;
 
+  /// Records an async lifecycle span ending now. No-op when tracing is
+  /// unconfigured or the begin timestamp was never stamped.
+  void record_span(const char* name, TimeNs begin_ns, PortId from,
+                   PortId to) noexcept;
+
   shm::ShmManager* shm_;
   flowtable::FlowTable* table_;
   pmd::SharedStats stats_;
   P2pDetector detector_;
   BypassManagerConfig config_;
   AgentInterface* agent_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
+  const exec::Runtime* trace_clock_ = nullptr;
+  std::uint16_t trace_track_ = 0;
 
   std::vector<PortId> candidate_ports_;
   std::map<PortId, LinkInfo> links_;  ///< keyed by `from` port

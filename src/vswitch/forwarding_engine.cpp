@@ -1,5 +1,6 @@
 #include "vswitch/forwarding_engine.h"
 
+#include "exec/runtime.h"
 #include "pkt/headers.h"
 #include "pkt/packet.h"
 
@@ -83,6 +84,11 @@ void ForwardingEngine::process_burst(SwitchPort& in_port,
                                      std::span<mbuf::Mbuf*> pkts,
                                      exec::CycleMeter& meter) {
   counters_.rx_packets += pkts.size();
+  const TimeNs trace_base =
+      trace_clock_ != nullptr ? trace_clock_->epoch_start_ns() : 0;
+  telemetry::ScopedSpan burst_span(tracer_, "burst", "engine", trace_track_,
+                                   trace_base, &meter, cost_);
+  burst_span.set_args(pkts.size(), in_port.id());
 
   // Parse the whole burst up front, then classify it as one batch (the
   // dpcls batch loop) — or per packet when the scalar path is configured.
@@ -96,13 +102,19 @@ void ForwardingEngine::process_burst(SwitchPort& in_port,
     hash_buf_[i] = pkt::flow_key_hash(key_buf_[i]);
   }
   const std::size_t n = pkts.size();
-  if (classifier_.config().batch_classify) {
-    classifier_.lookup_batch(std::span(key_buf_.data(), n),
-                             std::span(hash_buf_.data(), n),
-                             std::span(outcome_buf_.data(), n), meter);
-  } else {
-    for (std::size_t i = 0; i < n; ++i) {
-      outcome_buf_[i] = classifier_.lookup(key_buf_[i], hash_buf_[i], meter);
+  {
+    telemetry::ScopedSpan classify_span(tracer_, "classify", "classify",
+                                        trace_track_, trace_base, &meter,
+                                        cost_);
+    classify_span.set_args(n);
+    if (classifier_.config().batch_classify) {
+      classifier_.lookup_batch(std::span(key_buf_.data(), n),
+                               std::span(hash_buf_.data(), n),
+                               std::span(outcome_buf_.data(), n), meter);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        outcome_buf_[i] = classifier_.lookup(key_buf_[i], hash_buf_[i], meter);
+      }
     }
   }
 

@@ -66,6 +66,16 @@ class ForwardingEngine final : public exec::Context {
   /// Assigns a port's rx queue to this engine (OVS rxq affinity).
   void assign_port(SwitchPort* port);
 
+  /// Enables span recording for this PMD (burst + classify spans here,
+  /// tier-pass/drain spans in the classifier) on display row `track`.
+  void configure_trace(telemetry::Tracer* tracer, const exec::Runtime* clock,
+                       std::uint16_t track) noexcept {
+    tracer_ = tracer;
+    trace_clock_ = tracer != nullptr ? clock : nullptr;
+    trace_track_ = track;
+    classifier_.configure_trace(tracer, clock, track);
+  }
+
   [[nodiscard]] std::string_view name() const noexcept override {
     return name_;
   }
@@ -105,6 +115,9 @@ class ForwardingEngine final : public exec::Context {
   mbuf::Mempool* pool_;
   const exec::CostModel* cost_;
   std::uint32_t burst_;
+  telemetry::Tracer* tracer_ = nullptr;
+  const exec::Runtime* trace_clock_ = nullptr;
+  std::uint16_t trace_track_ = 0;
 
   std::vector<SwitchPort*> ports_;
   // Dense id→port map for O(1) output action resolution.

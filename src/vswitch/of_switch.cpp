@@ -54,6 +54,16 @@ OfSwitch::OfSwitch(shm::ShmManager& shm, mbuf::Mempool& pool,
       *shm_, table_, shared_stats_,
       P2pDetector([this](PortId id) { return is_dpdkr(id); }),
       BypassManagerConfig{.ring_capacity = config_.ring_capacity});
+
+  if (config_.tracer != nullptr) {
+    for (auto& engine : engines_) {
+      engine->configure_trace(
+          config_.tracer, runtime_,
+          config_.tracer->register_track(std::string(engine->name())));
+    }
+    ctrl_track_ = config_.tracer->register_track("ctrl");
+    bypass_->configure_trace(config_.tracer, runtime_, ctrl_track_);
+  }
 }
 
 Result<PortId> OfSwitch::add_dpdkr_port(const std::string& name) {
@@ -131,6 +141,12 @@ Status OfSwitch::handle_flow_mod(const FlowMod& mod) {
       return Status::invalid_argument("output to unknown port");
     }
   }
+  // Control-plane span: no CycleMeter here (the controller is not a
+  // simulated core), so the span is epoch-granular — begin == end unless
+  // the apply straddles an epoch, which it cannot.
+  telemetry::ScopedSpan span(config_.tracer, "flowmod", "flowmod",
+                             ctrl_track_, runtime_->epoch_start_ns());
+  span.set_args(static_cast<std::uint64_t>(mod.command), mod.cookie);
   auto result = table_.apply(mod, runtime_->now_ns());
   if (!result.is_ok()) return result.status();
   ++counters_.flow_mods;

@@ -54,6 +54,10 @@ struct SwitchConfig {
   bool subtable_prefilter = true;
   std::uint32_t engine_count = 1;    ///< PMD threads (OVS pmd-cpu-mask)
   bool bypass_enabled = true;        ///< false = vanilla OVS-DPDK baseline
+  /// Span recorder (not owned; null = tracing off). One track per
+  /// engine plus a "ctrl" track for FlowMods and bypass lifecycle.
+  /// SimRuntime scenarios only — the tracer is not thread-safe.
+  telemetry::Tracer* tracer = nullptr;
 };
 
 struct SwitchCounters {
@@ -133,6 +137,7 @@ class OfSwitch {
   std::unique_ptr<BypassManager> bypass_;
   PortId next_port_ = 1;
   SwitchCounters counters_;
+  std::uint16_t ctrl_track_ = 0;  ///< tracer row for control-plane spans
 };
 
 }  // namespace hw::vswitch

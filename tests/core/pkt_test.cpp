@@ -2,10 +2,12 @@
 
 #include <cstring>
 #include <unordered_set>
+#include <vector>
 
 #include "pkt/checksum.h"
 #include "pkt/flow_key.h"
 #include "pkt/headers.h"
+#include "pkt/int_stamp.h"
 #include "pkt/packet.h"
 #include "pkt/traffic_profile.h"
 
@@ -269,6 +271,87 @@ TEST(TrafficProfile, WebPercentProducesTcp80) {
   }
   EXPECT_GT(web, 60);
   EXPECT_LT(web, 140);
+}
+
+// -------------------------------------------------------------- INT trailer
+
+TEST(IntStamp, PlainFrameHasNoTrailer) {
+  mbuf::Mbuf buf;
+  ASSERT_TRUE(build_frame(buf, FrameSpec{}));
+  EXPECT_EQ(int_hop_count(buf), 0u);
+  EXPECT_EQ(int_payload_len(buf), buf.data_len);
+  IntHopRecord rec;
+  EXPECT_FALSE(int_read_hop(buf, 0, rec));
+  EXPECT_FALSE(int_complete_hop(buf, 100));  // nothing to complete
+}
+
+TEST(IntStamp, PushCompleteReadRoundTrip) {
+  mbuf::Mbuf buf;
+  ASSERT_TRUE(build_frame(buf, FrameSpec{}));
+  const std::uint32_t payload = buf.data_len;
+
+  ASSERT_TRUE(int_push_hop(buf, /*hop_id=*/7, /*ingress_ns=*/1000,
+                           /*queue_depth=*/3));
+  EXPECT_EQ(int_hop_count(buf), 1u);
+  EXPECT_EQ(buf.data_len, payload + int_trailer_len(1));
+  EXPECT_EQ(int_payload_len(buf), payload);
+
+  ASSERT_TRUE(int_complete_hop(buf, 1400));
+  // The newest record is complete; completing again must refuse.
+  EXPECT_FALSE(int_complete_hop(buf, 9999));
+
+  IntHopRecord rec;
+  ASSERT_TRUE(int_read_hop(buf, 0, rec));
+  EXPECT_EQ(rec.hop_id, 7u);
+  EXPECT_EQ(rec.queue_depth, 3u);
+  EXPECT_EQ(rec.ingress_ns, 1000u);
+  EXPECT_EQ(rec.egress_ns, 1400u);
+  EXPECT_FALSE(int_read_hop(buf, 1, rec));  // out of range
+}
+
+TEST(IntStamp, RecordsStackOldestFirstAndPayloadSurvives) {
+  mbuf::Mbuf buf;
+  ASSERT_TRUE(build_frame(buf, FrameSpec{}));
+  const std::uint32_t payload = buf.data_len;
+  std::vector<std::byte> image(buf.data, buf.data + buf.data_len);
+
+  for (std::uint32_t hop = 0; hop < 5; ++hop) {
+    ASSERT_TRUE(int_push_hop(buf, hop + 10, 1000 * (hop + 1), hop));
+    ASSERT_TRUE(int_complete_hop(buf, 1000 * (hop + 1) + 250));
+  }
+  EXPECT_EQ(int_hop_count(buf), 5u);
+  EXPECT_EQ(buf.data_len, payload + int_trailer_len(5));
+  EXPECT_EQ(int_payload_len(buf), payload);
+  // Hop 0 is the oldest stamp; completion only ever touched the newest.
+  for (std::uint16_t hop = 0; hop < 5; ++hop) {
+    IntHopRecord rec;
+    ASSERT_TRUE(int_read_hop(buf, hop, rec));
+    EXPECT_EQ(rec.hop_id, hop + 10u);
+    EXPECT_EQ(rec.ingress_ns, 1000u * (hop + 1));
+    EXPECT_EQ(rec.egress_ns, 1000u * (hop + 1) + 250);
+  }
+  // The payload bytes under the trailer are untouched — stamped and
+  // unstamped frames parse identically (the transparency property).
+  EXPECT_EQ(std::memcmp(buf.data, image.data(), payload), 0);
+  const FlowKey stamped = extract_flow_key(buf);
+  mbuf::Mbuf plain;
+  ASSERT_TRUE(build_frame(plain, FrameSpec{}));
+  const FlowKey unstamped = extract_flow_key(plain);
+  EXPECT_EQ(flow_key_hash(stamped), flow_key_hash(unstamped));
+}
+
+TEST(IntStamp, PushFailsWhenDataRoomExhausted) {
+  mbuf::Mbuf buf;
+  buf.data_len = mbuf::kMbufDataRoom - int_trailer_len(2);
+  ASSERT_TRUE(int_push_hop(buf, 1, 100, 0));  // creates trailer: +32 B
+  ASSERT_TRUE(int_push_hop(buf, 2, 200, 0));  // +24 B, exactly full
+  EXPECT_EQ(buf.data_len, mbuf::kMbufDataRoom);
+  EXPECT_FALSE(int_push_hop(buf, 3, 300, 0));  // no room: frame unchanged
+  EXPECT_EQ(int_hop_count(buf), 2u);
+  EXPECT_EQ(buf.data_len, mbuf::kMbufDataRoom);
+  IntHopRecord rec;
+  ASSERT_TRUE(int_read_hop(buf, 1, rec));
+  EXPECT_EQ(rec.hop_id, 2u);
 }
 
 TEST(TrafficProfile, DeterministicForSeed) {

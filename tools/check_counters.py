@@ -10,7 +10,12 @@ from silently stranding them. This checker closes the loop:
     (as `name`, in backticks) in docs/COUNTERS.md;
   * every field of classifier::TierCounters in
     src/classifier/dp_classifier.h must appear there too;
-  * every field of chain::ChainMetrics in src/chain/chain.h likewise.
+  * every field of chain::ChainMetrics in src/chain/chain.h likewise;
+  * every telemetry metric registered in src/ or bench/ (a
+    `.counter("name")` / `.gauge(...)` / `.histogram(...)` call on a
+    MetricsRegistry) must appear, in backticks, in
+    docs/OBSERVABILITY.md. Tests are exempt: throwaway names assembled
+    to exercise the registry are not part of the exported surface.
 
 Run from anywhere: paths resolve relative to the repository root (the
 parent of this script's directory). CI runs it next to check_links.py.
@@ -26,10 +31,14 @@ BENCH_COMMON = os.path.join(ROOT, "bench", "bench_common.h")
 TIER_COUNTERS = os.path.join(ROOT, "src", "classifier", "dp_classifier.h")
 CHAIN_METRICS = os.path.join(ROOT, "src", "chain", "chain.h")
 COUNTERS_MD = os.path.join(ROOT, "docs", "COUNTERS.md")
+OBSERVABILITY_MD = os.path.join(ROOT, "docs", "OBSERVABILITY.md")
+METRIC_DIRS = [os.path.join(ROOT, "src"), os.path.join(ROOT, "bench")]
 
 BENCH_RE = re.compile(r'state\.counters\["([A-Za-z0-9_]+)"\]')
 FIELD_RE = re.compile(r"^\s*(?:std::uint64_t|double|TimeNs)\s+([a-z]\w*)\s*=",
                       re.MULTILINE)
+METRIC_RE = re.compile(
+    r'(?:\.|->)(?:counter|gauge|histogram)\(\s*"([a-z0-9_.]+)"')
 
 
 def read(path):
@@ -87,13 +96,40 @@ def main():
                 f"ChainMetrics field `{name}` (src/chain/chain.h) is not "
                 f"mentioned in docs/COUNTERS.md")
 
+    metric_names = registered_metrics()
+    if not metric_names:
+        errors.append("no MetricsRegistry registrations found under src/ "
+                      "or bench/ (parser broken?)")
+    observability = set(re.findall(r"`([a-z0-9_.]+)`",
+                                   read(OBSERVABILITY_MD)))
+    for name, where in sorted(metric_names.items()):
+        if name not in observability:
+            errors.append(
+                f"metric `{name}` ({where}) is not mentioned in "
+                f"docs/OBSERVABILITY.md")
+
     for error in errors:
         print(error, file=sys.stderr)
     print(f"checked {len(bench_columns)} bench columns, "
           f"{len(tier_fields)} TierCounters fields, "
-          f"{len(chain_fields)} ChainMetrics fields: "
+          f"{len(chain_fields)} ChainMetrics fields, "
+          f"{len(metric_names)} registered metrics: "
           f"{'FAIL' if errors else 'OK'} ({len(errors)} undocumented)")
     return 1 if errors else 0
+
+
+def registered_metrics():
+    """Maps metric name -> first registering file, over src/ and bench/."""
+    names = {}
+    for base in METRIC_DIRS:
+        for dirpath, _, filenames in os.walk(base):
+            for filename in sorted(filenames):
+                if not filename.endswith((".h", ".cpp")):
+                    continue
+                path = os.path.join(dirpath, filename)
+                for name in METRIC_RE.findall(read(path)):
+                    names.setdefault(name, os.path.relpath(path, ROOT))
+    return names
 
 
 if __name__ == "__main__":

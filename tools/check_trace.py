@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Chrome-trace sanity checker (stdlib only).
+
+Validates a chrome://tracing JSON file exported by telemetry::Tracer
+(`export_chrome_json`): CI runs the telemetry bench with `--trace-out`
+and feeds the result here, so a refactor that silently stops emitting
+spans — or emits ones chrome would render as garbage — fails the build
+instead of producing an empty-looking trace months later.
+
+Checks, always on:
+
+  * the file parses and has the `traceEvents` list plus `otherData`
+    with `runBeginNs` / `runEndNs`;
+  * every complete ("ph": "X") event has name, cat, ts, dur, pid, tid;
+  * dur >= 0 and every span lies inside [runBeginNs, runEndNs]
+    (ts/dur are chrome microseconds; the bounds are nanoseconds).
+
+Optional:
+
+  * --require-cats a,b,c  : each listed category appears at least once;
+  * --require-nesting     : every "classify"-category span is strictly
+    contained in an "engine"-category span on the same tid (the burst
+    span that wraps per-tier classification).
+
+Usage: check_trace.py TRACE_JSON [--require-cats classify,reval]
+       [--require-nesting]
+"""
+
+import argparse
+import bisect
+import json
+import sys
+
+US_TOL = 0.0011  # sub-ns slack for microsecond rounding in the exporter
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="chrome trace JSON file")
+    parser.add_argument("--require-cats", default="",
+                        help="comma-separated categories that must appear")
+    parser.add_argument("--require-nesting", action="store_true",
+                        help="classify spans must nest in engine spans")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot load {args.trace}: {err}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail("otherData missing")
+    for key in ("runBeginNs", "runEndNs", "droppedSpans"):
+        if key not in other:
+            fail(f"otherData.{key} missing")
+    begin_us = other["runBeginNs"] / 1000.0
+    end_us = other["runEndNs"] / 1000.0
+
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        fail("no complete (ph=X) events")
+
+    cats = set()
+    for i, span in enumerate(spans):
+        for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+            if key not in span:
+                fail(f"span #{i} missing {key}: {span}")
+        ts, dur = span["ts"], span["dur"]
+        if dur < 0:
+            fail(f"span {span['name']} has negative dur {dur}")
+        if ts < begin_us - US_TOL or ts + dur > end_us + US_TOL:
+            fail(f"span {span['name']} [{ts}, {ts + dur}]us outside run "
+                 f"window [{begin_us}, {end_us}]us")
+        cats.add(span["cat"])
+
+    required = [c for c in args.require_cats.split(",") if c]
+    missing = [c for c in required if c not in cats]
+    if missing:
+        fail(f"required categories absent: {', '.join(missing)} "
+             f"(present: {', '.join(sorted(cats))})")
+
+    if args.require_nesting:
+        check_nesting(spans)
+
+    print(f"check_trace: OK ({len(spans)} spans, "
+          f"{len(cats)} categories, {other['droppedSpans']} dropped)")
+
+
+def check_nesting(spans):
+    """Every classify span must sit inside an engine span on its tid."""
+    engine_by_tid = {}
+    for span in spans:
+        if span["cat"] == "engine":
+            engine_by_tid.setdefault(span["tid"], []).append(
+                (span["ts"], span["ts"] + span["dur"]))
+    for intervals in engine_by_tid.values():
+        intervals.sort()
+    checked = 0
+    for span in spans:
+        if span["cat"] != "classify":
+            continue
+        checked += 1
+        lo, hi = span["ts"], span["ts"] + span["dur"]
+        intervals = engine_by_tid.get(span["tid"], [])
+        # Candidate: the engine span with the greatest start <= lo.
+        idx = bisect.bisect_right(intervals, (lo + US_TOL, float("inf")))
+        ok = False
+        for begin, end in intervals[max(idx - 2, 0):idx]:
+            if begin <= lo + US_TOL and hi <= end + US_TOL:
+                ok = True
+                break
+        if not ok:
+            fail(f"classify span at ts={lo}us tid={span['tid']} has no "
+                 f"enclosing engine span")
+    if checked == 0:
+        fail("--require-nesting set but no classify spans present")
+
+
+if __name__ == "__main__":
+    main()
