@@ -45,15 +45,6 @@ constexpr PortId kOutPort = 1;
 
 enum Mode : std::int64_t { kTableOnly = 0, kEmcOnly = 1, kThreeTier = 2 };
 
-const char* mode_name(std::int64_t mode) {
-  switch (mode) {
-    case kTableOnly: return "table-only";
-    case kEmcOnly: return "EMC-only";
-    case kThreeTier: return "3-tier";
-  }
-  return "?";
-}
-
 /// One distinct match shape per mask-diversity step. Values are salted
 /// with the rule index so rules within a shape stay distinct.
 Match shaped_match(std::uint32_t shape, std::uint32_t salt) {
@@ -141,7 +132,10 @@ Row& row_for(std::uint32_t flows, std::uint32_t masks) {
   for (Row& row : g_rows) {
     if (row.flows == flows && row.masks == masks) return row;
   }
-  g_rows.push_back(Row{.flows = flows, .masks = masks});
+  Row fresh;
+  fresh.flows = flows;
+  fresh.masks = masks;
+  g_rows.push_back(fresh);
   return g_rows.back();
 }
 

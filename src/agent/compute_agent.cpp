@@ -104,7 +104,9 @@ void ComputeAgent::begin_setup(std::uint64_t id) {
   auto it = setups_.find(id);
   if (it == setups_.end()) return;
   SetupOp& op = it->second;
-  op.deadline = runtime_->now_ns() + op_timeout_ns;
+  // Stamped in an event callback, compared in poll(): two different
+  // contexts, so the deadline must use the cross-context clock.
+  op.deadline = runtime_->epoch_start_ns() + op_timeout_ns;
 
   if (!op.req.plug_required) {
     // Second direction of an existing channel: the sibling op plugs the
@@ -249,7 +251,7 @@ void ComputeAgent::request_bypass_teardown(
   teardowns_.emplace(id, op);
   runtime_->schedule(latency_.request_rtt_ns, [this, id] {
     if (auto it = teardowns_.find(id); it != teardowns_.end()) {
-      it->second.deadline = runtime_->now_ns() + op_timeout_ns;
+      it->second.deadline = runtime_->epoch_start_ns() + op_timeout_ns;
     }
   });
 }
@@ -363,7 +365,7 @@ std::uint32_t ComputeAgent::poll(exec::CycleMeter& meter) {
   collect_acks();
 
   std::uint32_t progressed = 0;
-  const TimeNs now = runtime_->now_ns();
+  const TimeNs now = runtime_->epoch_start_ns();
 
   std::vector<std::uint64_t> done;
   for (auto& [id, op] : setups_) {

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file annotate.h
+/// HW_ANALYSIS-gated shared-state annotations for the virtual-time race
+/// detector (analysis/race_detector.h).
+///
+/// Components place these on their cross-context touch points — the
+/// megaflow revalidator queue, shared stats counters, ring publish /
+/// consume edges, bypass channel setup/teardown — so the detector can
+/// check that every cross-context access pair is ordered by an annotated
+/// sync edge. In the default HW_ANALYSIS=OFF build every macro expands to
+/// `((void)0)`: no call, no symbol reference, no include of the detector
+/// (CI asserts hw_core carries no hw::analysis symbols — the same
+/// zero-cost discipline as HW_TRACING=OFF).
+///
+/// Annotation recipe (see docs/ANALYSIS.md for the worked examples):
+///   * HW_SHARED_READ/WRITE(addr)   — plain accesses to shared state;
+///   * HW_ATOMIC_READ/WRITE(addr)   — std::atomic accesses (two atomics
+///                                    never race, atomic vs plain does);
+///   * HW_SYNC_ACQUIRE/RELEASE(obj) — the edges that order them: mutex
+///                                    lock/unlock, ring consume/publish;
+///   * HW_SYNC_SCOPE(obj)           — RAII acquire-now/release-at-scope-
+///                                    exit, placed right after a
+///                                    std::lock_guard of the same mutex.
+/// Pass the address of the protected object (or of the mutex/ring) — the
+/// detector keys on pointer identity only.
+
+#if HW_ANALYSIS
+
+#include "analysis/race_detector.h"
+
+#define HW_ANALYSIS_STR2(x) #x
+#define HW_ANALYSIS_STR(x) HW_ANALYSIS_STR2(x)
+#define HW_ANALYSIS_SITE __FILE__ ":" HW_ANALYSIS_STR(__LINE__)
+
+#define HW_SHARED_READ(addr)                                        \
+  ::hw::analysis::RaceDetector::instance().on_access(               \
+      (addr), ::hw::analysis::AccessKind::kRead, HW_ANALYSIS_SITE)
+#define HW_SHARED_WRITE(addr)                                       \
+  ::hw::analysis::RaceDetector::instance().on_access(               \
+      (addr), ::hw::analysis::AccessKind::kWrite, HW_ANALYSIS_SITE)
+#define HW_ATOMIC_READ(addr)                                        \
+  ::hw::analysis::RaceDetector::instance().on_access(               \
+      (addr), ::hw::analysis::AccessKind::kAtomicRead, HW_ANALYSIS_SITE)
+#define HW_ATOMIC_WRITE(addr)                                       \
+  ::hw::analysis::RaceDetector::instance().on_access(               \
+      (addr), ::hw::analysis::AccessKind::kAtomicWrite, HW_ANALYSIS_SITE)
+#define HW_SYNC_ACQUIRE(obj) \
+  ::hw::analysis::RaceDetector::instance().acquire((obj))
+#define HW_SYNC_RELEASE(obj) \
+  ::hw::analysis::RaceDetector::instance().release((obj))
+
+namespace hw::analysis {
+/// RAII body of HW_SYNC_SCOPE.
+class SyncScope {
+ public:
+  explicit SyncScope(const void* obj) : obj_(obj) {
+    RaceDetector::instance().acquire(obj_);
+  }
+  ~SyncScope() { RaceDetector::instance().release(obj_); }
+  SyncScope(const SyncScope&) = delete;
+  SyncScope& operator=(const SyncScope&) = delete;
+
+ private:
+  const void* obj_;
+};
+}  // namespace hw::analysis
+
+#define HW_ANALYSIS_CAT2(a, b) a##b
+#define HW_ANALYSIS_CAT(a, b) HW_ANALYSIS_CAT2(a, b)
+#define HW_SYNC_SCOPE(obj) \
+  ::hw::analysis::SyncScope HW_ANALYSIS_CAT(hw_sync_scope_, __LINE__)((obj))
+
+// Runtime integration points (exec::SimRuntime only).
+#define HW_ANALYSIS_SET_CONTEXT(id) \
+  ::hw::analysis::RaceDetector::instance().set_context((id))
+#define HW_ANALYSIS_NAME_CONTEXT(id, name) \
+  ::hw::analysis::RaceDetector::instance().set_context_name((id), (name))
+#define HW_ANALYSIS_BARRIER() \
+  ::hw::analysis::RaceDetector::instance().barrier()
+
+#else  // !HW_ANALYSIS — every annotation disappears entirely.
+
+#define HW_SHARED_READ(addr) ((void)0)
+#define HW_SHARED_WRITE(addr) ((void)0)
+#define HW_ATOMIC_READ(addr) ((void)0)
+#define HW_ATOMIC_WRITE(addr) ((void)0)
+#define HW_SYNC_ACQUIRE(obj) ((void)0)
+#define HW_SYNC_RELEASE(obj) ((void)0)
+#define HW_SYNC_SCOPE(obj) ((void)0)
+#define HW_ANALYSIS_SET_CONTEXT(id) ((void)0)
+#define HW_ANALYSIS_NAME_CONTEXT(id, name) ((void)0)
+#define HW_ANALYSIS_BARRIER() ((void)0)
+
+#endif  // HW_ANALYSIS

@@ -1,0 +1,248 @@
+#include "analysis/race_detector.h"
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+namespace hw::analysis {
+
+namespace {
+
+const char* kind_tag(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kRead: return "read";
+    case AccessKind::kWrite: return "write";
+    case AccessKind::kAtomicRead: return "atomic-read";
+    case AccessKind::kAtomicWrite: return "atomic-write";
+  }
+  return "?";
+}
+
+/// Current virtual context of this host thread. SimRuntime drives all
+/// virtual cores from one thread, switching this around each poll(); real
+/// std::threads that never call set_context() stay at 0 (unchecked — TSan
+/// owns real-thread coverage).
+thread_local ContextId tls_context = 0;
+
+}  // namespace
+
+std::string RaceReport::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "virtual-time race on %p: ctx%u %s at %s vs ctx%u %s at %s",
+                addr, first_ctx, kind_tag(first_kind), first_site, second_ctx,
+                kind_tag(second_kind), second_site);
+  return buf;
+}
+
+struct RaceDetector::Impl {
+  struct AccessRecord {
+    ContextId ctx = 0;
+    std::uint64_t clock = 0;  ///< ctx's own component at access time
+    const char* site = "";
+    AccessKind kind = AccessKind::kRead;
+  };
+  struct Location {
+    bool has_write = false;
+    AccessRecord write;
+    /// Reads since the last write, at most one per context (a newer read
+    /// by the same context supersedes the older one for race purposes).
+    std::vector<AccessRecord> reads;
+  };
+
+  mutable std::mutex mu;
+  std::vector<VectorClock> clocks;  ///< one per context, index = ContextId
+  std::unordered_map<const void*, VectorClock> sync_clocks;
+  std::unordered_map<const void*, Location> locations;
+  std::vector<std::string> names;
+  std::vector<RaceReport> reports;
+  /// Dedup key: a racing site pair is reported once, not once per epoch.
+  /// Unordered — (A,B) and (B,A) are the same pair of code sites.
+  std::set<std::pair<const char*, const char*>> reported_pairs;
+  /// Join of all clocks at the most recent barrier. A context whose first
+  /// access happens *after* a barrier starts from this instead of an
+  /// empty clock, so it inherits the barrier's ordering (everything
+  /// before a run_for happens-before a context first touched inside it).
+  VectorClock barrier_base;
+
+  /// Guarantees ctx has a clock whose own component is nonzero, so an
+  /// access by a context that never released anything is still
+  /// distinguishable from "never happened" in leq comparisons.
+  void ensure_context(ContextId ctx) {
+    if (ctx >= clocks.size()) clocks.resize(ctx + 1);
+    if (clocks[ctx].at(ctx) == 0) {
+      clocks[ctx].merge(barrier_base);
+      clocks[ctx].tick(ctx);
+    }
+  }
+
+  /// `rec` happens-before the current instant of `ctx` iff ctx's clock
+  /// has absorbed rec's component (via sync edges or a barrier).
+  [[nodiscard]] bool ordered_before(const AccessRecord& rec,
+                                    ContextId ctx) const noexcept {
+    return rec.clock <= clocks[ctx].at(rec.ctx);
+  }
+
+  void report(const AccessRecord& first, const AccessRecord& second,
+              const void* addr) {
+    const std::less<const char*> before;  // total order even for pointers
+    auto key = std::make_pair(first.site, second.site);
+    if (before(key.second, key.first)) std::swap(key.first, key.second);
+    if (!reported_pairs.insert(key).second) return;
+    RaceReport race;
+    race.addr = addr;
+    race.first_ctx = first.ctx;
+    race.second_ctx = second.ctx;
+    race.first_site = first.site;
+    race.first_kind = first.kind;
+    race.second_site = second.site;
+    race.second_kind = second.kind;
+    const auto name = [this](ContextId ctx) -> const char* {
+      return ctx < names.size() && !names[ctx].empty() ? names[ctx].c_str()
+                                                       : "?";
+    };
+    std::fprintf(stderr,
+                 "[ANALYSIS] %s  (ctx%u=%s, ctx%u=%s)\n",
+                 race.to_string().c_str(), race.first_ctx,
+                 name(race.first_ctx), race.second_ctx,
+                 name(race.second_ctx));
+    reports.push_back(std::move(race));
+  }
+};
+
+RaceDetector& RaceDetector::instance() {
+  static RaceDetector detector;
+  return detector;
+}
+
+RaceDetector::Impl& RaceDetector::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void RaceDetector::reset() {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  state.clocks.clear();
+  state.sync_clocks.clear();
+  state.locations.clear();
+  state.names.clear();
+  state.reports.clear();
+  state.reported_pairs.clear();
+  state.barrier_base.clear();
+  tls_context = 0;
+}
+
+void RaceDetector::set_context(ContextId ctx) { tls_context = ctx; }
+
+ContextId RaceDetector::current_context() const noexcept {
+  return tls_context;
+}
+
+void RaceDetector::set_context_name(ContextId ctx, std::string name) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  if (ctx >= state.names.size()) state.names.resize(ctx + 1);
+  state.names[ctx] = std::move(name);
+}
+
+void RaceDetector::acquire(const void* obj) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  const ContextId ctx = tls_context;
+  state.ensure_context(ctx);
+  auto it = state.sync_clocks.find(obj);
+  if (it != state.sync_clocks.end()) state.clocks[ctx].merge(it->second);
+}
+
+void RaceDetector::release(const void* obj) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  const ContextId ctx = tls_context;
+  state.ensure_context(ctx);
+  state.sync_clocks[obj].merge(state.clocks[ctx]);
+  state.clocks[ctx].tick(ctx);
+}
+
+void RaceDetector::barrier() {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  VectorClock joined;
+  for (const VectorClock& clock : state.clocks) joined.merge(clock);
+  for (ContextId ctx = 0; ctx < state.clocks.size(); ++ctx) {
+    state.clocks[ctx].merge(joined);
+    state.clocks[ctx].tick(ctx);
+  }
+  // Contexts first touched after this point inherit the barrier too.
+  state.barrier_base = joined;
+}
+
+void RaceDetector::on_access(const void* addr, AccessKind kind,
+                             const char* site) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  const ContextId ctx = tls_context;
+  state.ensure_context(ctx);
+
+  Impl::AccessRecord current;
+  current.ctx = ctx;
+  current.clock = state.clocks[ctx].at(ctx);
+  current.site = site;
+  current.kind = kind;
+
+  Impl::Location& loc = state.locations[addr];
+  // Two atomics never race; everything else requires a happens-before
+  // edge when at least one side writes.
+  const auto races_with = [&](const Impl::AccessRecord& prior) {
+    if (prior.ctx == ctx) return false;  // program order
+    if (is_atomic(prior.kind) && is_atomic(kind)) return false;
+    if (!is_write(prior.kind) && !is_write(kind)) return false;
+    return !state.ordered_before(prior, ctx);
+  };
+
+  if (loc.has_write && races_with(loc.write)) {
+    state.report(loc.write, current, addr);
+  }
+  if (is_write(kind)) {
+    for (const Impl::AccessRecord& read : loc.reads) {
+      if (races_with(read)) state.report(read, current, addr);
+    }
+    loc.write = current;
+    loc.has_write = true;
+    loc.reads.clear();
+  } else {
+    for (Impl::AccessRecord& read : loc.reads) {
+      if (read.ctx == ctx) {
+        read = current;
+        return;
+      }
+    }
+    loc.reads.push_back(current);
+  }
+}
+
+std::size_t RaceDetector::race_count() const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  return state.reports.size();
+}
+
+std::vector<RaceReport> RaceDetector::reports() const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  return state.reports;
+}
+
+std::vector<RaceReport> RaceDetector::take_reports() {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<RaceReport> out = std::move(state.reports);
+  state.reports.clear();
+  state.reported_pairs.clear();
+  return out;
+}
+
+}  // namespace hw::analysis

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/vector_clock.h"
+
+/// \file race_detector.h
+/// Virtual-time happens-before race detector.
+///
+/// ThreadSanitizer finds races between *real* threads — but most of this
+/// repo's concurrency runs under exec::SimRuntime, which multiplexes many
+/// virtual cores onto one host thread, so TSan sees a single-threaded
+/// program and stays silent. This detector closes that gap: SimRuntime
+/// reports context switches, components annotate their cross-context
+/// shared accesses (HW_SHARED_READ/WRITE, see analysis/annotate.h) and
+/// their synchronization edges (HW_SYNC_ACQUIRE/RELEASE — mutexes, ring
+/// publish/consume), and the detector keeps one vector clock per virtual
+/// context. Two accesses to the same address race when neither
+/// happens-before the other via an annotated sync edge and at least one
+/// of them is a plain (non-atomic) write — exactly the TSan rule, applied
+/// to the virtual schedule. A race reported here is a bug a multi-PMD
+/// deployment would hit even though every SimRuntime test passes.
+///
+/// Scope and defaults:
+///   * Only *annotated* accesses are checked. Unannotated state is
+///     invisible — the tool proves the annotated protocol sound, it does
+///     not discover unknown shared state (that is TSan's job, on the
+///     real-thread litmus suite).
+///   * run_for()/run_until() boundaries are global barriers: everything
+///     before the run happens-before every context in it, and the whole
+///     run happens-before the caller afterwards. This mirrors how tests
+///     use the runtime (configure → run → assert) and suppresses setup /
+///     teardown false positives without hiding intra-run races.
+///   * The current context is thread-local. Real std::threads that never
+///     call set_context() all map to context 0 and are therefore never
+///     reported against each other — real-thread coverage belongs to
+///     TSan, virtual-core coverage to this detector.
+///
+/// The detector is compiled into the hw_analysis library unconditionally;
+/// what HW_ANALYSIS gates is whether hw_core's annotation macros expand
+/// to calls into it (ON) or to nothing at all (OFF, the default — see
+/// tools' zero-overhead CI check).
+
+namespace hw::analysis {
+
+enum class AccessKind : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kAtomicRead = 2,
+  kAtomicWrite = 3,
+};
+
+[[nodiscard]] constexpr bool is_write(AccessKind kind) noexcept {
+  return kind == AccessKind::kWrite || kind == AccessKind::kAtomicWrite;
+}
+[[nodiscard]] constexpr bool is_atomic(AccessKind kind) noexcept {
+  return kind == AccessKind::kAtomicRead || kind == AccessKind::kAtomicWrite;
+}
+
+/// One detected race: a pair of annotated accesses to `addr` that no
+/// annotated sync edge orders. `first` is the access recorded earlier in
+/// execution order.
+struct RaceReport {
+  const void* addr = nullptr;
+  ContextId first_ctx = 0;
+  ContextId second_ctx = 0;
+  const char* first_site = "";   ///< "file:line" of the earlier access
+  const char* second_site = "";  ///< "file:line" of the later access
+  AccessKind first_kind = AccessKind::kRead;
+  AccessKind second_kind = AccessKind::kRead;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Process-wide detector instance. All methods are thread-safe (one
+/// internal mutex); per-thread state is limited to the current context
+/// id. Not a hot-path object: it exists for HW_ANALYSIS builds of the
+/// test suite, where clarity beats nanoseconds.
+class RaceDetector {
+ public:
+  [[nodiscard]] static RaceDetector& instance();
+
+  RaceDetector(const RaceDetector&) = delete;
+  RaceDetector& operator=(const RaceDetector&) = delete;
+
+  /// Forgets all clocks, locations, sync objects, names, and reports.
+  /// Tests call this in SetUp so suites stay independent.
+  void reset();
+
+  // -------------------------------------------------- context tracking
+  /// Makes `ctx` the current context on the calling thread. SimRuntime
+  /// calls this around every poll() (and uses 0 for event callbacks and
+  /// everything outside a poll).
+  void set_context(ContextId ctx);
+  [[nodiscard]] ContextId current_context() const noexcept;
+  /// Attaches a display name used in race reports.
+  void set_context_name(ContextId ctx, std::string name);
+
+  // ----------------------------------------------------------- sync edges
+  /// Acquire edge on `obj`: the current context learns everything every
+  /// prior release of `obj` knew (mutex lock, ring consume).
+  void acquire(const void* obj);
+  /// Release edge on `obj`: publishes the current context's history to
+  /// future acquirers (mutex unlock, ring publish).
+  void release(const void* obj);
+  /// Global barrier: joins all context clocks. SimRuntime brackets
+  /// run_for()/run_until() with this.
+  void barrier();
+
+  // ------------------------------------------------------------- accesses
+  /// Records an annotated access and reports it if it races with a prior
+  /// access to the same address. `site` must be a static string
+  /// ("file:line" from the annotation macro).
+  void on_access(const void* addr, AccessKind kind, const char* site);
+
+  // -------------------------------------------------------------- reports
+  [[nodiscard]] std::size_t race_count() const;
+  [[nodiscard]] std::vector<RaceReport> reports() const;
+  /// Returns and clears the accumulated reports (the seeded-race test
+  /// consumes its planted race so later assertions see a clean slate).
+  std::vector<RaceReport> take_reports();
+
+ private:
+  RaceDetector() = default;
+
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+};
+
+}  // namespace hw::analysis

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file vector_clock.h
+/// Vector clocks for the virtual-time happens-before race detector.
+///
+/// One logical clock component per execution context (exec::SimRuntime
+/// virtual core, plus component 0 for the runtime/control context that
+/// fires scheduled events and runs test bodies). The detector compares
+/// clocks to decide whether two annotated shared-memory accesses are
+/// ordered by an annotated sync edge — if neither happens-before the
+/// other, they are concurrent in *virtual* time even though SimRuntime
+/// executed them sequentially on one host thread. That gap is exactly
+/// what makes the detector useful: it reports the races a multi-PMD
+/// deployment would hit before any real thread ever runs the code.
+
+namespace hw::analysis {
+
+/// Index of a virtual execution context. 0 is reserved for the
+/// runtime/control context (event callbacks, code outside any poll()).
+using ContextId = std::uint32_t;
+
+class VectorClock {
+ public:
+  /// Clock component for `ctx` (0 when the clock never saw it).
+  [[nodiscard]] std::uint64_t at(ContextId ctx) const noexcept {
+    return ctx < t_.size() ? t_[ctx] : 0;
+  }
+
+  /// Advances `ctx`'s own component (one release edge performed by it).
+  void tick(ContextId ctx) { ensure(ctx); ++t_[ctx]; }
+
+  /// Element-wise maximum: afterwards *this knows everything `other`
+  /// knew (the join performed by acquire edges and barriers).
+  void merge(const VectorClock& other) {
+    if (other.t_.size() > t_.size()) t_.resize(other.t_.size(), 0);
+    for (std::size_t i = 0; i < other.t_.size(); ++i) {
+      t_[i] = std::max(t_[i], other.t_[i]);
+    }
+  }
+
+  /// True iff every component of *this is <= the matching component of
+  /// `other` — i.e. everything *this has seen, `other` has also seen.
+  [[nodiscard]] bool leq(const VectorClock& other) const noexcept {
+    for (std::size_t i = 0; i < t_.size(); ++i) {
+      if (t_[i] > other.at(static_cast<ContextId>(i))) return false;
+    }
+    return true;
+  }
+
+  void clear() noexcept { t_.clear(); }
+
+  [[nodiscard]] std::size_t components() const noexcept { return t_.size(); }
+
+ private:
+  void ensure(ContextId ctx) {
+    if (ctx >= t_.size()) t_.resize(ctx + 1, 0);
+  }
+
+  std::vector<std::uint64_t> t_;
+};
+
+}  // namespace hw::analysis

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "analysis/annotate.h"
+
 namespace hw::classifier {
 
 using flowtable::TableChangeEvent;
@@ -248,6 +250,8 @@ MegaflowCache::PendingVerdict MegaflowCache::pending_verdict(
     const MaskSpec& mask, const Slot& slot, std::uint64_t table_version,
     ProbeTally& tally) {
   const std::lock_guard<std::mutex> lock(queue_mutex_);
+  HW_SYNC_SCOPE(&queue_mutex_);
+  HW_SHARED_READ(&queue_);
   // The deferral is only sound when the queue precisely explains every
   // version between the sync point and the caller's table version; an
   // overflow or an uncovered gap falls back to the stale-evict safety
@@ -274,6 +278,8 @@ MegaflowCache::PendingVerdict MegaflowCache::pending_verdict(
 bool MegaflowCache::pending_add_affects(const pkt::FlowKey& key,
                                         std::uint32_t* checks) {
   const std::lock_guard<std::mutex> lock(queue_mutex_);
+  HW_SYNC_SCOPE(&queue_mutex_);
+  HW_SHARED_READ(&queue_);
   if (queue_overflowed_) return true;
   for (const TableChangeEvent& event : queue_) {
     if (checks != nullptr) ++*checks;
@@ -420,6 +426,8 @@ void MegaflowCache::insert(const pkt::FlowKey& key, const MaskSpec& mask,
 void MegaflowCache::on_table_change(const TableChangeEvent& event) {
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
+    HW_SYNC_SCOPE(&queue_mutex_);
+    HW_SHARED_WRITE(&queue_);
     if (queue_.size() >= config_.revalidator_queue_limit) {
       // Too much churn to track precisely: drop the backlog and fall
       // back to one full flush covering everything up to this version.
@@ -430,6 +438,7 @@ void MegaflowCache::on_table_change(const TableChangeEvent& event) {
       queue_.push_back(event);
     }
   }
+  HW_ATOMIC_WRITE(&events_pending_);
   events_pending_.store(true, std::memory_order_release);
 }
 
@@ -443,10 +452,13 @@ void MegaflowCache::set_revalidation_hooks(
 }
 
 MegaflowCache::RevalidateReport MegaflowCache::maybe_revalidate() {
+  HW_ATOMIC_READ(&events_pending_);
   if (!events_pending_.load(std::memory_order_acquire)) return {};
   bool drain = config_.revalidate_budget == 0;
   if (!drain) {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
+    HW_SYNC_SCOPE(&queue_mutex_);
+    HW_SHARED_READ(&queue_);
     drain = queue_overflowed_ || queue_.size() > config_.revalidate_budget;
   }
   return drain ? revalidate() : RevalidateReport{};
@@ -454,6 +466,7 @@ MegaflowCache::RevalidateReport MegaflowCache::maybe_revalidate() {
 
 MegaflowCache::RevalidateReport MegaflowCache::revalidate() {
   RevalidateReport report;
+  HW_ATOMIC_READ(&events_pending_);
   if (!events_pending_.load(std::memory_order_acquire)) return report;
 
   std::vector<TableChangeEvent> events;
@@ -461,11 +474,14 @@ MegaflowCache::RevalidateReport MegaflowCache::revalidate() {
   std::uint64_t overflow_version = 0;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
+    HW_SYNC_SCOPE(&queue_mutex_);
+    HW_SHARED_WRITE(&queue_);
     events.swap(queue_);
     overflowed = queue_overflowed_;
     overflow_version = overflow_version_;
     queue_overflowed_ = false;
     overflow_version_ = 0;
+    HW_ATOMIC_WRITE(&events_pending_);
     events_pending_.store(false, std::memory_order_relaxed);
   }
 

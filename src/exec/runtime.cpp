@@ -5,7 +5,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "analysis/annotate.h"
 
 namespace hw::exec {
 
@@ -24,6 +27,10 @@ void SimRuntime::add_context(Context* ctx) {
   auto slot = std::make_unique<Slot>();
   slot->ctx = ctx;
   slots_.push_back(std::move(slot));
+  // Race-detector context ids: slot index + 1 (0 = the runtime/control
+  // context that fires events and runs code outside any poll()).
+  HW_ANALYSIS_NAME_CONTEXT(static_cast<std::uint32_t>(slots_.size()),
+                           std::string(ctx->name()));
 }
 
 void SimRuntime::step_epoch() {
@@ -40,36 +47,43 @@ void SimRuntime::step_epoch() {
   // more cycles than remain in the epoch (a large burst); the overshoot is
   // recorded as debt and repaid from subsequent epochs so that long-run
   // throughput is exactly budget-accurate.
-  for (auto& slot : slots_) {
-    slot->meter.begin_epoch();
-    if (slot->debt >= cycles_per_epoch_) {
-      slot->debt -= cycles_per_epoch_;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot* const raw_slot = slots_[i].get();
+    auto& slot = *raw_slot;
+    slot.meter.begin_epoch();
+    if (slot.debt >= cycles_per_epoch_) {
+      slot.debt -= cycles_per_epoch_;
       continue;
     }
-    const Cycles budget = cycles_per_epoch_ - slot->debt;
-    slot->debt = 0;
-    active_ = slot.get();
-    while (slot->meter.epoch_used() < budget) {
-      const Cycles before = slot->meter.epoch_used();
-      const std::uint32_t items = slot->ctx->poll(slot->meter);
-      ++slot->polls;
-      slot->items += items;
+    const Cycles budget = cycles_per_epoch_ - slot.debt;
+    slot.debt = 0;
+    active_ = raw_slot;
+    // Contexts in one epoch are *virtually concurrent* even though this
+    // loop runs them sequentially — the detector must see each poll()
+    // under its own context id, with 0 restored for runtime code.
+    HW_ANALYSIS_SET_CONTEXT(static_cast<std::uint32_t>(i) + 1);
+    while (slot.meter.epoch_used() < budget) {
+      const Cycles before = slot.meter.epoch_used();
+      const std::uint32_t items = slot.ctx->poll(slot.meter);
+      ++slot.polls;
+      slot.items += items;
       if (items == 0) {
-        ++slot->idle_polls;
+        ++slot.idle_polls;
         // An idle core stays idle for the rest of the epoch: nothing new
         // can arrive until a peer context runs (same granularity a real
         // polling loop observes at inter-core latency scale).
         break;
       }
-      if (slot->meter.epoch_used() == before) {
+      if (slot.meter.epoch_used() == before) {
         // Defensive: a context that reports work but charges nothing
         // would spin forever; charge the idle cost instead.
-        slot->meter.charge(config_.cost.idle_poll);
+        slot.meter.charge(config_.cost.idle_poll);
       }
     }
-    if (slot->meter.epoch_used() > budget) {
-      slot->debt = slot->meter.epoch_used() - budget;
+    if (slot.meter.epoch_used() > budget) {
+      slot.debt = slot.meter.epoch_used() - budget;
     }
+    HW_ANALYSIS_SET_CONTEXT(0);
     active_ = nullptr;
   }
 
@@ -77,17 +91,26 @@ void SimRuntime::step_epoch() {
 }
 
 void SimRuntime::run_for(TimeNs duration_ns) {
+  // Run boundaries are global happens-before barriers for the detector:
+  // setup before the run is ordered before every context, and the whole
+  // run is ordered before whatever the caller does after it returns.
+  HW_ANALYSIS_BARRIER();
   const TimeNs end = epoch_start_ + duration_ns;
   while (epoch_start_ < end) step_epoch();
+  HW_ANALYSIS_BARRIER();
 }
 
 bool SimRuntime::run_until(const std::function<bool()>& pred, TimeNs max_ns) {
+  HW_ANALYSIS_BARRIER();
   const TimeNs end = epoch_start_ + max_ns;
-  while (epoch_start_ < end) {
-    if (pred()) return true;
+  bool fired;
+  for (;;) {
+    fired = pred();
+    if (fired || epoch_start_ >= end) break;
     step_epoch();
   }
-  return pred();
+  HW_ANALYSIS_BARRIER();
+  return fired;
 }
 
 TimeNs SimRuntime::now_ns() const noexcept {

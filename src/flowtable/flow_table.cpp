@@ -151,6 +151,7 @@ void FlowTable::unsubscribe(std::uint64_t token) noexcept {
 ExactMatchCache::RevalidateCounts ExactMatchCache::revalidate(
     const TableChangeEvent& event, FlowTable& table) {
   RevalidateCounts counts;
+  HW_SHARED_WRITE(&slots_);
   for (Slot& slot : slots_) {
     if (slot.rule == kRuleNone) continue;
     ++counts.scanned;
@@ -176,6 +177,7 @@ ExactMatchCache::RevalidateCounts ExactMatchCache::revalidate_batch(
     std::span<const TableChangeEvent> events, FlowTable& table) {
   RevalidateCounts counts;
   if (events.empty()) return counts;
+  HW_SHARED_WRITE(&slots_);
   for (Slot& slot : slots_) {
     if (slot.rule == kRuleNone) continue;
     ++counts.scanned;
@@ -204,6 +206,7 @@ ExactMatchCache::RevalidateCounts ExactMatchCache::revalidate_batch(
 }
 
 void ExactMatchCache::clear() noexcept {
+  HW_SHARED_WRITE(&slots_);
   for (Slot& slot : slots_) slot.rule = kRuleNone;
 }
 

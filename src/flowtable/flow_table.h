@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/annotate.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "openflow/messages.h"
@@ -167,6 +168,12 @@ class ExactMatchCache {
   /// otherwise the slot is dropped and the lookup falls through.
   [[nodiscard]] FlowEntry* lookup(const pkt::FlowKey& key, std::uint32_t hash,
                                   FlowTable& table) noexcept {
+    // EMC slots belong to the cache owner's context only — revalidation
+    // runs via the megaflow drain hooks inside the owner's own lookups,
+    // never directly from the control side. The annotations verify that
+    // single-context discipline (a direct control-context mutation shows
+    // up as a race under HW_ANALYSIS).
+    HW_SHARED_READ(&slots_);
     Slot& slot = slots_[hash & (buckets_ - 1)];
     if (slot.rule != kRuleNone && slot.hash == hash && slot.key == key) {
       FlowEntry* entry = table.find(slot.rule);
@@ -194,6 +201,7 @@ class ExactMatchCache {
 
   void insert(const pkt::FlowKey& key, std::uint32_t hash, RuleId rule,
               std::uint64_t generation) noexcept {
+    HW_SHARED_WRITE(&slots_);
     Slot& slot = slots_[hash & (buckets_ - 1)];
     slot.key = key;
     slot.hash = hash;

@@ -28,7 +28,9 @@ TrafficSource::TrafficSource(std::string name, mbuf::Mempool& pool,
 }
 
 std::size_t TrafficSource::produce(std::span<mbuf::Mbuf*> out) noexcept {
-  const TimeNs now = runtime_->now_ns();
+  // Epoch start, not now_ns(): ts_ns is read by the sink's context, and
+  // per-context intra-epoch offsets are not mutually ordered.
+  const TimeNs now = runtime_->epoch_start_ns();
   std::size_t n = 0;
   for (; n < out.size(); ++n) {
     mbuf::Mbuf* buf = pool_->alloc();
@@ -53,7 +55,9 @@ TrafficSink::TrafficSink(std::string name, mbuf::Mempool& pool,
     : name_(std::move(name)), pool_(&pool), runtime_(&runtime) {}
 
 void TrafficSink::consume(std::span<mbuf::Mbuf* const> pkts) noexcept {
-  const TimeNs now = runtime_->now_ns();
+  // Epoch start for the same reason as the producer stamp: ts_ns crossed
+  // a context boundary (tools/check_invariants.py flagged this one).
+  const TimeNs now = runtime_->epoch_start_ns();
   for (mbuf::Mbuf* buf : pkts) {
     ++received_;
     bytes_ += buf->data_len;

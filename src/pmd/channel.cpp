@@ -1,6 +1,9 @@
 #include "pmd/channel.h"
 
+#include <atomic>
 #include <cstdio>
+
+#include "analysis/annotate.h"
 
 namespace hw::pmd {
 
@@ -26,6 +29,7 @@ Result<ChannelView> ChannelView::create_in(shm::ShmRegion& region,
   }
   std::byte* base = region.data();
   auto* header = new (base) ChannelHeader;
+  HW_SHARED_WRITE(header);
   header->ring_capacity = static_cast<std::uint32_t>(ring_capacity);
   header->epoch = epoch;
   header->port_a = port_a;
@@ -40,7 +44,14 @@ Result<ChannelView> ChannelView::create_in(shm::ShmRegion& region,
     return Status::internal("ring placement failed");
   }
   // Publish the magic last: attachers check it to know init completed.
-  header->magic = kChannelMagic;
+  // Release store via atomic_ref — a plain store raced with the
+  // attacher's spin (TSan, ConcurrencyLitmus.ChannelAttachVsTraffic), and
+  // even an atomic member's *constructor* write would, which is why the
+  // field is plain and left untouched by the ctor. For the virtual-time
+  // detector the same store is the release edge, keyed on the header.
+  HW_SYNC_RELEASE(header);
+  std::atomic_ref<std::uint32_t>(header->magic)
+      .store(kChannelMagic, std::memory_order_release);
 
   ChannelView view;
   view.header_ = header;
@@ -56,9 +67,14 @@ Result<ChannelView> ChannelView::attach(shm::ShmRegion& region,
   }
   std::byte* base = region.data();
   auto* header = reinterpret_cast<ChannelHeader*>(base);
-  if (header->magic != kChannelMagic) {
+  if (std::atomic_ref<std::uint32_t>(header->magic)
+          .load(std::memory_order_acquire) != kChannelMagic) {
     return Status::failed_precondition("channel not initialized");
   }
+  // Seeing the magic acquires the creator's release: every header field
+  // written before the publish is now safe to read.
+  HW_SYNC_ACQUIRE(header);
+  HW_SHARED_READ(header);
   if (expect_epoch != 0 && header->epoch != expect_epoch) {
     return Status::failed_precondition("stale channel epoch");
   }

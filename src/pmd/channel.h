@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -23,8 +24,16 @@ inline constexpr std::uint32_t kChannelMagic = 0x44504b52;  // "DPKR"
 
 /// Header at offset 0 of a channel region. The epoch lets an attaching PMD
 /// reject a stale mapping after teardown/re-setup races.
+///
+/// `magic` doubles as the init-publish flag: the creator stores it
+/// (release, via std::atomic_ref) after every other field and both rings
+/// are ready; an attacher spinning on it (acquire) therefore sees the
+/// channel fully constructed. It deliberately has NO initializer: the
+/// region arrives zero-filled from the shm manager, and a peer may
+/// already be spinning on this word when the creator placement-news the
+/// header — even a constructor write of 0 would race with that read.
 struct ChannelHeader {
-  std::uint32_t magic = 0;
+  std::uint32_t magic;  // NOLINT: see above — ctor must not touch it
   std::uint32_t ring_capacity = 0;
   std::uint64_t epoch = 0;
   PortId port_a = kPortNone;  ///< switch port on the "a" end

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 
@@ -85,13 +86,20 @@ class ControlChannel {
     ControlChannel channel;
     channel.cmd_ = CtrlRing::init_at(base + hdr, kCtrlRingCapacity);
     channel.ack_ = CtrlRing::init_at(base + hdr + span, kCtrlRingCapacity);
-    *reinterpret_cast<std::uint32_t*>(base) = kCtrlMagic;
+    // Init-publish: release store after both rings are constructed, so a
+    // concurrently attaching peer sees them complete (same protocol as
+    // ChannelHeader::magic). The magic word is never written non-atomically
+    // — the region arrives zero-filled and this store is its first touch.
+    std::atomic_ref<std::uint32_t>(*reinterpret_cast<std::uint32_t*>(base))
+        .store(kCtrlMagic, std::memory_order_release);
     return channel;
   }
 
   [[nodiscard]] static Result<ControlChannel> attach(shm::ShmRegion& region) {
     if (region.size() < bytes_required() ||
-        *reinterpret_cast<std::uint32_t*>(region.data()) != kCtrlMagic) {
+        std::atomic_ref<std::uint32_t>(
+            *reinterpret_cast<std::uint32_t*>(region.data()))
+                .load(std::memory_order_acquire) != kCtrlMagic) {
       return Status::failed_precondition("control channel not initialized");
     }
     std::byte* base = region.data();

@@ -158,7 +158,10 @@ void GuestPmd::handle_ctrl(const CtrlMsg& msg) {
                            : &view.value().b2a();
       BypassRx& slot = bypass_rx_[bypass_rx_count_];
       slot.ring = ring;
-      std::strncpy(slot.region.data(), msg.region, kCtrlRegionNameLen - 1);
+      // Full-width copy: msg.region is always NUL-terminated by
+      // set_region(), and copying the terminator keeps -Wstringop-
+      // truncation satisfied where strncpy could not.
+      std::memcpy(slot.region.data(), msg.region, kCtrlRegionNameLen);
       ++bypass_rx_count_;
       send_ack(msg, true);
       return;
@@ -185,8 +188,7 @@ void GuestPmd::handle_ctrl(const CtrlMsg& msg) {
                             : &view.value().b2a();
       bypass_tx_peer_ = msg.peer_port;
       bypass_tx_slot_ = msg.rule_slot;
-      std::strncpy(bypass_tx_region_.data(), msg.region,
-                   kCtrlRegionNameLen - 1);
+      std::memcpy(bypass_tx_region_.data(), msg.region, kCtrlRegionNameLen);
       send_ack(msg, true);
       return;
     }

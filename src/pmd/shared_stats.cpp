@@ -11,7 +11,8 @@ Result<SharedStats> SharedStats::create_in(shm::ShmRegion& region) {
     return Status::invalid_argument("region too small for shared stats");
   }
   auto* layout = new (region.data()) Layout;
-  layout->magic = kStatsMagic;
+  std::atomic_ref<std::uint32_t>(layout->magic)
+      .store(kStatsMagic, std::memory_order_release);
   SharedStats stats;
   stats.layout_ = layout;
   return stats;
@@ -22,7 +23,8 @@ Result<SharedStats> SharedStats::attach(shm::ShmRegion& region) {
     return Status::invalid_argument("region too small for shared stats");
   }
   auto* layout = reinterpret_cast<Layout*>(region.data());
-  if (layout->magic != kStatsMagic) {
+  if (std::atomic_ref<std::uint32_t>(layout->magic)
+          .load(std::memory_order_acquire) != kStatsMagic) {
     return Status::failed_precondition("stats region not initialized");
   }
   SharedStats stats;

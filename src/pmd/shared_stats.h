@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "analysis/annotate.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "openflow/messages.h"
@@ -34,16 +35,22 @@ struct alignas(kCacheLineSize) PktByteCounter {
   std::atomic<std::uint64_t> bytes{0};
 
   void add(std::uint64_t pkt_count, std::uint64_t byte_count) noexcept {
+    HW_ATOMIC_WRITE(&packets);
+    HW_ATOMIC_WRITE(&bytes);
     packets.fetch_add(pkt_count, std::memory_order_relaxed);
     bytes.fetch_add(byte_count, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t pkts() const noexcept {
+    HW_ATOMIC_READ(&packets);
     return packets.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t byte_total() const noexcept {
+    HW_ATOMIC_READ(&bytes);
     return bytes.load(std::memory_order_relaxed);
   }
   void clear() noexcept {
+    HW_ATOMIC_WRITE(&packets);
+    HW_ATOMIC_WRITE(&bytes);
     packets.store(0, std::memory_order_relaxed);
     bytes.store(0, std::memory_order_relaxed);
   }
@@ -108,7 +115,13 @@ class SharedStats {
 
  private:
   struct Layout {
-    std::uint32_t magic = 0;
+    /// Init-publish flag (release store after construction, acquire load
+    /// on attach, both via std::atomic_ref) — same protocol as
+    /// ChannelHeader::magic, and like there it deliberately has no
+    /// initializer: a peer may spin on this word while the creator's
+    /// placement-new runs, so the constructor must not touch it. The
+    /// region arrives zero-filled from the shm manager.
+    std::uint32_t magic;  // NOLINT: see above — ctor must not touch it
     PktByteCounter port_rx[kStatsMaxPorts];
     PktByteCounter port_tx[kStatsMaxPorts];
     PktByteCounter rules[kStatsMaxRules];

@@ -7,6 +7,7 @@
 #include <span>
 #include <type_traits>
 
+#include "analysis/annotate.h"
 #include "common/types.h"
 
 /// \file mpmc_ring.h
@@ -47,13 +48,18 @@ class MpmcRing {
     for (std::size_t i = 0; i < capacity; ++i) {
       cells[i].seq.store(i, std::memory_order_relaxed);
     }
-    std::atomic_thread_fence(std::memory_order_release);
+    // Same init-publish protocol as SpscRing: the release store of the
+    // magic (not a bare fence) is what hands the constructed ring to a
+    // concurrently spinning attach_at.
+    ring->magic_.store(kMpmcMagic, std::memory_order_release);
     return ring;
   }
 
   static MpmcRing* attach_at(void* mem) noexcept {
     auto* ring = static_cast<MpmcRing*>(mem);
-    return ring->magic_ == kMpmcMagic ? ring : nullptr;
+    return ring->magic_.load(std::memory_order_acquire) == kMpmcMagic
+               ? ring
+               : nullptr;
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
@@ -65,7 +71,8 @@ class MpmcRing {
   }
 
   /// Enqueues one item; returns false when full.
-  bool enqueue(const T& item) noexcept {
+  /// Ignoring the return silently drops `item` when the ring is full.
+  [[nodiscard]] bool enqueue(const T& item) noexcept {
     Cell* cell;
     std::uint64_t pos = tail_.value.load(std::memory_order_relaxed);
     for (;;) {
@@ -84,13 +91,18 @@ class MpmcRing {
         pos = tail_.value.load(std::memory_order_relaxed);
       }
     }
+    // Claiming the cell acquires the previous dequeuer's seq release (the
+    // cell is demonstrably free); the seq publish below releases the value
+    // write to the next dequeuer. Keyed per cell, like the seq itself.
+    HW_SYNC_ACQUIRE(cell);
     cell->value = item;
+    HW_SYNC_RELEASE(cell);
     cell->seq.store(pos + 1, std::memory_order_release);
     return true;
   }
 
   /// Dequeues one item; returns false when empty.
-  bool dequeue(T& out) noexcept {
+  [[nodiscard]] bool dequeue(T& out) noexcept {
     Cell* cell;
     std::uint64_t pos = head_.value.load(std::memory_order_relaxed);
     for (;;) {
@@ -109,13 +121,15 @@ class MpmcRing {
         pos = head_.value.load(std::memory_order_relaxed);
       }
     }
+    HW_SYNC_ACQUIRE(cell);
     out = cell->value;
+    HW_SYNC_RELEASE(cell);
     cell->seq.store(pos + mask_ + 1, std::memory_order_release);
     return true;
   }
 
   /// Burst enqueue: items are admitted individually; returns count accepted.
-  std::size_t enqueue_burst(std::span<const T> items) noexcept {
+  [[nodiscard]] std::size_t enqueue_burst(std::span<const T> items) noexcept {
     std::size_t n = 0;
     for (const T& item : items) {
       if (!enqueue(item)) break;
@@ -125,7 +139,7 @@ class MpmcRing {
   }
 
   /// Burst dequeue: returns count produced.
-  std::size_t dequeue_burst(std::span<T> out) noexcept {
+  [[nodiscard]] std::size_t dequeue_burst(std::span<T> out) noexcept {
     std::size_t n = 0;
     for (T& slot : out) {
       if (!dequeue(slot)) break;
@@ -136,14 +150,14 @@ class MpmcRing {
 
  private:
   explicit MpmcRing(std::uint32_t capacity) noexcept
-      : magic_(kMpmcMagic), mask_(capacity - 1) {}
+      : magic_(0), mask_(capacity - 1) {}
 
   [[nodiscard]] Cell* cells() noexcept {
     return reinterpret_cast<Cell*>(reinterpret_cast<std::byte*>(this) +
                                    align_up(sizeof(MpmcRing), kCacheLineSize));
   }
 
-  std::uint32_t magic_;
+  std::atomic<std::uint32_t> magic_;  ///< init-publish flag, stored last
   std::uint32_t mask_;
   CacheAligned<std::atomic<std::uint64_t>> head_;
   CacheAligned<std::atomic<std::uint64_t>> tail_;

@@ -7,6 +7,7 @@
 #include <span>
 #include <type_traits>
 
+#include "analysis/annotate.h"
 #include "common/types.h"
 
 /// \file spsc_ring.h
@@ -54,6 +55,11 @@ class SpscRing {
   static SpscRing* init_at(void* mem, std::size_t capacity) noexcept {
     if (!is_power_of_two(capacity)) return nullptr;
     auto* ring = new (mem) SpscRing(static_cast<std::uint32_t>(capacity));
+    // Publish the magic last, with release semantics: a peer that
+    // observes it (acquire, below) is guaranteed to see the fully
+    // constructed ring. A plain store here is a data race with a
+    // concurrently spinning attacher — TSan caught exactly that.
+    ring->magic_.store(kSpscMagic, std::memory_order_release);
     return ring;
   }
 
@@ -61,7 +67,9 @@ class SpscRing {
   /// address (peer side of the shared region). Validates the magic.
   static SpscRing* attach_at(void* mem) noexcept {
     auto* ring = static_cast<SpscRing*>(mem);
-    return ring->magic_ == kSpscMagic ? ring : nullptr;
+    return ring->magic_.load(std::memory_order_acquire) == kSpscMagic
+               ? ring
+               : nullptr;
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
@@ -77,11 +85,15 @@ class SpscRing {
 
   /// Enqueues up to items.size() entries; returns how many were accepted
   /// (0 when full). Burst semantics match rte_ring_enqueue_burst.
-  std::size_t enqueue_burst(std::span<const T> items) noexcept {
+  /// Ignoring the return silently drops the unaccepted tail of the burst.
+  [[nodiscard]] std::size_t enqueue_burst(std::span<const T> items) noexcept {
     const std::uint64_t tail = tail_.value.load(std::memory_order_relaxed);
     std::uint64_t head = head_cache_.value;
     std::size_t free_slots = capacity() - static_cast<std::size_t>(tail - head);
     if (free_slots < items.size()) {
+      // Cached-index refresh is the producer's acquire of the consumer's
+      // head release: slots below `head` are ours to overwrite.
+      HW_SYNC_ACQUIRE(&head_);
       head = head_.value.load(std::memory_order_acquire);
       head_cache_.value = head;
       free_slots = capacity() - static_cast<std::size_t>(tail - head);
@@ -91,21 +103,25 @@ class SpscRing {
     for (std::size_t i = 0; i < n; ++i) {
       slot_array[(tail + i) & mask_] = items[i];
     }
+    // The tail publish is the producer->consumer happens-before edge: the
+    // consumer's matching acquire (below) sees every slot written above.
+    if (n > 0) HW_SYNC_RELEASE(&tail_);
     tail_.value.store(tail + n, std::memory_order_release);
     return n;
   }
 
   /// Convenience single-item enqueue; returns false when full.
-  bool enqueue(const T& item) noexcept {
+  [[nodiscard]] bool enqueue(const T& item) noexcept {
     return enqueue_burst(std::span<const T>{&item, 1}) == 1;
   }
 
   /// Dequeues up to out.size() entries; returns how many were produced.
-  std::size_t dequeue_burst(std::span<T> out) noexcept {
+  [[nodiscard]] std::size_t dequeue_burst(std::span<T> out) noexcept {
     const std::uint64_t head = head_.value.load(std::memory_order_relaxed);
     std::uint64_t tail = tail_cache_.value;
     std::size_t avail = static_cast<std::size_t>(tail - head);
     if (avail < out.size()) {
+      HW_SYNC_ACQUIRE(&tail_);
       tail = tail_.value.load(std::memory_order_acquire);
       tail_cache_.value = tail;
       avail = static_cast<std::size_t>(tail - head);
@@ -115,18 +131,20 @@ class SpscRing {
     for (std::size_t i = 0; i < n; ++i) {
       out[i] = slot_array[(head + i) & mask_];
     }
+    // Head publish releases the consumed slots back to the producer.
+    if (n > 0) HW_SYNC_RELEASE(&head_);
     head_.value.store(head + n, std::memory_order_release);
     return n;
   }
 
   /// Convenience single-item dequeue; returns false when empty.
-  bool dequeue(T& out) noexcept {
+  [[nodiscard]] bool dequeue(T& out) noexcept {
     return dequeue_burst(std::span<T>{&out, 1}) == 1;
   }
 
  private:
   explicit SpscRing(std::uint32_t capacity) noexcept
-      : magic_(kSpscMagic), mask_(capacity - 1) {}
+      : magic_(0), mask_(capacity - 1) {}
 
   [[nodiscard]] T* slots() noexcept {
     return reinterpret_cast<T*>(reinterpret_cast<std::byte*>(this) +
@@ -138,7 +156,7 @@ class SpscRing {
         align_up(sizeof(SpscRing), kCacheLineSize));
   }
 
-  std::uint32_t magic_;
+  std::atomic<std::uint32_t> magic_;  ///< init-publish flag, stored last
   std::uint32_t mask_;
   CacheAligned<std::atomic<std::uint64_t>> head_;  ///< consumer index
   CacheAligned<std::atomic<std::uint64_t>> tail_;  ///< producer index

@@ -113,7 +113,9 @@ void MetricsSampler::arm(exec::Runtime& runtime, TimeNs interval_ns) {
   // before — ChainScenario orders its members accordingly).
   runtime.schedule(interval_ns, [this, &runtime, interval_ns] {
     if (!running_) return;
-    sample_now(runtime.now_ns());
+    // Sample rows are correlated with trace spans, whose timestamps are
+    // epoch_start-based; keep both on the cross-context clock.
+    sample_now(runtime.epoch_start_ns());
     arm(runtime, interval_ns);
   });
 }

@@ -85,7 +85,11 @@ std::uint32_t GenSinkApp::poll(exec::CycleMeter& meter) {
   const std::uint16_t n =
       port_->rx_burst(std::span(buf_.data(), burst_), meter);
   if (n > 0) {
-    const TimeNs now = runtime_->now_ns();
+    // ts_ns is stamped by the *generator's* context; now_ns() here would
+    // add the sink's own intra-epoch offset, and the two offsets are not
+    // mutually ordered. epoch_start_ns() is the cross-context-comparable
+    // clock (tools/check_invariants.py enforces this pattern repo-wide).
+    const TimeNs now = runtime_->epoch_start_ns();
     for (std::uint16_t i = 0; i < n; ++i) {
       mbuf::Mbuf* pkt = buf_[i];
       if (pkt->ts_ns != 0 && pkt->ts_ns <= now) {
@@ -133,7 +137,9 @@ std::uint32_t GenSinkApp::poll(exec::CycleMeter& meter) {
     const std::size_t got =
         pool_->alloc_bulk(std::span(buf_.data(), want));
     if (got > 0) {
-      const TimeNs now = runtime_->now_ns();
+      // Cross-context stamp: the sink compares this against its own
+      // epoch_start_ns(), so it must come from the same shared clock.
+      const TimeNs now = runtime_->epoch_start_ns();
       for (std::size_t i = 0; i < got; ++i) {
         const auto& image = templates_[next_flow_];
         next_flow_ = (next_flow_ + 1) % templates_.size();

@@ -17,7 +17,7 @@ OfSwitch::OfSwitch(shm::ShmManager& shm, mbuf::Mempool& pool,
     : shm_(&shm),
       pool_(&pool),
       runtime_(&runtime),
-      cost_(&cost),
+      cost_(cost),
       config_(config) {
   // Host-wide shared statistics region (plugged into VMs at boot).
   auto stats_region = shm_->create(pmd::SharedStats::region_name(),
@@ -46,7 +46,7 @@ OfSwitch::OfSwitch(shm::ShmManager& shm, mbuf::Mempool& pool,
   classifier_config.megaflow.subtable_prefilter = config_.subtable_prefilter;
   for (std::uint32_t i = 0; i < engine_count; ++i) {
     engines_.push_back(std::make_unique<ForwardingEngine>(
-        "pmd" + std::to_string(i), table_, *pool_, *cost_, classifier_config,
+        "pmd" + std::to_string(i), table_, *pool_, cost_, classifier_config,
         config_.burst));
   }
 
@@ -147,7 +147,9 @@ Status OfSwitch::handle_flow_mod(const FlowMod& mod) {
   telemetry::ScopedSpan span(config_.tracer, "flowmod", "flowmod",
                              ctrl_track_, runtime_->epoch_start_ns());
   span.set_args(static_cast<std::uint64_t>(mod.command), mod.cookie);
-  auto result = table_.apply(mod, runtime_->now_ns());
+  // install_time_ns is compared against flow_stats()'s clock read, which
+  // may run in a different context: stamp with the cross-context clock.
+  auto result = table_.apply(mod, runtime_->epoch_start_ns());
   if (!result.is_ok()) return result.status();
   ++counters_.flow_mods;
   const auto& r = result.value();
@@ -183,7 +185,7 @@ Status OfSwitch::handle_packet_out(const PacketOut& po) {
 
 std::vector<openflow::FlowStatsEntry> OfSwitch::flow_stats() const {
   std::vector<openflow::FlowStatsEntry> out;
-  const TimeNs now = runtime_->now_ns();
+  const TimeNs now = runtime_->epoch_start_ns();
   for (const flowtable::FlowEntry& entry : table_.entries()) {
     openflow::FlowStatsEntry stats;
     stats.match = entry.match;

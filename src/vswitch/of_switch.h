@@ -127,7 +127,12 @@ class OfSwitch {
   shm::ShmManager* shm_;
   mbuf::Mempool* pool_;
   exec::Runtime* runtime_;
-  const exec::CostModel* cost_;
+  /// Owned copy, not a pointer: callers routinely pass a temporary
+  /// `CostModel{}`, and the engines (running on other threads under
+  /// ThreadedRuntime) keep pointers into this for the switch's lifetime —
+  /// a stored reference would dangle the moment the ctor returns (found
+  /// by TSan as a cross-thread read of dead stack memory).
+  exec::CostModel cost_;
   SwitchConfig config_;
 
   flowtable::FlowTable table_;

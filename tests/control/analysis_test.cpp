@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+
+#include "analysis/annotate.h"
+#include "analysis/race_detector.h"
+#include "analysis/vector_clock.h"
+#include "exec/runtime.h"
+
+namespace hw::analysis {
+namespace {
+
+// ===================================================== VectorClock
+
+TEST(VectorClock, StartsEmpty) {
+  VectorClock clock;
+  EXPECT_EQ(clock.components(), 0u);
+  EXPECT_EQ(clock.at(0), 0u);
+  EXPECT_EQ(clock.at(17), 0u);
+}
+
+TEST(VectorClock, TickAdvancesOwnComponentOnly) {
+  VectorClock clock;
+  clock.tick(2);
+  clock.tick(2);
+  EXPECT_EQ(clock.at(2), 2u);
+  EXPECT_EQ(clock.at(0), 0u);
+  EXPECT_EQ(clock.at(1), 0u);
+  EXPECT_EQ(clock.components(), 3u);
+}
+
+TEST(VectorClock, MergeTakesElementwiseMax) {
+  VectorClock a;
+  VectorClock b;
+  a.tick(0);
+  a.tick(0);  // a = [2]
+  b.tick(1);  // b = [0, 1]
+  a.merge(b);
+  EXPECT_EQ(a.at(0), 2u);
+  EXPECT_EQ(a.at(1), 1u);
+  // Merge is idempotent and never lowers a component.
+  a.merge(b);
+  EXPECT_EQ(a.at(0), 2u);
+  EXPECT_EQ(a.at(1), 1u);
+}
+
+TEST(VectorClock, LeqIsTheHappensBeforeOrder) {
+  VectorClock a;
+  VectorClock b;
+  a.tick(0);                 // a = [1]
+  b.tick(0);
+  b.tick(1);                 // b = [1, 1]
+  EXPECT_TRUE(a.leq(b));     // a's history is contained in b's
+  EXPECT_FALSE(b.leq(a));
+  // Concurrent clocks: neither leq the other.
+  VectorClock c;
+  c.tick(2);                 // c = [0, 0, 1]
+  EXPECT_FALSE(b.leq(c));
+  EXPECT_FALSE(c.leq(b));
+  // Empty clock is leq everything.
+  VectorClock empty;
+  EXPECT_TRUE(empty.leq(a));
+  EXPECT_TRUE(empty.leq(empty));
+}
+
+TEST(VectorClock, ClearForgetsEverything) {
+  VectorClock clock;
+  clock.tick(3);
+  clock.clear();
+  EXPECT_EQ(clock.components(), 0u);
+  EXPECT_EQ(clock.at(3), 0u);
+}
+
+// ===================================================== RaceDetector
+//
+// These drive the detector through its public API directly (hw_analysis
+// is linked into every test binary regardless of HW_ANALYSIS), so the
+// happens-before core is covered even in the default build where the
+// annotation macros compile to nothing.
+
+class RaceDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RaceDetector::instance().reset(); }
+  void TearDown() override { RaceDetector::instance().reset(); }
+
+  RaceDetector& det() { return RaceDetector::instance(); }
+  int shared_ = 0;
+};
+
+TEST_F(RaceDetectorTest, UnorderedCrossContextAccessesAreReported) {
+  det().set_context(1);
+  det().on_access(&shared_, AccessKind::kWrite, "seed:w1");
+  det().set_context(2);
+  det().on_access(&shared_, AccessKind::kRead, "seed:r2");
+  ASSERT_EQ(det().race_count(), 1u);
+  const RaceReport report = det().reports()[0];
+  EXPECT_EQ(report.addr, &shared_);
+  EXPECT_EQ(report.first_ctx, 1u);
+  EXPECT_EQ(report.second_ctx, 2u);
+  EXPECT_EQ(report.first_kind, AccessKind::kWrite);
+  EXPECT_EQ(report.second_kind, AccessKind::kRead);
+  EXPECT_EQ(std::string_view(report.first_site), "seed:w1");
+  EXPECT_EQ(std::string_view(report.second_site), "seed:r2");
+}
+
+TEST_F(RaceDetectorTest, SyncEdgeOrdersTheSamePair) {
+  int sync = 0;
+  det().set_context(1);
+  det().on_access(&shared_, AccessKind::kWrite, "sync:w1");
+  det().release(&sync);
+  det().set_context(2);
+  det().acquire(&sync);
+  det().on_access(&shared_, AccessKind::kRead, "sync:r2");
+  EXPECT_EQ(det().race_count(), 0u);
+}
+
+TEST_F(RaceDetectorTest, AcquireWithoutMatchingReleaseDoesNotOrder) {
+  int sync = 0;
+  det().set_context(1);
+  det().on_access(&shared_, AccessKind::kWrite, "noedge:w1");
+  // ctx2 acquires an object ctx1 never released through: no edge.
+  det().set_context(2);
+  det().acquire(&sync);
+  det().on_access(&shared_, AccessKind::kRead, "noedge:r2");
+  EXPECT_EQ(det().race_count(), 1u);
+}
+
+TEST_F(RaceDetectorTest, TwoAtomicsNeverRace) {
+  det().set_context(1);
+  det().on_access(&shared_, AccessKind::kAtomicWrite, "atomic:w1");
+  det().set_context(2);
+  det().on_access(&shared_, AccessKind::kAtomicRead, "atomic:r2");
+  det().on_access(&shared_, AccessKind::kAtomicWrite, "atomic:w2");
+  EXPECT_EQ(det().race_count(), 0u);
+}
+
+TEST_F(RaceDetectorTest, AtomicVersusPlainStillRaces) {
+  det().set_context(1);
+  det().on_access(&shared_, AccessKind::kWrite, "mixed:w1");
+  det().set_context(2);
+  det().on_access(&shared_, AccessKind::kAtomicRead, "mixed:ar2");
+  EXPECT_EQ(det().race_count(), 1u);
+}
+
+TEST_F(RaceDetectorTest, ConcurrentReadsNeverRace) {
+  det().set_context(1);
+  det().on_access(&shared_, AccessKind::kRead, "rr:r1");
+  det().set_context(2);
+  det().on_access(&shared_, AccessKind::kRead, "rr:r2");
+  EXPECT_EQ(det().race_count(), 0u);
+}
+
+TEST_F(RaceDetectorTest, SameContextAccessesAreProgramOrdered) {
+  det().set_context(1);
+  det().on_access(&shared_, AccessKind::kWrite, "po:w1");
+  det().on_access(&shared_, AccessKind::kWrite, "po:w2");
+  det().on_access(&shared_, AccessKind::kRead, "po:r1");
+  EXPECT_EQ(det().race_count(), 0u);
+}
+
+TEST_F(RaceDetectorTest, BarrierOrdersAllContexts) {
+  det().set_context(1);
+  det().on_access(&shared_, AccessKind::kWrite, "barrier:w1");
+  det().barrier();
+  det().set_context(2);
+  det().on_access(&shared_, AccessKind::kWrite, "barrier:w2");
+  EXPECT_EQ(det().race_count(), 0u);
+}
+
+TEST_F(RaceDetectorTest, DistinctAddressesDoNotInteract) {
+  int other = 0;
+  det().set_context(1);
+  det().on_access(&shared_, AccessKind::kWrite, "addr:w1");
+  det().set_context(2);
+  det().on_access(&other, AccessKind::kWrite, "addr:w2");
+  EXPECT_EQ(det().race_count(), 0u);
+}
+
+TEST_F(RaceDetectorTest, RacingSitePairIsReportedOnce) {
+  // The same unordered pair hit on every epoch must not flood the log.
+  for (int i = 0; i < 5; ++i) {
+    det().set_context(1);
+    det().on_access(&shared_, AccessKind::kWrite, "dedup:w");
+    det().set_context(2);
+    det().on_access(&shared_, AccessKind::kWrite, "dedup:w2");
+  }
+  EXPECT_EQ(det().race_count(), 1u);
+}
+
+TEST_F(RaceDetectorTest, TakeReportsConsumesAndRearms) {
+  det().set_context(1);
+  det().on_access(&shared_, AccessKind::kWrite, "take:w1");
+  det().set_context(2);
+  det().on_access(&shared_, AccessKind::kWrite, "take:w2");
+  EXPECT_EQ(det().take_reports().size(), 1u);
+  EXPECT_EQ(det().race_count(), 0u);
+  // After take_reports the dedup set is clear too: the same pair can be
+  // reported again (a later run of the same test plants it afresh).
+  det().set_context(1);
+  det().on_access(&shared_, AccessKind::kWrite, "take:w1");
+  det().set_context(2);
+  det().on_access(&shared_, AccessKind::kWrite, "take:w2");
+  EXPECT_EQ(det().race_count(), 1u);
+}
+
+TEST_F(RaceDetectorTest, ResetClearsCurrentContext) {
+  det().set_context(7);
+  EXPECT_EQ(det().current_context(), 7u);
+  det().reset();
+  EXPECT_EQ(det().current_context(), 0u);
+}
+
+// ============================================ SimRuntime integration
+//
+// The runtime hooks (context switching around poll(), barriers around
+// run_for) only exist in HW_ANALYSIS builds; without them every access
+// lands in context 0 and nothing can race.
+
+#if HW_ANALYSIS
+
+/// Touches `*target` from its own virtual context each poll, optionally
+/// bracketed by a release/acquire protocol on `sync`.
+class TouchContext final : public exec::Context {
+ public:
+  TouchContext(std::string name, int* target, AccessKind kind,
+               const char* site, int* sync = nullptr)
+      : name_(std::move(name)), target_(target), kind_(kind), site_(site),
+        sync_(sync) {}
+
+  std::string_view name() const noexcept override { return name_; }
+
+  std::uint32_t poll(exec::CycleMeter& meter) override {
+    meter.charge(100);
+    if (sync_ != nullptr) RaceDetector::instance().acquire(sync_);
+    RaceDetector::instance().on_access(target_, kind_, site_);
+    if (sync_ != nullptr) RaceDetector::instance().release(sync_);
+    return 1;
+  }
+
+ private:
+  std::string name_;
+  int* target_;
+  AccessKind kind_;
+  const char* site_;
+  int* sync_;
+};
+
+TEST(AnalysisRuntime, SeededRaceIsDetected) {
+  RaceDetector::instance().reset();
+  int target = 0;
+  // Two virtual cores write the same address with no sync edge between
+  // them — virtually concurrent even though SimRuntime interleaves them
+  // on one host thread.
+  TouchContext writer_a("writer-a", &target, AccessKind::kWrite, "vt:seed-a");
+  TouchContext writer_b("writer-b", &target, AccessKind::kWrite, "vt:seed-b");
+  exec::SimRuntime runtime({.epoch_ns = 1000, .cost = {}});
+  runtime.add_context(&writer_a);
+  runtime.add_context(&writer_b);
+  runtime.run_for(10'000);
+
+  const auto reports = RaceDetector::instance().take_reports();
+  ASSERT_EQ(reports.size(), 1u);  // dedup: one pair, many epochs
+  EXPECT_EQ(reports[0].addr, &target);
+  // Contexts 1 and 2 are the two virtual cores (0 is the runtime).
+  EXPECT_EQ(reports[0].first_ctx, 1u);
+  EXPECT_EQ(reports[0].second_ctx, 2u);
+  EXPECT_EQ(std::string_view(reports[0].first_site), "vt:seed-a");
+  EXPECT_EQ(std::string_view(reports[0].second_site), "vt:seed-b");
+  RaceDetector::instance().reset();
+}
+
+TEST(AnalysisRuntime, SyncProtocolSilencesTheSamePair) {
+  RaceDetector::instance().reset();
+  int target = 0;
+  int sync = 0;
+  TouchContext writer_a("writer-a", &target, AccessKind::kWrite,
+                        "vt:sync-a", &sync);
+  TouchContext writer_b("writer-b", &target, AccessKind::kWrite,
+                        "vt:sync-b", &sync);
+  exec::SimRuntime runtime({.epoch_ns = 1000, .cost = {}});
+  runtime.add_context(&writer_a);
+  runtime.add_context(&writer_b);
+  runtime.run_for(10'000);
+  EXPECT_EQ(RaceDetector::instance().race_count(), 0u);
+  RaceDetector::instance().reset();
+}
+
+TEST(AnalysisRuntime, RunBoundaryOrdersSetupRunAndAssertions) {
+  RaceDetector::instance().reset();
+  int target = 0;
+  // Setup write from the test body (context 0)...
+  RaceDetector::instance().on_access(&target, AccessKind::kWrite,
+                                     "vt:setup");
+  TouchContext writer("writer", &target, AccessKind::kWrite, "vt:run");
+  exec::SimRuntime runtime({.epoch_ns = 1000, .cost = {}});
+  runtime.add_context(&writer);
+  runtime.run_for(5'000);
+  // ...and a teardown read afterwards: both ordered by the run barriers.
+  RaceDetector::instance().on_access(&target, AccessKind::kRead,
+                                     "vt:teardown");
+  EXPECT_EQ(RaceDetector::instance().race_count(), 0u);
+  RaceDetector::instance().reset();
+}
+
+#else  // !HW_ANALYSIS
+
+TEST(AnalysisRuntime, SeededRaceIsDetected) {
+  GTEST_SKIP() << "requires -DHW_ANALYSIS=ON (runtime hooks compiled out)";
+}
+
+#endif  // HW_ANALYSIS
+
+}  // namespace
+}  // namespace hw::analysis

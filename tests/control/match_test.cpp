@@ -236,7 +236,9 @@ TEST_P(MatchPropertyTest, ContainsImpliesOverlaps) {
   for (int i = 0; i < 5000; ++i) {
     const Match a = random_match(rng);
     const Match b = random_match(rng);
-    if (a.contains(b)) ASSERT_TRUE(a.overlaps(b));
+    if (a.contains(b)) {
+      ASSERT_TRUE(a.overlaps(b));
+    }
   }
 }
 

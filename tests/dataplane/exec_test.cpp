@@ -26,7 +26,9 @@ class FixedCostContext final : public Context {
     return per_poll_;
   }
 
-  std::uint64_t done_ = 0;
+  /// Atomic because the ThreadedRuntime tests spin-read it from the main
+  /// thread while the worker thread increments it in poll().
+  std::atomic<std::uint64_t> done_{0};
 
  private:
   std::string name_;
