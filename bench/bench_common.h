@@ -192,6 +192,24 @@ inline void export_counters(benchmark::State& state,
       static_cast<double>(metrics.subtables_skipped);
   state.counters["prefilter_fp"] =
       static_cast<double>(metrics.prefilter_false_positives);
+  // RSS scale-out telemetry (see docs/SCALEOUT.md): zeros unless an
+  // RSS-sharded multi-engine pool is configured.
+  state.counters["rss_distributed"] =
+      static_cast<double>(metrics.rss_distributed);
+  state.counters["rss_queue_drops"] =
+      static_cast<double>(metrics.rss_queue_drops);
+  state.counters["rebalance_checks"] =
+      static_cast<double>(metrics.rebalance_checks);
+  state.counters["bucket_migrations"] =
+      static_cast<double>(metrics.bucket_migrations);
+}
+
+/// Publishes one engine-tagged counter column as `e<i>_<name>` — the
+/// per-engine telemetry convention of the scale-out harness (see
+/// docs/SCALEOUT.md and docs/COUNTERS.md).
+inline void export_engine_counter(benchmark::State& state, std::size_t engine,
+                                  const char* name, double value) {
+  state.counters["e" + std::to_string(engine) + "_" + name] = value;
 }
 
 }  // namespace hw::bench

@@ -66,6 +66,7 @@ Status ChainScenario::build() {
                             .sig_scan_mode = config_.sig_scan_mode,
                             .subtable_prefilter = config_.subtable_prefilter,
                             .engine_count = config_.engine_count,
+                            .rss = config_.rss,
                             .bypass_enabled = config_.enable_bypass,
                             .tracer = tracer_.get()});
   agent_ = std::make_unique<agent::ComputeAgent>(shm_, *runtime_,
@@ -318,11 +319,19 @@ void ChainScenario::snapshot() {
   for (const auto& engine : of_->engines()) {
     snap_drops_ += engine->counters().tx_ring_full +
                    engine->counters().misses +
-                   engine->counters().action_drops;
+                   engine->counters().action_drops +
+                   engine->counters().rss_queue_drops;
   }
   if (nic1_) snap_drops_ += nic1_->counters().rx_missed;
   if (nic2_) snap_drops_ += nic2_->counters().rx_missed;
   snap_tiers_ = of_->datapath_stats();
+  snap_rss_distributed_ = 0;
+  snap_rss_queue_drops_ = 0;
+  for (const auto& engine : of_->engines()) {
+    snap_rss_distributed_ += engine->counters().rss_distributed;
+    snap_rss_queue_drops_ += engine->counters().rss_queue_drops;
+  }
+  snap_rss_ = of_->rss_stats();
 
   if (sink_fwd_) sink_fwd_->reset_latency();
   if (sink_rev_) sink_rev_->reset_latency();
@@ -376,7 +385,8 @@ ChainMetrics ChainScenario::measure(TimeNs duration_ns) {
   std::uint64_t drops = 0;
   for (const auto& engine : of_->engines()) {
     drops += engine->counters().tx_ring_full + engine->counters().misses +
-             engine->counters().action_drops;
+             engine->counters().action_drops +
+             engine->counters().rss_queue_drops;
   }
   if (nic1_) drops += nic1_->counters().rx_missed;
   if (nic2_) drops += nic2_->counters().rx_missed;
@@ -417,6 +427,19 @@ ChainMetrics ChainScenario::measure(TimeNs duration_ns) {
       tiers.subtables_skipped - snap_tiers_.subtables_skipped;
   metrics.prefilter_false_positives =
       tiers.prefilter_false_positives - snap_tiers_.prefilter_false_positives;
+
+  std::uint64_t rss_distributed = 0;
+  std::uint64_t rss_queue_drops = 0;
+  for (const auto& engine : of_->engines()) {
+    rss_distributed += engine->counters().rss_distributed;
+    rss_queue_drops += engine->counters().rss_queue_drops;
+  }
+  metrics.rss_distributed = rss_distributed - snap_rss_distributed_;
+  metrics.rss_queue_drops = rss_queue_drops - snap_rss_queue_drops_;
+  const vswitch::RssStats rss = of_->rss_stats();
+  metrics.rebalance_checks = rss.rebalance_checks - snap_rss_.rebalance_checks;
+  metrics.bucket_migrations =
+      rss.bucket_migrations - snap_rss_.bucket_migrations;
 
   std::size_t engine_index = 0;
   const double window_cycles = static_cast<double>(metrics.duration_ns) *

@@ -40,6 +40,10 @@ struct ChainConfig {
   bool bidirectional = true;
 
   std::uint32_t engine_count = 1;  ///< switch PMD cores
+  /// RSS-style rx sharding across the engine pool (multi-queue rx): each
+  /// port's home engine distributes frames by 5-tuple hash so one port's
+  /// flows spread over many engines. Ignored when engine_count <= 1.
+  vswitch::RssConfig rss{};
   std::size_t ring_capacity = 1024;
   std::uint32_t burst = 32;
   bool emc_enabled = true;
@@ -109,6 +113,12 @@ struct ChainMetrics {
   std::uint64_t simd_blocks = 0;            ///< 16-signature SIMD blocks scanned
   std::uint64_t subtables_skipped = 0;      ///< whole-subtable prefilter skips
   std::uint64_t prefilter_false_positives = 0; ///< Bloom passed, scan empty
+  // RSS scale-out telemetry (see docs/SCALEOUT.md): zeros unless rss is
+  // enabled on a multi-engine pool.
+  std::uint64_t rss_distributed = 0;   ///< frames hashed + steered by homes
+  std::uint64_t rss_queue_drops = 0;   ///< steered frames full queues dropped
+  std::uint64_t rebalance_checks = 0;  ///< auto-lb EWMA windows evaluated
+  std::uint64_t bucket_migrations = 0; ///< auto-lb bucket handoffs
 };
 
 class ChainScenario {
@@ -239,6 +249,9 @@ class ChainScenario {
   std::uint64_t snap_drops_ = 0;
   classifier::TierCounters snap_tiers_;
   std::vector<Cycles> snap_engine_busy_;
+  std::uint64_t snap_rss_distributed_ = 0;
+  std::uint64_t snap_rss_queue_drops_ = 0;
+  vswitch::RssStats snap_rss_;
   TimeNs snap_time_ = 0;
 };
 

@@ -77,6 +77,16 @@ struct CostModel {
   std::uint32_t revalidate_repair = 130;   ///< re-lookup + repair in place
   std::uint32_t revalidate_evict = 140;    ///< failed re-lookup + eviction
 
+  // RSS sharding (multi-PMD scale-out, docs/SCALEOUT.md). The home
+  // engine's distributor is the software stand-in for NIC RSS: per packet
+  // it pays one 5-tuple hash plus an indirection-table load before the
+  // frame is staged to its owner's rx queue (cross-engine hops then pay
+  // the normal ring_enq/ring_deq costs). A balance check is one EWMA fold
+  // plus a victim scan over the bucket table — the analogue of OVS
+  // pmd-auto-lb's dry run, charged on whichever engine's window fills.
+  std::uint32_t rss_hash_per_pkt = 12;     ///< 5-tuple hash + RETA load
+  std::uint32_t rss_rebalance_check = 120; ///< one auto-lb EWMA pass
+
   // VM application work.
   std::uint32_t vm_app_per_pkt = 30;   ///< header touch ("move packets")
   std::uint32_t mbuf_alloc = 25;       ///< generator-side alloc+build

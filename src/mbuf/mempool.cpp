@@ -1,6 +1,7 @@
 #include "mbuf/mempool.h"
 
 #include <cassert>
+#include <thread>
 
 namespace hw::mbuf {
 
@@ -8,8 +9,13 @@ Mempool::Mempool(std::string name, std::size_t count)
     : name_(std::move(name)),
       capacity_(next_power_of_two(count == 0 ? 1 : count)),
       buffers_(new Mbuf[capacity_]),
-      // One extra slot tier: Vyukov ring of capacity N holds N entries.
-      free_list_(capacity_) {
+      // 2x headroom: a Vyukov ring of capacity N holds N entries, but an
+      // enqueue can transiently see "full" when it wraps onto a cell a
+      // concurrent dequeue has claimed but not yet republished (sequence
+      // store still pending). With N live buffers and 2N cells the
+      // enqueue position can never reach a mid-flight dequeue cell, so
+      // free() stays wait-free instead of asserting on the transient.
+      free_list_(capacity_ * 2) {
   for (std::size_t i = 0; i < capacity_; ++i) {
     buffers_[i].pool_index = static_cast<std::uint32_t>(i);
     Mbuf* ptr = &buffers_[i];
@@ -43,9 +49,15 @@ std::size_t Mempool::alloc_bulk(std::span<Mbuf*> out) noexcept {
 void Mempool::free(Mbuf* buf) noexcept {
   assert(buf != nullptr && owns(buf) && "foreign or null mbuf freed");
   frees_.fetch_add(1, std::memory_order_relaxed);
-  const bool ok = free_list_->enqueue(buf);
-  assert(ok && "free list overflow implies double free");
-  (void)ok;
+  // With the 2x cell headroom the free list can never be truly full, but
+  // a Vyukov enqueue still reports transient "full" while a preempted
+  // dequeuer sits between its head claim and its seq republish and the
+  // ring wraps onto that cell. The condition clears as soon as that
+  // thread runs again, so wait it out: a mempool free, like
+  // rte_mempool's, may stall briefly but must never drop a buffer.
+  while (!free_list_->enqueue(buf)) {
+    std::this_thread::yield();
+  }
 }
 
 void Mempool::free_bulk(std::span<Mbuf* const> bufs) noexcept {

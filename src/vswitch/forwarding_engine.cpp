@@ -1,5 +1,7 @@
 #include "vswitch/forwarding_engine.h"
 
+#include <atomic>
+
 #include "exec/runtime.h"
 #include "pkt/headers.h"
 #include "pkt/packet.h"
@@ -55,6 +57,33 @@ void ForwardingEngine::assign_port(SwitchPort* port) {
   register_output(port);
 }
 
+void ForwardingEngine::configure_rss(RssSharder* sharder,
+                                     std::uint32_t engine_id) {
+  sharder_ = sharder;
+  engine_id_ = engine_id;
+  if (sharder_ != nullptr) {
+    rss_stage_.resize(sharder_->table().engine_count());
+    for (auto& stage : rss_stage_) stage.reserve(burst_);
+  }
+}
+
+void ForwardingEngine::assign_rss_port(
+    SwitchPort* port, std::vector<ring::SpscRing<mbuf::Mbuf*>*> queues) {
+  rss_ports_.push_back(RssHomePort{port, std::move(queues)});
+  register_output(port);
+}
+
+void ForwardingEngine::attach_rx_queue(SwitchPort* port,
+                                       ring::SpscRing<mbuf::Mbuf*>* queue) {
+  rss_queues_.push_back(RssRxQueue{port, queue});
+  register_output(port);
+}
+
+openflow::PortStats& ForwardingEngine::acc(const SwitchPort& port) {
+  if (port_acc_.size() <= port.id()) port_acc_.resize(port.id() + 1);
+  return port_acc_[port.id()];
+}
+
 void ForwardingEngine::register_output(SwitchPort* port) {
   if (by_id_.size() <= port->id()) by_id_.resize(port->id() + 1, nullptr);
   by_id_[port->id()] = port;
@@ -72,12 +101,83 @@ std::uint32_t ForwardingEngine::poll(exec::CycleMeter& meter) {
     const std::size_t n = port->rx_burst(std::span(rx_buf_.data(), burst_));
     if (n == 0) continue;
     meter.charge(static_cast<Cycles>(n) * cost_->ring_deq_per_pkt);
-    port->stats().rx_packets += n;
+    acc(*port).rx_packets += n;
     process_burst(*port, std::span(rx_buf_.data(), n), meter);
+    total += static_cast<std::uint32_t>(n);
+  }
+  // RSS-home ports: this engine owns the physical rx ring; every frame
+  // is hashed to its bucket owner (possibly us) before classification.
+  for (RssHomePort& home : rss_ports_) {
+    if (!home.port->enabled()) continue;
+    meter.charge(cost_->ring_deq_base);
+    const std::size_t n =
+        home.port->rx_burst(std::span(rx_buf_.data(), burst_));
+    if (n == 0) continue;
+    meter.charge(static_cast<Cycles>(n) * cost_->ring_deq_per_pkt);
+    acc(*home.port).rx_packets += n;
+    distribute(home, std::span(rx_buf_.data(), n), meter);
+    total += static_cast<std::uint32_t>(n);
+  }
+  // Queues other engines' distributors filled with our share.
+  for (RssRxQueue& q : rss_queues_) {
+    if (!q.port->enabled()) continue;
+    meter.charge(cost_->ring_deq_base);
+    const std::size_t n =
+        q.queue->dequeue_burst(std::span(rx_buf_.data(), burst_));
+    if (n == 0) continue;
+    meter.charge(static_cast<Cycles>(n) * cost_->ring_deq_per_pkt);
+    process_burst(*q.port, std::span(rx_buf_.data(), n), meter);
     total += static_cast<std::uint32_t>(n);
   }
   if (total == 0) meter.charge(cost_->idle_poll);
   return total;
+}
+
+void ForwardingEngine::distribute(RssHomePort& home,
+                                  std::span<mbuf::Mbuf*> pkts,
+                                  exec::CycleMeter& meter) {
+  RssTable& table = sharder_->table();
+  for (auto& stage : rss_stage_) stage.clear();
+  for (mbuf::Mbuf* buf : pkts) {
+    // The software stand-in for NIC RSS: one flat charge covers the
+    // 5-tuple hash and the indirection-table load (real parsing still
+    // happens at the owner, exactly like hardware RSS).
+    meter.charge(cost_->rss_hash_per_pkt);
+    buf->in_port = home.port->id();
+    const std::uint32_t bucket =
+        table.bucket_of(RssTable::hash(pkt::extract_flow_key(*buf)));
+    table.record(bucket);
+    // One atomic load yields (owner, generation) together — a frame can
+    // never be steered by a stale owner paired with a newer generation.
+    rss_stage_[table.slot(bucket).owner].push_back(buf);
+  }
+  counters_.rss_distributed += pkts.size();
+
+  for (std::uint32_t e = 0; e < rss_stage_.size(); ++e) {
+    auto& stage = rss_stage_[e];
+    if (stage.empty()) continue;
+    if (e == engine_id_) {
+      // Our own share: classify in place (the NIC-RSS local queue).
+      process_burst(*home.port, std::span(stage.data(), stage.size()),
+                    meter);
+      continue;
+    }
+    meter.charge(cost_->ring_enq_base);
+    const std::size_t accepted = home.queues[e]->enqueue_burst(
+        std::span<mbuf::Mbuf* const>(stage.data(), stage.size()));
+    meter.charge(static_cast<Cycles>(accepted) * cost_->ring_enq_per_pkt);
+    for (std::size_t i = accepted; i < stage.size(); ++i) {
+      // Full per-engine queue: the rx-side drop NIC RSS would take.
+      ++counters_.rss_queue_drops;
+      ++acc(*home.port).rx_dropped;
+      pool_->free(stage[i]);
+    }
+  }
+
+  if (sharder_->note_distributed(static_cast<std::uint32_t>(pkts.size()))) {
+    meter.charge(cost_->rss_rebalance_check);
+    sharder_->rebalance();
+  }
 }
 
 void ForwardingEngine::process_burst(SwitchPort& in_port,
@@ -96,7 +196,7 @@ void ForwardingEngine::process_burst(SwitchPort& in_port,
     mbuf::Mbuf* buf = pkts[i];
     buf->in_port = in_port.id();
     buf->flow_hash = 0;  // in_port participates in the key; recompute
-    in_port.stats().rx_bytes += buf->data_len;
+    acc(in_port).rx_bytes += buf->data_len;
     meter.charge(cost_->parse_per_pkt);
     key_buf_[i] = pkt::extract_flow_key(*buf);
     hash_buf_[i] = pkt::flow_key_hash(key_buf_[i]);
@@ -137,12 +237,18 @@ void ForwardingEngine::process_burst(SwitchPort& in_port,
     FlowEntry* entry = outcome_buf_[i].entry;
     if (entry == nullptr) {
       ++counters_.misses;
-      ++in_port.stats().rx_dropped;
+      ++acc(in_port).rx_dropped;
       pool_->free(buf);
       continue;
     }
-    entry->packet_count += 1;
-    entry->byte_count += buf->data_len;
+    // Engines on different threads can hit the same wildcard rule (two
+    // sharded directions of one flow pair, or two ports homed on
+    // different engines): relaxed atomic adds keep flow_stats exact
+    // without ordering cost.
+    std::atomic_ref(entry->packet_count)
+        .fetch_add(1, std::memory_order_relaxed);
+    std::atomic_ref(entry->byte_count)
+        .fetch_add(buf->data_len, std::memory_order_relaxed);
 
     bool consumed = false;
     for (const openflow::Action& action : entry->actions) {
@@ -200,15 +306,16 @@ void ForwardingEngine::flush_to(PortId out_port,
   if (dst != nullptr && dst->enabled()) {
     accepted = dst->tx_burst(pkts);
     meter.charge(static_cast<Cycles>(accepted) * cost_->ring_enq_per_pkt);
-    dst->stats().tx_packets += accepted;
+    openflow::PortStats& shard = acc(*dst);
+    shard.tx_packets += accepted;
     for (std::size_t i = 0; i < accepted; ++i) {
-      dst->stats().tx_bytes += pkts[i]->data_len;
+      shard.tx_bytes += pkts[i]->data_len;
     }
   }
   counters_.tx_packets += accepted;
   for (std::size_t i = accepted; i < pkts.size(); ++i) {
     ++counters_.tx_ring_full;
-    if (dst != nullptr) ++dst->stats().tx_dropped;
+    if (dst != nullptr) ++acc(*dst).tx_dropped;
     pool_->free(pkts[i]);
   }
 }

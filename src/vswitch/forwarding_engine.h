@@ -9,6 +9,8 @@
 #include "exec/cost_model.h"
 #include "flowtable/flow_table.h"
 #include "mbuf/mempool.h"
+#include "ring/spsc_ring.h"
+#include "vswitch/rss.h"
 #include "vswitch/switch_port.h"
 
 /// \file forwarding_engine.h
@@ -54,6 +56,9 @@ struct EngineCounters {
   std::uint64_t simd_blocks = 0;            ///< 16-signature SIMD blocks scanned
   std::uint64_t subtables_skipped = 0;      ///< whole-subtable prefilter skips
   std::uint64_t prefilter_false_positives = 0; ///< Bloom passed, scan empty
+  // RSS scale-out telemetry (engine-local; see docs/SCALEOUT.md).
+  std::uint64_t rss_distributed = 0;  ///< frames this engine hashed + steered
+  std::uint64_t rss_queue_drops = 0;  ///< steered frames a full rx queue dropped
 };
 
 class ForwardingEngine final : public exec::Context {
@@ -65,6 +70,35 @@ class ForwardingEngine final : public exec::Context {
 
   /// Assigns a port's rx queue to this engine (OVS rxq affinity).
   void assign_port(SwitchPort* port);
+
+  /// Makes this engine member `engine_id` of an RSS-sharded pool; a null
+  /// sharder means sharding is off (the id still tags reports/stats).
+  void configure_rss(RssSharder* sharder, std::uint32_t engine_id);
+
+  /// Assigns a port this engine polls as RSS *distributor*: it owns the
+  /// physical rx ring and steers each frame to its bucket owner through
+  /// `queues` (indexed by engine id; this engine's own slot is null — its
+  /// share is classified in place, the NIC-RSS "local queue" case).
+  void assign_rss_port(SwitchPort* port,
+                       std::vector<ring::SpscRing<mbuf::Mbuf*>*> queues);
+
+  /// Attaches the per-(port, engine) rx queue another engine's
+  /// distributor fills with this engine's share of `port`'s traffic.
+  void attach_rx_queue(SwitchPort* port, ring::SpscRing<mbuf::Mbuf*>* queue);
+
+  [[nodiscard]] std::uint32_t engine_id() const noexcept {
+    return engine_id_;
+  }
+
+  /// This engine's shard of `id`'s port counters. Datapath stats writes
+  /// go to per-engine shards (two engines may rx/tx the same port once
+  /// the datapath is RSS-sharded); OfSwitch::port_stats sums the shards
+  /// with the port's own control-plane counters. Null when this engine
+  /// never touched the port.
+  [[nodiscard]] const openflow::PortStats* port_accum(
+      PortId id) const noexcept {
+    return id < port_acc_.size() ? &port_acc_[id] : nullptr;
+  }
 
   /// Enables span recording for this PMD (burst + classify spans here,
   /// tier-pass/drain spans in the classifier) on display row `track`.
@@ -97,19 +131,40 @@ class ForwardingEngine final : public exec::Context {
   [[nodiscard]] const flowtable::ExactMatchCache& emc() const noexcept {
     return classifier_.emc();
   }
+  /// Ports whose physical rx this engine polls (direct + RSS-home).
   [[nodiscard]] std::size_t port_count() const noexcept {
-    return ports_.size();
+    return ports_.size() + rss_ports_.size();
   }
 
  private:
+  /// An RSS-home port: this engine polls its rx ring and distributes.
+  struct RssHomePort {
+    SwitchPort* port;
+    /// Per-destination-engine queues, indexed by engine id (own slot
+    /// null). Each queue has exactly one producer (this distributor) and
+    /// one consumer (the owning engine) — the SPSC contract.
+    std::vector<ring::SpscRing<mbuf::Mbuf*>*> queues;
+  };
+  /// A queue some other engine's distributor fills for us.
+  struct RssRxQueue {
+    SwitchPort* port;
+    ring::SpscRing<mbuf::Mbuf*>* queue;
+  };
+
   /// Processes one received burst from `in_port`: parses every frame,
   /// classifies the whole burst (batched by default), then executes
   /// actions per packet in arrival order.
   void process_burst(SwitchPort& in_port, std::span<mbuf::Mbuf*> pkts,
                      exec::CycleMeter& meter);
+  /// RSS distributor: hashes each frame of a home-port burst to its
+  /// bucket owner — own share classified in place, the rest enqueued.
+  void distribute(RssHomePort& home, std::span<mbuf::Mbuf*> pkts,
+                  exec::CycleMeter& meter);
   void flush_to(PortId out_port, std::span<mbuf::Mbuf* const> pkts,
                 exec::CycleMeter& meter);
   [[nodiscard]] SwitchPort* port_by_id(PortId id) noexcept;
+  /// This engine's stats shard for `port` (grown on demand).
+  [[nodiscard]] openflow::PortStats& acc(const SwitchPort& port);
 
   std::string name_;
   mbuf::Mempool* pool_;
@@ -124,6 +179,16 @@ class ForwardingEngine final : public exec::Context {
   std::vector<SwitchPort*> by_id_;
   classifier::DpClassifier classifier_;
   EngineCounters counters_;
+
+  // RSS scale-out state (empty when sharding is off).
+  std::uint32_t engine_id_ = 0;
+  RssSharder* sharder_ = nullptr;
+  std::vector<RssHomePort> rss_ports_;
+  std::vector<RssRxQueue> rss_queues_;
+  /// Distribution staging, one slot per engine — reused every burst.
+  std::vector<std::vector<mbuf::Mbuf*>> rss_stage_;
+  /// Per-engine port-stats shards, dense by port id.
+  std::vector<openflow::PortStats> port_acc_;
 
   std::vector<mbuf::Mbuf*> rx_buf_;
   std::vector<mbuf::Mbuf*> tx_buf_;

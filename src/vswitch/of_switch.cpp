@@ -49,6 +49,15 @@ OfSwitch::OfSwitch(shm::ShmManager& shm, mbuf::Mempool& pool,
         "pmd" + std::to_string(i), table_, *pool_, cost_, classifier_config,
         config_.burst));
   }
+  // RSS sharding only makes sense across a real pool; a single engine
+  // keeps the direct per-port path (no distributor hop to pay for).
+  if (config_.rss.enabled && engines_.size() > 1) {
+    sharder_ = std::make_unique<RssSharder>(
+        config_.rss, static_cast<std::uint32_t>(engines_.size()));
+  }
+  for (std::uint32_t i = 0; i < engine_count; ++i) {
+    engines_[i]->configure_rss(sharder_.get(), i);
+  }
 
   bypass_ = std::make_unique<BypassManager>(
       *shm_, table_, shared_stats_,
@@ -86,8 +95,7 @@ Result<PortId> OfSwitch::add_dpdkr_port(const std::string& name) {
 
   auto port =
       std::make_unique<DpdkrSwitchPort>(id, name, channel.value());
-  for (auto& engine : engines_) engine->register_output(port.get());
-  engines_[(id - 1) % engines_.size()]->assign_port(port.get());
+  wire_port(port.get());
   bypass_->add_candidate_port(id);
   ports_.push_back(std::move(port));
   ++next_port_;
@@ -100,12 +108,34 @@ Result<PortId> OfSwitch::add_phy_port(const std::string& name,
   const PortId id = next_port_;
   if (id >= kMaxPorts) return Status::resource_exhausted("port space full");
   auto port = std::make_unique<PhySwitchPort>(id, name, nic);
-  for (auto& engine : engines_) engine->register_output(port.get());
-  engines_[(id - 1) % engines_.size()]->assign_port(port.get());
+  wire_port(port.get());
   ports_.push_back(std::move(port));
   ++next_port_;
   HW_LOG(kInfo, "vswitch", "added phy port %u (%s)", id, name.c_str());
   return id;
+}
+
+void OfSwitch::wire_port(SwitchPort* port) {
+  for (auto& engine : engines_) engine->register_output(port);
+  // Round-robin *home* assignment: the home engine polls the port's
+  // physical rx ring. Without RSS it also classifies everything the
+  // port receives; with RSS it is the distributor, steering each frame
+  // to its bucket owner through per-(port, engine) SPSC queues.
+  const std::size_t home =
+      (static_cast<std::size_t>(port->id()) - 1) % engines_.size();
+  if (sharder_ == nullptr) {
+    engines_[home]->assign_port(port);
+    return;
+  }
+  std::vector<ring::SpscRing<mbuf::Mbuf*>*> queues(engines_.size(), nullptr);
+  for (std::size_t e = 0; e < engines_.size(); ++e) {
+    if (e == home) continue;  // home's own share never crosses a queue
+    rss_queues_.push_back(std::make_unique<ring::OwnedSpscRing<mbuf::Mbuf*>>(
+        config_.ring_capacity));
+    queues[e] = rss_queues_.back()->get();
+    engines_[e]->attach_rx_queue(port, queues[e]);
+  }
+  engines_[home]->assign_rss_port(port, std::move(queues));
 }
 
 SwitchPort* OfSwitch::port(PortId id) noexcept {
@@ -210,6 +240,14 @@ Result<openflow::PortStats> OfSwitch::port_stats(PortId id) const {
   SwitchPort* p = const_cast<OfSwitch*>(this)->port(id);
   if (p == nullptr) return Status::not_found("no such port");
   openflow::PortStats merged = p->stats();
+  // Datapath counters live in per-engine shards (several engines may
+  // rx/tx the same port once the datapath is RSS-sharded); the port's
+  // own stats carry only control-plane writes (packet-out).
+  for (const auto& engine : engines_) {
+    if (const openflow::PortStats* shard = engine->port_accum(id)) {
+      merged += *shard;
+    }
+  }
   if (shared_stats_.valid()) {
     merged += shared_stats_.read_port(id);
   }

@@ -53,6 +53,11 @@ struct SwitchConfig {
   /// skip subtables that provably cannot match/intersect.
   bool subtable_prefilter = true;
   std::uint32_t engine_count = 1;    ///< PMD threads (OVS pmd-cpu-mask)
+  /// RSS-style rx sharding across the engine pool: each port's *home*
+  /// engine distributes frames by 5-tuple hash through a per-switch
+  /// indirection table, so one port's flows spread over many engines
+  /// (docs/SCALEOUT.md). Ignored when engine_count <= 1.
+  RssConfig rss{};
   bool bypass_enabled = true;        ///< false = vanilla OVS-DPDK baseline
   /// Span recorder (not owned; null = tracing off). One track per
   /// engine plus a "ctrl" track for FlowMods and bypass lifecycle.
@@ -115,6 +120,16 @@ class OfSwitch {
   }
   [[nodiscard]] BypassManager& bypass_manager() noexcept { return *bypass_; }
   [[nodiscard]] flowtable::FlowTable& table() noexcept { return table_; }
+  /// The RSS sharder (indirection table + auto-load-balancer); null when
+  /// sharding is off or the pool has a single engine.
+  [[nodiscard]] RssSharder* rss() noexcept { return sharder_.get(); }
+  [[nodiscard]] const RssSharder* rss() const noexcept {
+    return sharder_.get();
+  }
+  /// Rebalancer telemetry (zeros when sharding is off).
+  [[nodiscard]] RssStats rss_stats() const noexcept {
+    return sharder_ != nullptr ? sharder_->stats() : RssStats{};
+  }
   [[nodiscard]] pmd::SharedStats shared_stats() const noexcept {
     return shared_stats_;
   }
@@ -124,6 +139,11 @@ class OfSwitch {
   }
 
  private:
+  /// Registers `port` with every engine and hooks up its rx path: the
+  /// direct home-engine assignment, or the RSS distributor + per-engine
+  /// queue mesh when sharding is on.
+  void wire_port(SwitchPort* port);
+
   shm::ShmManager* shm_;
   mbuf::Mempool* pool_;
   exec::Runtime* runtime_;
@@ -139,6 +159,10 @@ class OfSwitch {
   pmd::SharedStats shared_stats_;
   std::vector<std::unique_ptr<SwitchPort>> ports_;  // index = id - 1
   std::vector<std::unique_ptr<ForwardingEngine>> engines_;
+  std::unique_ptr<RssSharder> sharder_;  ///< null = sharding off
+  /// Per-(port, engine) rx queues the distributors fill (owned here so
+  /// producer and consumer engines outlive neither end).
+  std::vector<std::unique_ptr<ring::OwnedSpscRing<mbuf::Mbuf*>>> rss_queues_;
   std::unique_ptr<BypassManager> bypass_;
   PortId next_port_ = 1;
   SwitchCounters counters_;

@@ -7,6 +7,7 @@
 #include "analysis/race_detector.h"
 #include "analysis/vector_clock.h"
 #include "exec/runtime.h"
+#include "vswitch/rss.h"
 
 namespace hw::analysis {
 namespace {
@@ -300,6 +301,147 @@ TEST(AnalysisRuntime, RunBoundaryOrdersSetupRunAndAssertions) {
   RaceDetector::instance().on_access(&target, AccessKind::kRead,
                                      "vt:teardown");
   EXPECT_EQ(RaceDetector::instance().race_count(), 0u);
+  RaceDetector::instance().reset();
+}
+
+// ------------------------------------ RSS scale-out annotation checks
+//
+// The multi-engine sharding layer (docs/SCALEOUT.md) is annotated:
+// RssTable's packed slot word is HW_ATOMIC_READ/WRITE and the balancer's
+// EWMA scratch sits under HW_SYNC_SCOPE. These tests prove the detector
+// sees those annotations — the real migrate/slot handoff is silent, the
+// real rebalance protocol is silent, and the *seeded* bug (the same EWMA
+// scratch written with the lock annotation removed) is caught.
+
+/// Migrates one bucket per poll — the auto-load-balancer's side of the
+/// (owner, generation) handoff.
+class RssBalancerContext final : public exec::Context {
+ public:
+  explicit RssBalancerContext(vswitch::RssTable* table) : table_(table) {}
+  std::string_view name() const noexcept override { return "rss-balancer"; }
+  std::uint32_t poll(exec::CycleMeter& meter) override {
+    meter.charge(100);
+    table_->migrate(step_ % table_->bucket_count(),
+                    static_cast<std::uint32_t>(step_ % table_->engine_count()));
+    ++step_;
+    return 1;
+  }
+
+ private:
+  vswitch::RssTable* table_;
+  std::uint64_t step_ = 0;
+};
+
+/// Reads slots and records load — the distributor's side of the handoff.
+class RssDistributorContext final : public exec::Context {
+ public:
+  explicit RssDistributorContext(vswitch::RssTable* table) : table_(table) {}
+  std::string_view name() const noexcept override {
+    return "rss-distributor";
+  }
+  std::uint32_t poll(exec::CycleMeter& meter) override {
+    meter.charge(100);
+    const auto bucket =
+        static_cast<std::uint32_t>(step_ % table_->bucket_count());
+    (void)table_->slot(bucket);
+    table_->record(bucket);
+    ++step_;
+    return 1;
+  }
+
+ private:
+  vswitch::RssTable* table_;
+  std::uint64_t step_ = 0;
+};
+
+TEST(AnalysisRuntime, RssMigrateVsSlotReadIsAtomicallyOrdered) {
+  RaceDetector::instance().reset();
+  vswitch::RssTable table(8, 2);
+  RssBalancerContext balancer(&table);
+  RssDistributorContext distributor(&table);
+  exec::SimRuntime runtime({.epoch_ns = 1000, .cost = {}});
+  runtime.add_context(&balancer);
+  runtime.add_context(&distributor);
+  runtime.run_for(20'000);
+  // Packed atomic word: concurrent migrate vs slot/record never races.
+  EXPECT_EQ(RaceDetector::instance().race_count(), 0u);
+  RaceDetector::instance().reset();
+}
+
+/// Drives the full distributor-side protocol: record load, trip the
+/// balance interval, run the guarded EWMA rebalance pass.
+class RssRebalancerContext final : public exec::Context {
+ public:
+  explicit RssRebalancerContext(vswitch::RssSharder* sharder)
+      : sharder_(sharder) {}
+  std::string_view name() const noexcept override { return "rss-home"; }
+  std::uint32_t poll(exec::CycleMeter& meter) override {
+    meter.charge(100);
+    sharder_->table().record(
+        static_cast<std::uint32_t>(step_ % sharder_->table().bucket_count()));
+    if (sharder_->note_distributed(8)) sharder_->rebalance();
+    ++step_;
+    return 1;
+  }
+
+ private:
+  vswitch::RssSharder* sharder_;
+  std::uint64_t step_ = 0;
+};
+
+TEST(AnalysisRuntime, RssRebalanceScratchIsLockOrdered) {
+  RaceDetector::instance().reset();
+  vswitch::RssConfig config;
+  config.enabled = true;
+  config.buckets = 8;
+  config.balance_interval = 16;
+  vswitch::RssSharder sharder(config, 2);
+  RssRebalancerContext home_a(&sharder);
+  RssRebalancerContext home_b(&sharder);
+  exec::SimRuntime runtime({.epoch_ns = 1000, .cost = {}});
+  runtime.add_context(&home_a);
+  runtime.add_context(&home_b);
+  runtime.run_for(50'000);
+  EXPECT_GT(sharder.stats().rebalance_checks, 0u);
+  // HW_SYNC_SCOPE(balance_mutex_) orders every EWMA-scratch write.
+  EXPECT_EQ(RaceDetector::instance().race_count(), 0u);
+  RaceDetector::instance().reset();
+}
+
+/// The seeded bug: two "engines" maintain the balancer's EWMA scratch
+/// WITHOUT the lock annotation — what rebalance() would be if the
+/// HW_SYNC_SCOPE were dropped.
+class UnsyncedEwmaContext final : public exec::Context {
+ public:
+  UnsyncedEwmaContext(std::string name, double* ewma, const char* site)
+      : name_(std::move(name)), ewma_(ewma), site_(site) {}
+  std::string_view name() const noexcept override { return name_; }
+  std::uint32_t poll(exec::CycleMeter& meter) override {
+    meter.charge(100);
+    RaceDetector::instance().on_access(ewma_, AccessKind::kWrite, site_);
+    return 1;
+  }
+
+ private:
+  std::string name_;
+  double* ewma_;
+  const char* site_;
+};
+
+TEST(AnalysisRuntime, SeededUnlockedEwmaUpdateRaces) {
+  RaceDetector::instance().reset();
+  double ewma = 0.0;
+  UnsyncedEwmaContext home_a("home-a", &ewma, "vt:rss-ewma-a");
+  UnsyncedEwmaContext home_b("home-b", &ewma, "vt:rss-ewma-b");
+  exec::SimRuntime runtime({.epoch_ns = 1000, .cost = {}});
+  runtime.add_context(&home_a);
+  runtime.add_context(&home_b);
+  runtime.run_for(10'000);
+  const auto reports = RaceDetector::instance().take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].addr, &ewma);
+  EXPECT_EQ(std::string_view(reports[0].first_site), "vt:rss-ewma-a");
+  EXPECT_EQ(std::string_view(reports[0].second_site), "vt:rss-ewma-b");
   RaceDetector::instance().reset();
 }
 

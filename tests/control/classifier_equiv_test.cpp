@@ -13,6 +13,7 @@
 #include "flowtable/flow_table.h"
 #include "openflow/messages.h"
 #include "pkt/headers.h"
+#include "vswitch/rss.h"
 
 /// \file classifier_equiv_test.cpp
 /// DIFFERENTIAL CLASSIFIER-EQUIVALENCE FUZZER. The wildcard table alone
@@ -254,6 +255,131 @@ TEST_P(ClassifierEquivalenceTest, AllPathsAgreeWithWildcardOracle) {
   EXPECT_EQ(scalar_scan.counters().simd_blocks, 0u) << "seed " << seed;
   EXPECT_GT(scalar.counters().subtables_skipped, 0u) << "seed " << seed;
   EXPECT_EQ(scalar_nopf.counters().subtables_skipped, 0u) << "seed " << seed;
+}
+
+/// SHARDED N-ENGINE VARIANT (multi-PMD scale-out, docs/SCALEOUT.md).
+/// Every packet is hashed through a live RssTable to one of four
+/// per-engine classifiers — all subscribed to the SAME FlowTable, so the
+/// change subscription is exercised as a genuine multi-subscriber
+/// fan-out — and whichever engine a packet lands on must return exactly
+/// the wildcard-oracle verdict, across FlowMod churn, budget deferral
+/// (engine 2 defers on a revalidate_budget) and random bucket
+/// migrations mid-stream (the auto-load-balance handoff). Engine 3
+/// classifies its share through lookup_batch, so the sharded stream
+/// also crosses the scalar/batched boundary.
+TEST_P(ClassifierEquivalenceTest, ShardedEnginePoolAgreesWithOracle) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0x5ca1ed0ULL);  // distinct stream from the other variant
+  exec::CostModel cost;
+  FlowTable table;
+
+  constexpr std::uint32_t kEngines = 4;
+  DpClassifier engine0(table, cost);
+  DpClassifierConfig nosig_config;
+  nosig_config.megaflow.signature_prefilter = false;
+  DpClassifier engine1(table, cost, nosig_config);
+  DpClassifierConfig deferred_config;
+  deferred_config.megaflow.revalidate_budget = 4;
+  DpClassifier engine2(table, cost, deferred_config);
+  DpClassifier engine3(table, cost);
+  DpClassifier* engines[kEngines] = {&engine0, &engine1, &engine2, &engine3};
+
+  vswitch::RssTable rss(/*buckets=*/64, kEngines);
+  exec::CycleMeter meter;
+
+  std::vector<pkt::FlowKey> pool;
+  for (int i = 0; i < 64; ++i) pool.push_back(random_key(rng));
+
+  // Per-engine shares of the current burst (indices into keys/hashes).
+  std::vector<std::size_t> share[kEngines];
+  std::vector<pkt::FlowKey> keys(kBatch);
+  std::vector<std::uint32_t> hashes(kBatch);
+  std::vector<pkt::FlowKey> batch_keys;
+  std::vector<std::uint32_t> batch_hashes;
+  std::vector<LookupOutcome> batch_out;
+
+  std::uint64_t shard_counts[kEngines] = {0, 0, 0, 0};
+  std::uint64_t migrations = 0;
+
+  std::uint64_t packets = 0;
+  for (std::uint64_t round = 0; packets < kMinPackets; ++round) {
+    const std::uint64_t mods = rng.next_below(3);
+    for (std::uint64_t i = 0; i < mods; ++i) {
+      (void)table.apply(random_mod(rng));
+    }
+    // Rebalance events: random bucket handoffs between bursts, the
+    // distribution-stream boundary where auto-lb migrations land.
+    if (rng.chance(1, 4)) {
+      rss.migrate(static_cast<std::uint32_t>(rng.next_below(64)),
+                  static_cast<std::uint32_t>(rng.next_below(kEngines)));
+      ++migrations;
+    }
+
+    for (auto& s : share) s.clear();
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      if (rng.chance(1, 8)) pool[rng.next_below(pool.size())] = random_key(rng);
+      keys[i] = pool[rng.next_below(pool.size())];
+      hashes[i] = pkt::flow_key_hash(keys[i]);
+      const std::uint32_t owner =
+          rss.owner_of(vswitch::RssTable::hash(keys[i]));
+      share[owner].push_back(i);
+      ++shard_counts[owner];
+    }
+
+    for (std::uint32_t e = 0; e < kEngines; ++e) {
+      if (e == 3) {
+        // Engine 3 classifies its share as one batch (the dpcls batch
+        // loop a real RSS consumer runs per queue drain).
+        batch_keys.clear();
+        batch_hashes.clear();
+        for (const std::size_t i : share[e]) {
+          batch_keys.push_back(keys[i]);
+          batch_hashes.push_back(hashes[i]);
+        }
+        batch_out.resize(batch_keys.size());
+        engines[e]->lookup_batch(batch_keys, batch_hashes, batch_out, meter);
+        for (std::size_t j = 0; j < share[e].size(); ++j) {
+          const std::size_t i = share[e][j];
+          ASSERT_EQ(id_of(batch_out[j].entry), id_of(table.lookup(keys[i])))
+              << "seed " << seed << " round " << round << " pkt " << i
+              << ": sharded batched engine " << e
+              << " diverged from the wildcard-table oracle";
+        }
+        continue;
+      }
+      for (const std::size_t i : share[e]) {
+        const RuleId oracle = id_of(table.lookup(keys[i]));
+        const RuleId got =
+            id_of(engines[e]->lookup(keys[i], hashes[i], meter).entry);
+        ASSERT_EQ(got, oracle)
+            << "seed " << seed << " round " << round << " pkt " << i
+            << ": sharded engine " << e
+            << " diverged from the wildcard-table oracle";
+      }
+    }
+    packets += kBatch;
+  }
+
+  // The shard spread must be real (every engine classified packets) and
+  // rebalancing must have actually happened for the run to prove the
+  // migration path.
+  EXPECT_GT(migrations, 0u) << "seed " << seed;
+  for (std::uint32_t e = 0; e < kEngines; ++e) {
+    EXPECT_GT(shard_counts[e], 0u)
+        << "seed " << seed << ": engine " << e << " never owned a packet";
+    // Fan-out proof: every engine's own revalidator consumed the same
+    // churn (coalesced drains ran), served cache hits, and never once
+    // fell back to a whole-cache flush.
+    EXPECT_GT(engines[e]->counters().reval_batches, 0u)
+        << "seed " << seed << " engine " << e;
+    EXPECT_GT(engines[e]->counters().emc_hits +
+                  engines[e]->counters().megaflow_hits,
+              0u)
+        << "seed " << seed << " engine " << e;
+    EXPECT_EQ(engines[e]->counters().megaflow_invalidations, 0u)
+        << "seed " << seed << " engine " << e
+        << ": sharding must never cost a whole-cache flush";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -18,6 +18,7 @@
 #include "ring/mpmc_ring.h"
 #include "ring/spsc_ring.h"
 #include "shm/shm.h"
+#include "vswitch/rss.h"
 
 namespace hw {
 namespace {
@@ -300,6 +301,131 @@ TEST(ConcurrencyLitmus, SharedStatsStorm) {
   EXPECT_EQ(reader.read_rule(1).first, kBursts);
   EXPECT_EQ(reader.read_port(1).rx_packets, kBursts);
   EXPECT_EQ(reader.read_port(1).tx_packets, kBursts);
+}
+
+// ----------------------------- multi-engine FlowMod fan-out storm
+
+TEST(ConcurrencyLitmus, TableChangeFanOutAcrossEngineCachesStorm) {
+  // The scale-out broadcast point (docs/SCALEOUT.md): one control thread
+  // fans every FlowMod-derived TableChangeEvent out to EVERY engine's
+  // megaflow cache while each engine's PMD thread keeps classifying and
+  // draining its own queue. The only shared edge per cache is its event
+  // queue — exactly what a sharded OfSwitch exercises with N engines.
+  constexpr std::size_t kEngines = 4;
+  classifier::MegaflowCache caches[kEngines];
+
+  std::atomic<bool> stop{false};
+  std::jthread control([&] {
+    std::uint64_t version = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      flowtable::TableChangeEvent event;
+      event.command = openflow::FlowModCommand::kAdd;
+      event.match.in_port(static_cast<PortId>(version % 8));
+      event.priority = 10;
+      event.version = ++version;
+      for (auto& cache : caches) cache.on_table_change(event);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::jthread> pmds;
+  for (std::size_t e = 0; e < kEngines; ++e) {
+    pmds.emplace_back([&, e] {
+      pkt::FlowKey key;
+      key.in_port = static_cast<PortId>(e + 1);
+      key.ether_type = pkt::kEtherTypeIpv4;
+      classifier::ProbeTally tally;
+      std::uint64_t version_seen = 1;
+      for (std::size_t i = 0; i < kStormOps / 8; ++i) {
+        (void)caches[e].lookup(key, version_seen, tally);
+        if (i % 16 == 0) {
+          openflow::Match match;
+          match.in_port(static_cast<PortId>(e + 1));
+          caches[e].insert(key, classifier::mask_of(match),
+                           static_cast<RuleId>(e + 1), version_seen);
+        }
+        ++version_seen;
+      }
+    });
+  }
+  pmds.clear();
+  stop.store(true, std::memory_order_release);
+  control.join();
+  for (auto& cache : caches) (void)cache.revalidate();
+}
+
+// --------------------------- RSS bucket-migration vs classify storm
+
+TEST(ConcurrencyLitmus, RssMigrationStormKeepsSlotsCoherent) {
+  // Auto-load-balance handoff: a balancer thread migrates buckets while
+  // distributor threads read slots and record load. The packed
+  // (owner, generation) word must never tear — every read shows a valid
+  // owner, and the generation a reader observes for a bucket never goes
+  // backwards (the single balancer only increments it).
+  constexpr std::uint32_t kEngines = 4;
+  constexpr std::uint32_t kBuckets = 64;
+  vswitch::RssTable table(kBuckets, kEngines);
+
+  std::atomic<bool> stop{false};
+  std::jthread balancer([&] {
+    std::uint64_t step = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      table.migrate(static_cast<std::uint32_t>(step % kBuckets),
+                    static_cast<std::uint32_t>((step * 7 + 1) % kEngines));
+      ++step;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::jthread> distributors;
+  for (std::size_t t = 0; t < 3; ++t) {
+    distributors.emplace_back([&] {
+      std::uint64_t last_gen[kBuckets] = {};
+      for (std::size_t i = 0; i < kStormOps; ++i) {
+        const auto bucket = static_cast<std::uint32_t>(i % kBuckets);
+        const auto slot = table.slot(bucket);
+        ASSERT_LT(slot.owner, kEngines) << "torn owner read";
+        ASSERT_GE(slot.generation, last_gen[bucket])
+            << "generation moved backwards — stale owner published";
+        last_gen[bucket] = slot.generation;
+        table.record(bucket);
+      }
+    });
+  }
+  distributors.clear();
+  stop.store(true, std::memory_order_release);
+  balancer.join();
+}
+
+// ------------------------------ concurrent rebalance-check contention
+
+TEST(ConcurrencyLitmus, RssRebalanceContentionNeverBlocksDistributors) {
+  // Several distributor threads trip the balance interval at once; the
+  // try-lock inside rebalance() must let exactly one run the EWMA pass
+  // while the rest return immediately (no blocking, no double-count).
+  vswitch::RssConfig config;
+  config.enabled = true;
+  config.buckets = 32;
+  config.balance_interval = 64;
+  vswitch::RssSharder sharder(config, 4);
+
+  std::vector<std::jthread> threads;
+  for (std::size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kStormOps / 4; ++i) {
+        sharder.table().record(static_cast<std::uint32_t>((t * 8 + i) % 32));
+        if (sharder.note_distributed(8)) sharder.rebalance();
+      }
+    });
+  }
+  threads.clear();
+
+  const auto stats = sharder.stats();
+  EXPECT_GT(stats.rebalance_checks, 0u);
+  // Every slot must still name a valid engine after the storm.
+  for (std::uint32_t b = 0; b < 32; ++b) {
+    EXPECT_LT(sharder.table().slot(b).owner, 4u);
+  }
 }
 
 }  // namespace

@@ -11,6 +11,11 @@ from silently stranding them. This checker closes the loop:
   * every field of classifier::TierCounters in
     src/classifier/dp_classifier.h must appear there too;
   * every field of chain::ChainMetrics in src/chain/chain.h likewise;
+  * every engine-tagged column published through
+    `export_engine_counter(state, i, "name", ...)` anywhere under bench/
+    must appear in docs/COUNTERS.md under its documented pattern
+    `e<i>_name` (the literal placeholder `<i>`, since the engine index
+    is runtime data);
   * every telemetry metric registered in src/ or bench/ (a
     `.counter("name")` / `.gauge(...)` / `.histogram(...)` call on a
     MetricsRegistry) must appear, in backticks, in
@@ -34,7 +39,11 @@ COUNTERS_MD = os.path.join(ROOT, "docs", "COUNTERS.md")
 OBSERVABILITY_MD = os.path.join(ROOT, "docs", "OBSERVABILITY.md")
 METRIC_DIRS = [os.path.join(ROOT, "src"), os.path.join(ROOT, "bench")]
 
+BENCH_DIR = os.path.join(ROOT, "bench")
+
 BENCH_RE = re.compile(r'state\.counters\["([A-Za-z0-9_]+)"\]')
+ENGINE_COLUMN_RE = re.compile(
+    r'export_engine_counter\(\s*state\s*,\s*[^,]+,\s*"([A-Za-z0-9_]+)"')
 FIELD_RE = re.compile(r"^\s*(?:std::uint64_t|double|TimeNs)\s+([a-z]\w*)\s*=",
                       re.MULTILINE)
 METRIC_RE = re.compile(
@@ -77,6 +86,17 @@ def main():
                 f"bench column `{name}` (bench/bench_common.h) is not "
                 f"mentioned in docs/COUNTERS.md")
 
+    engine_columns = engine_tagged_columns()
+    # Engine-tagged columns are documented as the pattern `e<i>_name`
+    # (backticked literally): the index is runtime data, so the docs
+    # carry the placeholder, and the doc set is matched on it.
+    documented_patterns = set(re.findall(r"`e<i>_([A-Za-z0-9_]+)`", docs))
+    for name, where in sorted(engine_columns.items()):
+        if name not in documented_patterns:
+            errors.append(
+                f"engine-tagged bench column `e<i>_{name}` ({where}) is "
+                f"not mentioned in docs/COUNTERS.md")
+
     tier_fields = struct_fields(read(TIER_COUNTERS), "TierCounters")
     if not tier_fields:
         errors.append("no fields parsed from TierCounters (parser broken?)")
@@ -111,11 +131,25 @@ def main():
     for error in errors:
         print(error, file=sys.stderr)
     print(f"checked {len(bench_columns)} bench columns, "
+          f"{len(engine_columns)} engine-tagged columns, "
           f"{len(tier_fields)} TierCounters fields, "
           f"{len(chain_fields)} ChainMetrics fields, "
           f"{len(metric_names)} registered metrics: "
           f"{'FAIL' if errors else 'OK'} ({len(errors)} undocumented)")
     return 1 if errors else 0
+
+
+def engine_tagged_columns():
+    """Maps engine-tagged column name -> first publishing file (bench/)."""
+    names = {}
+    for dirpath, _, filenames in os.walk(BENCH_DIR):
+        for filename in sorted(filenames):
+            if not filename.endswith((".h", ".cpp")):
+                continue
+            path = os.path.join(dirpath, filename)
+            for name in ENGINE_COLUMN_RE.findall(read(path)):
+                names.setdefault(name, os.path.relpath(path, ROOT))
+    return names
 
 
 def registered_metrics():
