@@ -1,0 +1,343 @@
+/// \file bench_bypass_fleet.cpp
+/// Bypass highway at fleet scale: control-plane cost and transparency of
+/// THOUSANDS of concurrent bypass chains under FlowMod churn and VM
+/// hotplug, plus the per-hop datapath cost the highway is buying.
+///
+/// Two benchmark families:
+///
+///  * BM_BypassFleet(chains, flips) — builds a fleet of `chains`
+///    one-directional bypass links (2·chains VMs behind one switch, the
+///    real compute agent running the real attach/ack protocol on an
+///    instant hot-plug model), then:
+///      ramp     — install every steering rule, converge (all links
+///                 ACTIVE, nothing parked or in flight);
+///      churn    — `flips` diverter flip cycles: a narrower same-output
+///                 rule breaks a random link's p-2-p condition (teardown
+///                 to classified fallback), its strict delete restores it
+///                 (fresh setup), converging after every half-flip;
+///      hotplug  — 8 extra chains plug in mid-flight and must reach
+///                 ACTIVE without disturbing the rest;
+///      wind-down— delete-all, converge, and account every shm region:
+///                 the channel-region census must come back to baseline
+///                 (zero leaked bypass regions).
+///    Iteration time is the VIRTUAL time the fleet spent converging —
+///    the control-plane cost curve vs fleet size.
+///
+///  * BM_BypassHopCost(vms, bypass) — Figure-3(a)-style chains at 2 and
+///    6 VMs, both approaches. The MARGINAL per-hop per-packet cost
+///    (delta of per-packet cost between the two lengths over the 4 added
+///    hops) is the honest price of one fallback hop vs one bypassed hop.
+///
+/// `--smoke` runs chains = 1024 plus the hop-cost points and exits
+/// non-zero unless (CI gate for the fleet-scale PR):
+///   - >= 1024 links were concurrently ACTIVE,
+///   - zero channel regions leaked across churn + wind-down,
+///   - zero agent setup failures / NACKs / timeouts,
+///   - a fallback hop costs >= 5x a bypassed hop.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/compute_agent.h"
+#include "bench_common.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "exec/runtime.h"
+#include "mbuf/mempool.h"
+#include "openflow/messages.h"
+#include "shm/shm.h"
+#include "vm/apps.h"
+#include "vm/vm.h"
+#include "vswitch/of_switch.h"
+
+namespace hw::bench {
+namespace {
+
+bool g_smoke = false;
+
+// Smoke-gate evidence collected across benchmark runs.
+std::size_t g_links_peak = 0;
+std::uint64_t g_leaked_regions = 0;
+std::uint64_t g_setup_failures = 0;
+double g_mpps_point[2][2] = {{0, 0}, {0, 0}};  // [bypass][0: 2 VMs, 1: 6 VMs]
+
+/// One VM per dpdkr port; the per-VM sink app pumps the guest PMD, which
+/// is what acknowledges the agent's attach/detach control messages.
+struct Fleet {
+  shm::ShmManager shm;
+  mbuf::Mempool pool{"bpf.mb", 4096};
+  exec::CostModel cost{};
+  exec::SimRuntime runtime{exec::SimConfig{.epoch_ns = 1000, .cost = cost}};
+  vswitch::OfSwitch of{shm, pool, runtime, cost,
+                       vswitch::SwitchConfig{.ring_capacity = 128,
+                                             .engine_count = 2,
+                                             .bypass_enabled = true,
+                                             .bypass_max_inflight = 64}};
+  agent::ComputeAgent agent{shm, runtime,
+                            agent::HotplugLatencyModel::instant()};
+  vm::Hypervisor hyp{shm, agent, cost};
+  std::vector<std::unique_ptr<exec::Context>> apps;
+  int next_vm = 0;
+
+  Fleet() {
+    agent.set_event_sink(&of.bypass_manager());
+    of.bypass_manager().set_agent(&agent);
+    for (exec::Context* engine : of.engine_contexts()) {
+      runtime.add_context(engine);
+    }
+    runtime.add_context(&agent);
+  }
+
+  PortId hotplug() {
+    const std::string name = "vm" + std::to_string(next_vm++);
+    vm::Vm& guest = hyp.create_vm(name);
+    const PortId port = of.add_dpdkr_port(name + ".p").value();
+    (void)hyp.attach_port(guest, port);
+    auto app = std::make_unique<vm::GenSinkApp>(
+        "sink." + name, *guest.pmd_for_port(port), pool,
+        pkt::TrafficProfile{}, runtime, cost, /*generate=*/false);
+    runtime.add_context(app.get());
+    apps.push_back(std::move(app));
+    return port;
+  }
+
+  /// Runs until every requested operation completed and nothing is
+  /// parked. Returns false on (virtual-time) timeout.
+  bool converge(TimeNs max_ns = 1'000'000'000) {
+    vswitch::BypassManager& mgr = of.bypass_manager();
+    return runtime.run_until(
+        [&] {
+          return agent.inflight_ops() == 0 && mgr.inflight_ops() == 0 &&
+                 mgr.deferred_links() == 0 && mgr.pending_links() == 0;
+        },
+        max_ns);
+  }
+};
+
+void BM_BypassFleet(benchmark::State& state) {
+  const auto chains = static_cast<std::size_t>(state.range(0));
+  const auto flips = static_cast<std::size_t>(state.range(1));
+  set_log_level(LogLevel::kError);
+  Rng rng(0xf1ee7 ^ chains);
+
+  for (auto _ : state) {
+    Fleet fleet;
+    bool ok = true;
+
+    // --- ramp: plug the whole fleet, then the steering-rule burst.
+    std::vector<PortId> from(chains);
+    std::vector<PortId> to(chains);
+    const std::size_t regions_before_plug = fleet.shm.region_count();
+    from[0] = fleet.hotplug();
+    const std::size_t regions_per_port =
+        fleet.shm.region_count() - regions_before_plug;
+    to[0] = fleet.hotplug();
+    for (std::size_t i = 1; i < chains; ++i) {
+      from[i] = fleet.hotplug();
+      to[i] = fleet.hotplug();
+    }
+    const std::size_t baseline_regions = fleet.shm.region_count();
+    for (std::size_t i = 0; i < chains; ++i) {
+      (void)fleet.of.handle_flow_mod(openflow::make_p2p_flowmod(
+          from[i], to[i], 100, static_cast<Cookie>(i + 1)));
+    }
+    ok &= fleet.converge();
+    const TimeNs ramp_ns = fleet.runtime.now_ns();
+    const std::size_t links_after_ramp =
+        fleet.of.bypass_manager().active_links();
+    if (links_after_ramp > g_links_peak) g_links_peak = links_after_ramp;
+
+    // --- churn: diverter flip cycles on random links. Each half-flip
+    // converges, so every cycle is one real teardown + one real setup.
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t i = rng.next_below(chains);
+      openflow::FlowMod diverter = openflow::make_p2p_flowmod(
+          from[i], to[i], 300, static_cast<Cookie>(0x900d + f));
+      diverter.match.l4_dst(80);
+      (void)fleet.of.handle_flow_mod(diverter);
+      ok &= fleet.converge();
+      diverter.command = openflow::FlowModCommand::kDeleteStrict;
+      (void)fleet.of.handle_flow_mod(diverter);
+      ok &= fleet.converge();
+    }
+    const TimeNs churn_ns = fleet.runtime.now_ns() - ramp_ns;
+
+    // --- hotplug mid-flight: 8 extra chains join the converged fleet.
+    constexpr std::size_t kExtra = 8;
+    for (std::size_t i = 0; i < kExtra; ++i) {
+      const PortId a = fleet.hotplug();
+      const PortId b = fleet.hotplug();
+      (void)fleet.of.handle_flow_mod(openflow::make_p2p_flowmod(
+          a, b, 100, static_cast<Cookie>(0xadd + i)));
+    }
+    ok &= fleet.converge();
+    const std::size_t links_full = fleet.of.bypass_manager().active_links();
+    if (links_full > g_links_peak) g_links_peak = links_full;
+    const TimeNs hotplug_ns = fleet.runtime.now_ns() - ramp_ns - churn_ns;
+
+    // --- wind-down: delete-all, converge, region census back to
+    // baseline (+ the mid-flight ports' own channel regions).
+    openflow::FlowMod del;
+    del.command = openflow::FlowModCommand::kDelete;
+    (void)fleet.of.handle_flow_mod(del);
+    ok &= fleet.converge();
+    const std::size_t expected_regions =
+        baseline_regions + 2 * kExtra * regions_per_port;
+    const std::uint64_t leaked =
+        fleet.shm.region_count() > expected_regions
+            ? fleet.shm.region_count() - expected_regions
+            : 0;
+    g_leaked_regions += leaked;
+    if (!fleet.of.bypass_manager().links().empty()) g_leaked_regions += 1;
+
+    const vswitch::BypassCounters& bc = fleet.of.bypass_manager().counters();
+    const vswitch::DetectorCounters& dc =
+        fleet.of.bypass_manager().detector().counters();
+    const agent::AgentCounters& ac = fleet.agent.counters();
+    g_setup_failures +=
+        bc.setups_failed + ac.setup_failures + ac.ctrl_nacks + ac.timeouts;
+    if (!ok) g_setup_failures += 1;  // a convergence timeout is a failure
+
+    state.counters["links_peak"] = static_cast<double>(links_full);
+    state.counters["ramp_ms_virt"] = static_cast<double>(ramp_ns) / 1e6;
+    state.counters["churn_ms_virt"] = static_cast<double>(churn_ns) / 1e6;
+    state.counters["hotplug_ms_virt"] = static_cast<double>(hotplug_ns) / 1e6;
+    state.counters["setups"] = static_cast<double>(bc.setups_completed);
+    state.counters["teardowns"] = static_cast<double>(bc.teardowns_completed);
+    state.counters["deferred_inflight"] =
+        static_cast<double>(bc.setups_deferred_inflight);
+    state.counters["deferred_region"] =
+        static_cast<double>(bc.setups_deferred_region);
+    state.counters["deferred_fanin"] =
+        static_cast<double>(bc.setups_deferred_fanin);
+    state.counters["detector_events"] = static_cast<double>(dc.events);
+    state.counters["ports_reevaluated"] =
+        static_cast<double>(dc.ports_reevaluated);
+    state.counters["rules_scanned"] = static_cast<double>(dc.rules_scanned);
+    state.counters["plugs"] = static_cast<double>(ac.plugs);
+    state.counters["leaked_regions"] = static_cast<double>(leaked);
+
+    state.SetIterationTime(static_cast<double>(fleet.runtime.now_ns()) / 1e9);
+  }
+}
+
+constexpr TimeNs kHopWarmupNs = 3'000'000;
+constexpr TimeNs kHopMeasureNs = 10'000'000;
+
+void BM_BypassHopCost(benchmark::State& state) {
+  const auto vm_count = static_cast<std::uint32_t>(state.range(0));
+  const bool bypass = state.range(1) != 0;
+  chain::ChainConfig config;
+  config.vm_count = vm_count;
+  config.use_nics = false;
+  config.bidirectional = true;
+  config.enable_bypass = bypass;
+  config.engine_count = 1;
+  config.frame_len = 64;
+  config.hotplug = fast_hotplug();
+  chain::ChainMetrics metrics;
+  for (auto _ : state) {
+    metrics = run_chain_point(config, kHopWarmupNs, kHopMeasureNs);
+    state.SetIterationTime(static_cast<double>(metrics.duration_ns) / 1e9);
+  }
+  export_counters(state, metrics);
+  g_mpps_point[bypass ? 1 : 0][vm_count == 2 ? 0 : 1] = metrics.mpps_total;
+}
+
+}  // namespace
+}  // namespace hw::bench
+
+int main(int argc, char** argv) {
+  using namespace hw::bench;
+
+  int out_argc = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+      continue;
+    }
+    argv[out_argc++] = argv[i];
+  }
+  argc = out_argc;
+
+  auto* fleet = benchmark::RegisterBenchmark("BM_BypassFleet", BM_BypassFleet);
+  fleet->ArgNames({"chains", "flips"});
+  if (g_smoke) {
+    fleet->Args({1024, 64});
+  } else {
+    fleet->Args({64, 32})->Args({256, 64})->Args({1024, 64});
+  }
+  fleet->Iterations(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+
+  auto* hop =
+      benchmark::RegisterBenchmark("BM_BypassHopCost", BM_BypassHopCost);
+  hop->ArgNames({"vms", "bypass"})
+      ->ArgsProduct({{2, 6}, {0, 1}})
+      ->Iterations(1)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Marginal per-hop per-packet cost over the 4 hops between 2 and 6 VMs.
+  auto per_hop_ns = [](double mpps2, double mpps6) {
+    if (mpps2 <= 0 || mpps6 <= 0) return 0.0;
+    return (1e3 / mpps6 - 1e3 / mpps2) / 4.0;
+  };
+  const double hop_fallback = per_hop_ns(g_mpps_point[0][0], g_mpps_point[0][1]);
+  const double hop_bypassed = per_hop_ns(g_mpps_point[1][0], g_mpps_point[1][1]);
+  const double hop_ratio =
+      hop_bypassed > 0 ? hop_fallback / hop_bypassed : 0.0;
+
+  std::printf("\n=== Bypass fleet: per-hop datapath cost ===\n");
+  std::printf("%-22s %-14s\n", "hop kind", "ns/pkt/hop");
+  std::printf("%-22s %-14.2f\n", "fallback (classified)", hop_fallback);
+  std::printf("%-22s %-14.2f\n", "bypassed (highway)", hop_bypassed);
+  std::printf("%-22s %.1fx\n", "ratio", hop_ratio);
+  std::printf("\nfleet peak concurrent links: %zu, leaked regions: %llu, "
+              "setup failures: %llu\n",
+              g_links_peak, static_cast<unsigned long long>(g_leaked_regions),
+              static_cast<unsigned long long>(g_setup_failures));
+
+  if (g_smoke) {
+    bool pass = true;
+    if (g_links_peak < 1024) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: only %zu concurrent links (gate: >= 1024)\n",
+                   g_links_peak);
+      pass = false;
+    }
+    if (g_leaked_regions != 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: %llu channel regions leaked (gate: 0)\n",
+                   static_cast<unsigned long long>(g_leaked_regions));
+      pass = false;
+    }
+    if (g_setup_failures != 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: %llu setup failures/nacks/timeouts "
+                   "(gate: 0)\n",
+                   static_cast<unsigned long long>(g_setup_failures));
+      pass = false;
+    }
+    if (hop_ratio < 5.0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: fallback hop is only %.1fx a bypassed hop "
+                   "(gate: >= 5x)\n",
+                   hop_ratio);
+      pass = false;
+    }
+    if (!pass) return 1;
+    std::printf("SMOKE PASS: %zu links, 0 leaks, 0 failures, hop ratio "
+                "%.1fx (gate >= 5x)\n",
+                g_links_peak, hop_ratio);
+  }
+  return 0;
+}

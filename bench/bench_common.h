@@ -209,7 +209,11 @@ inline void export_counters(benchmark::State& state,
 /// docs/SCALEOUT.md and docs/COUNTERS.md).
 inline void export_engine_counter(benchmark::State& state, std::size_t engine,
                                   const char* name, double value) {
-  state.counters["e" + std::to_string(engine) + "_" + name] = value;
+  // snprintf, not string operator+: GCC 12's -Wrestrict false-fires on
+  // the inlined `const char* + std::to_string(...)` chain (PR105651).
+  char key[64];
+  std::snprintf(key, sizeof key, "e%zu_%s", engine, name);
+  state.counters[key] = value;
 }
 
 }  // namespace hw::bench

@@ -38,9 +38,27 @@ bool ComputeAgent::send_ctrl(PortId port, const CtrlMsg& msg) {
 }
 
 void ComputeAgent::collect_acks() {
+  // Drain only the ports referenced by in-flight operations: acks can
+  // only arrive on a channel we sent a command to, and the in-flight set
+  // is bounded (BypassManagerConfig::max_inflight_ops) while the port
+  // fleet is not — a full ctrl_cache_ sweep would be O(ports) per poll.
+  watch_ports_.clear();
+  for (const auto& [id, op] : setups_) {
+    watch_ports_.push_back(op.req.from);
+    watch_ports_.push_back(op.req.to);
+  }
+  for (const auto& [id, op] : teardowns_) {
+    watch_ports_.push_back(op.req.from);
+    watch_ports_.push_back(op.req.to);
+  }
+  std::sort(watch_ports_.begin(), watch_ports_.end());
+  watch_ports_.erase(std::unique(watch_ports_.begin(), watch_ports_.end()),
+                     watch_ports_.end());
   CtrlMsg ack;
-  for (auto& [port, channel] : ctrl_cache_) {
-    while (channel.ack().dequeue(ack)) {
+  for (const PortId port : watch_ports_) {
+    const auto it = ctrl_cache_.find(port);
+    if (it == ctrl_cache_.end()) continue;
+    while (it->second.ack().dequeue(ack)) {
       acks_[ack.seq] = ack.ok != 0;
     }
   }

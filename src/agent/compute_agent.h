@@ -174,6 +174,9 @@ class ComputeAgent final : public exec::Context,
   std::map<std::uint64_t, SetupOp> setups_;
   std::map<std::uint64_t, TeardownOp> teardowns_;
   std::unordered_map<std::uint16_t, bool> acks_;  ///< seq → ok
+  /// Scratch for collect_acks(): ports referenced by in-flight ops this
+  /// poll (kept as a member so the per-poll allocation amortizes away).
+  std::vector<PortId> watch_ports_;
   std::uint64_t next_op_ = 1;
   std::uint16_t next_seq_ = 1;
   AgentCounters counters_;

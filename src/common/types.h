@@ -20,7 +20,7 @@ using PortId = std::uint16_t;
 inline constexpr PortId kPortNone = 0xffff;       ///< "no port" sentinel
 inline constexpr PortId kPortController = 0xfffd; ///< punt to controller
 inline constexpr PortId kPortDrop = 0xfffc;       ///< explicit drop
-inline constexpr PortId kMaxPorts = 1024;         ///< dense port-id space
+inline constexpr PortId kMaxPorts = 4096;         ///< dense port-id space
 
 /// Identifier of a virtual machine managed by the hypervisor simulation.
 using VmId = std::uint32_t;

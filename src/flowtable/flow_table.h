@@ -115,6 +115,10 @@ class FlowTable {
     const auto it = index_.find(id);
     return it == index_.end() ? nullptr : &entries_[it->second];
   }
+  [[nodiscard]] const FlowEntry* find(RuleId id) const noexcept {
+    const auto it = index_.find(id);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+  }
 
   /// Monotonic version, bumped on every table change; cache tiers use it
   /// to detect changes they have not yet revalidated against.

@@ -25,8 +25,13 @@
 
 namespace hw::pmd {
 
-inline constexpr std::size_t kStatsMaxPorts = 128;
-inline constexpr std::size_t kStatsMaxRules = 256;
+/// Sized for the fleet regime (kMaxPorts endpoints, one rule slot per
+/// bypass direction): ports must NOT alias modulo this — aliased slots
+/// would mix two ports' counters and break the exact-stats transparency
+/// claim at scale. 3 × 4096 cache-line counters ≈ 768 KiB of shared
+/// memory, allocated once per switch.
+inline constexpr std::size_t kStatsMaxPorts = 4096;
+inline constexpr std::size_t kStatsMaxRules = 4096;
 inline constexpr std::uint32_t kStatsSlotNone = 0xffffffff;
 inline constexpr std::uint32_t kStatsMagic = 0x53544154;  // "STAT"
 

@@ -5,21 +5,52 @@
 #include "common/log.h"
 #include "exec/runtime.h"
 #include "pmd/channel.h"
+#include "pmd/guest_pmd.h"
 
 namespace hw::vswitch {
 
+// The default fan-in fence must track the guest datapath's actual RX-ring
+// budget: a looser manager default would request setups the PMD NACKs.
+static_assert(BypassManagerConfig{}.max_rx_fanin == pmd::GuestPmd::kMaxBypassRx,
+              "max_rx_fanin default must match the guest PMD RX-ring budget");
+
 BypassManager::BypassManager(shm::ShmManager& shm,
                              flowtable::FlowTable& table,
-                             pmd::SharedStats stats, P2pDetector detector,
+                             pmd::SharedStats stats,
+                             IncrementalP2pDetector detector,
                              BypassManagerConfig config)
     : shm_(&shm),
       table_(&table),
       stats_(stats),
       detector_(std::move(detector)),
-      config_(config) {}
+      config_(config) {
+  // Pick up rules installed before the manager existed, then stay in
+  // sync off the table's own change stream: one O(ids-touched) bucket
+  // update per committed FlowMod, no full scans.
+  detector_.reset(*table_);
+  table_token_ = table_->subscribe([this](const flowtable::TableChangeEvent& e) {
+    detector_.on_event(e, *table_);
+  });
+}
+
+BypassManager::~BypassManager() { table_->unsubscribe(table_token_); }
 
 void BypassManager::add_candidate_port(PortId port) {
-  candidate_ports_.push_back(port);
+  detector_.add_candidate_port(port);
+}
+
+void BypassManager::remove_candidate_port(PortId port) {
+  detector_.remove_candidate_port(port);
+  // Links targeting the port are invisible to the event stream; a full
+  // re-evaluation at the next refresh catches them (retire is rare).
+  detector_.invalidate_all();
+  retry_ports_.insert(port);  // its own link must reconcile away
+  on_table_change();
+}
+
+void BypassManager::invalidate_eligibility() {
+  detector_.invalidate_all();
+  on_table_change();
 }
 
 std::optional<std::uint32_t> BypassManager::alloc_slot() noexcept {
@@ -53,6 +84,21 @@ std::size_t BypassManager::region_users(const std::string& region) const {
       }));
 }
 
+bool BypassManager::region_tearing_down(const P2pLink& link) const noexcept {
+  const auto it = links_.find(link.to);
+  return it != links_.end() && it->second.link.to == link.from &&
+         it->second.state == LinkState::kTearingDown;
+}
+
+bool BypassManager::at_rx_fanin_cap(const P2pLink& link) const noexcept {
+  if (config_.max_rx_fanin == 0) return false;
+  const std::size_t inbound = static_cast<std::size_t>(
+      std::count_if(links_.begin(), links_.end(), [&](const auto& kv) {
+        return kv.second.link.to == link.to;
+      }));
+  return inbound >= config_.max_rx_fanin;
+}
+
 void BypassManager::on_table_change() {
   if (in_reconcile_) {
     reconcile_pending_ = true;
@@ -61,48 +107,79 @@ void BypassManager::on_table_change() {
   in_reconcile_ = true;
   do {
     reconcile_pending_ = false;
-
-    std::map<PortId, P2pLink> desired;
-    for (const P2pLink& link :
-         detector_.evaluate_all(*table_, candidate_ports_)) {
-      desired.emplace(link.from, link);
+    // Only ports whose link actually changed, plus parked retries — the
+    // reconcile is O(changed), not O(links).
+    std::vector<PortId> check = detector_.refresh(*table_);
+    if (!retry_ports_.empty()) {
+      check.insert(check.end(), retry_ports_.begin(), retry_ports_.end());
+      retry_ports_.clear();
+      std::sort(check.begin(), check.end());
+      check.erase(std::unique(check.begin(), check.end()), check.end());
     }
-
-    // Reconcile existing links against the desired set.
-    for (auto& [from, info] : links_) {
-      auto it = desired.find(from);
-      const bool still_wanted =
-          it != desired.end() && it->second.to == info.link.to;
-      if (still_wanted) {
-        // Same direction; the rule may have been replaced — track the new
-        // rule id/cookie so statistics keep merging correctly.
-        info.link = it->second;
-        info.cancel_after_setup = false;
-        desired.erase(it);
-        continue;
-      }
-      // No longer desired (or destination changed).
-      if (it != desired.end()) desired.erase(it);
-      switch (info.state) {
-        case LinkState::kActive:
-          initiate_teardown(info);
-          break;
-        case LinkState::kSettingUp:
-          info.cancel_after_setup = true;
-          break;
-        case LinkState::kTearingDown:
-          break;  // already on its way out
-      }
-    }
-
-    // New links. A `from` port still tearing down is picked up by the
-    // reconcile that runs on teardown completion.
-    for (const auto& [from, link] : desired) {
-      if (links_.contains(from)) continue;
-      initiate_setup(link);
-    }
+    for (const PortId from : check) reconcile_port(from);
   } while (reconcile_pending_);
   in_reconcile_ = false;
+}
+
+void BypassManager::reconcile_port(PortId from) {
+  const auto& desired = detector_.links();
+  const auto dit = desired.find(from);
+  const auto lit = links_.find(from);
+
+  if (lit != links_.end()) {
+    LinkInfo& info = lit->second;
+    const bool still_wanted =
+        dit != desired.end() && dit->second.to == info.link.to;
+    if (still_wanted) {
+      // Same direction; the rule may have been replaced — track the new
+      // rule id/cookie so statistics keep merging correctly.
+      if (info.link.rule != dit->second.rule) {
+        drop_rule_binding(info);
+        rule_index_[dit->second.rule] = from;
+      }
+      info.link = dit->second;
+      info.cancel_after_setup = false;
+      return;
+    }
+    // No longer desired (or destination changed).
+    switch (info.state) {
+      case LinkState::kActive:
+        initiate_teardown(info);
+        break;
+      case LinkState::kSettingUp:
+        info.cancel_after_setup = true;
+        break;
+      case LinkState::kTearingDown:
+        break;  // already on its way out
+    }
+    // A replacement direction re-arms once the teardown completes.
+    if (dit != desired.end()) retry_ports_.insert(from);
+    return;
+  }
+
+  if (dit == desired.end()) return;
+  const P2pLink& link = dit->second;
+  if (region_tearing_down(link)) {
+    // The pair's region is being unplugged by the reverse direction;
+    // attaching now would race its destroy. Park until that completes.
+    ++counters_.setups_deferred_region;
+    retry_ports_.insert(from);
+    return;
+  }
+  if (at_rx_fanin_cap(link)) {
+    // The destination's guest PMD has no free bypass RX ring; asking the
+    // agent now would end in a NACK and a dropped link. Park until an
+    // inbound teardown frees a slot.
+    ++counters_.setups_deferred_fanin;
+    retry_ports_.insert(from);
+    return;
+  }
+  if (at_inflight_cap()) {
+    ++counters_.setups_deferred_inflight;
+    retry_ports_.insert(from);
+    return;
+  }
+  initiate_setup(link);
 }
 
 void BypassManager::initiate_setup(const P2pLink& link) {
@@ -113,8 +190,9 @@ void BypassManager::initiate_setup(const P2pLink& link) {
   }
   const auto slot = alloc_slot();
   if (!slot.has_value()) {
-    HW_LOG(kWarn, "bypass", "out of stats slots; link %u->%u ignored",
+    HW_LOG(kWarn, "bypass", "out of stats slots; link %u->%u parked",
            link.from, link.to);
+    retry_ports_.insert(link.from);  // a teardown will free a slot
     return;
   }
 
@@ -134,6 +212,9 @@ void BypassManager::initiate_setup(const P2pLink& link) {
       return;
     }
     region = created.value();
+    // A fresh epoch per region incarnation: PMDs attach with the epoch
+    // the manager hands them, so a mapping of a previous incarnation of
+    // this pair's region can never be revived by mistake.
     auto channel = pmd::ChannelView::create_in(
         *region, config_.ring_capacity, lo, hi, next_epoch_++);
     if (!channel.is_ok()) {
@@ -157,8 +238,10 @@ void BypassManager::initiate_setup(const P2pLink& link) {
     info.setup_requested_ns = trace_clock_->epoch_start_ns();
   }
   links_[link.from] = info;
+  rule_index_[link.rule] = link.from;
 
   ++counters_.setups_requested;
+  ++inflight_ops_;
   HW_LOG(kInfo, "bypass", "setup %u->%u region=%s slot=%u plug=%d",
          link.from, link.to, region_name.c_str(), *slot,
          plug_required ? 1 : 0);
@@ -178,6 +261,7 @@ void BypassManager::initiate_teardown(LinkInfo& info) {
     info.teardown_requested_ns = trace_clock_->epoch_start_ns();
   }
   ++counters_.teardowns_requested;
+  ++inflight_ops_;
   // Unplug when this is the last direction still holding the region:
   // siblings already tearing down do not count, otherwise two concurrent
   // direction teardowns would each defer to the other and the region
@@ -209,22 +293,32 @@ void BypassManager::fold_and_release_slot(LinkInfo& info) {
   slot_used_[info.rule_slot] = false;
 }
 
+void BypassManager::drop_rule_binding(const LinkInfo& info) noexcept {
+  const auto it = rule_index_.find(info.link.rule);
+  if (it != rule_index_.end() && it->second == info.link.from) {
+    rule_index_.erase(it);
+  }
+}
+
 void BypassManager::on_bypass_ready(PortId from, PortId to, bool ok) {
   auto it = links_.find(from);
   if (it == links_.end() || it->second.link.to != to) {
     HW_LOG(kWarn, "bypass", "stray setup completion %u->%u", from, to);
     return;
   }
+  if (inflight_ops_ > 0) --inflight_ops_;
   LinkInfo& info = it->second;
   if (!ok) {
     ++counters_.setups_failed;
     HW_LOG(kWarn, "bypass", "setup failed %u->%u", from, to);
     fold_and_release_slot(info);
+    drop_rule_binding(info);
     const std::string region = info.region;
     links_.erase(it);
     if (region_users(region) == 0) {
       (void)shm_->destroy(region);  // agent rolled back its plugs
     }
+    if (!retry_ports_.empty()) on_table_change();
     return;
   }
   if (info.cancel_after_setup) {
@@ -237,6 +331,8 @@ void BypassManager::on_bypass_ready(PortId from, PortId to, bool ok) {
   ++counters_.setups_completed;
   record_span("bypass_setup", info.setup_requested_ns, from, to);
   HW_LOG(kInfo, "bypass", "ACTIVE %u->%u", from, to);
+  // A completion frees an in-flight slot: drain parked setups.
+  if (!retry_ports_.empty()) on_table_change();
 }
 
 void BypassManager::on_bypass_torn_down(PortId from, PortId to) {
@@ -245,8 +341,10 @@ void BypassManager::on_bypass_torn_down(PortId from, PortId to) {
     HW_LOG(kWarn, "bypass", "stray teardown completion %u->%u", from, to);
     return;
   }
+  if (inflight_ops_ > 0) --inflight_ops_;
   record_span("bypass_teardown", it->second.teardown_requested_ns, from, to);
   fold_and_release_slot(it->second);
+  drop_rule_binding(it->second);
   const std::string region = it->second.region;
   links_.erase(it);
   ++counters_.teardowns_completed;
@@ -258,16 +356,19 @@ void BypassManager::on_bypass_torn_down(PortId from, PortId to) {
     }
   }
   HW_LOG(kInfo, "bypass", "torn down %u->%u", from, to);
-  // A different link for this source port may now be possible.
+  // A different link for this source port may now be possible, and
+  // setups parked behind this teardown's region can now start.
+  retry_ports_.insert(from);
   on_table_change();
 }
 
 std::pair<std::uint64_t, std::uint64_t> BypassManager::rule_extra(
     RuleId rule) const noexcept {
-  for (const auto& [from, info] : links_) {
-    if (info.link.rule == rule) return stats_.read_rule(info.rule_slot);
-  }
-  return {0, 0};
+  const auto it = rule_index_.find(rule);
+  if (it == rule_index_.end()) return {0, 0};
+  const auto lit = links_.find(it->second);
+  if (lit == links_.end() || lit->second.link.rule != rule) return {0, 0};
+  return stats_.read_rule(lit->second.rule_slot);
 }
 
 std::size_t BypassManager::active_links() const noexcept {

@@ -61,8 +61,10 @@ OfSwitch::OfSwitch(shm::ShmManager& shm, mbuf::Mempool& pool,
 
   bypass_ = std::make_unique<BypassManager>(
       *shm_, table_, shared_stats_,
-      P2pDetector([this](PortId id) { return is_dpdkr(id); }),
-      BypassManagerConfig{.ring_capacity = config_.ring_capacity});
+      IncrementalP2pDetector(
+          [this](PortId id) { return is_bypass_eligible(id); }),
+      BypassManagerConfig{.ring_capacity = config_.ring_capacity,
+                          .max_inflight_ops = config_.bypass_max_inflight});
 
   if (config_.tracer != nullptr) {
     for (auto& engine : engines_) {
@@ -99,6 +101,11 @@ Result<PortId> OfSwitch::add_dpdkr_port(const std::string& name) {
   bypass_->add_candidate_port(id);
   ports_.push_back(std::move(port));
   ++next_port_;
+  if (config_.bypass_enabled) {
+    // Hotplug mid-run: steering rules naming this port may already be
+    // installed (only the new candidate port is re-evaluated).
+    bypass_->on_table_change();
+  }
   HW_LOG(kInfo, "vswitch", "added dpdkr port %u (%s)", id, name.c_str());
   return id;
 }
@@ -148,6 +155,12 @@ bool OfSwitch::is_dpdkr(PortId id) const noexcept {
   return ports_[id - 1]->kind() == PortKind::kDpdkr;
 }
 
+bool OfSwitch::is_bypass_eligible(PortId id) const noexcept {
+  if (id == 0 || id > ports_.size()) return false;
+  const SwitchPort& p = *ports_[id - 1];
+  return p.kind() == PortKind::kDpdkr && p.enabled();
+}
+
 std::vector<PortId> OfSwitch::dpdkr_ports() const {
   std::vector<PortId> out;
   for (const auto& port : ports_) {
@@ -159,7 +172,31 @@ std::vector<PortId> OfSwitch::dpdkr_ports() const {
 Status OfSwitch::set_port_enabled(PortId id, bool enabled) {
   SwitchPort* p = port(id);
   if (p == nullptr) return Status::not_found("no such port");
+  const bool was = p->enabled();
   p->set_enabled(enabled);
+  if (config_.bypass_enabled && was != enabled && is_dpdkr(id)) {
+    // Eligibility flips are invisible to the table's event stream; force
+    // a full re-evaluation so links into a dead port come down (and
+    // links into a revived one come back).
+    bypass_->invalidate_eligibility();
+  }
+  return Status::ok();
+}
+
+Status OfSwitch::retire_dpdkr_port(PortId id) {
+  SwitchPort* p = port(id);
+  if (p == nullptr) return Status::not_found("no such port");
+  if (p->kind() != PortKind::kDpdkr) {
+    return Status::invalid_argument("not a dpdkr port");
+  }
+  p->set_enabled(false);
+  if (config_.bypass_enabled) {
+    // Tears down the port's own link and any link targeting it; the
+    // agent quiesces + unplugs asynchronously as usual.
+    bypass_->remove_candidate_port(id);
+  }
+  HW_LOG(kInfo, "vswitch", "retired dpdkr port %u (%.*s)", id,
+         static_cast<int>(p->name().size()), p->name().data());
   return Status::ok();
 }
 

@@ -59,6 +59,10 @@ struct SwitchConfig {
   /// (docs/SCALEOUT.md). Ignored when engine_count <= 1.
   RssConfig rss{};
   bool bypass_enabled = true;        ///< false = vanilla OVS-DPDK baseline
+  /// Max bypass setup/teardown operations in flight at the compute agent;
+  /// further setups park until a completion frees a slot (docs/BYPASS.md
+  /// "fleet knobs"). 0 = unbounded.
+  std::size_t bypass_max_inflight = 64;
   /// Span recorder (not owned; null = tracing off). One track per
   /// engine plus a "ctrl" track for FlowMods and bypass lifecycle.
   /// SimRuntime scenarios only — the tracer is not thread-safe.
@@ -91,8 +95,20 @@ class OfSwitch {
                                             nic::SimNic& nic);
 
   [[nodiscard]] Status set_port_enabled(PortId port, bool enabled);
+
+  /// VM removal: disables the port, withdraws it as a bypass endpoint
+  /// (its link and any link targeting it tear down through the agent),
+  /// and leaves a tombstone — engines may still hold the SwitchPort, so
+  /// the object stays alive and the id is never reused; traffic to a
+  /// retired port drops at flush like any disabled port.
+  [[nodiscard]] Status retire_dpdkr_port(PortId port);
+
   [[nodiscard]] SwitchPort* port(PortId id) noexcept;
   [[nodiscard]] bool is_dpdkr(PortId id) const noexcept;
+  /// Bypass-endpoint eligibility: a live (enabled, non-retired) dpdkr
+  /// port. The detector must not steer traffic into a port the engines
+  /// would have dropped it on — that would break transparency.
+  [[nodiscard]] bool is_bypass_eligible(PortId id) const noexcept;
   [[nodiscard]] std::vector<PortId> dpdkr_ports() const;
 
   // ------------------------------------------------- OpenFlow control

@@ -1,5 +1,7 @@
 #include "vswitch/p2p_detector.h"
 
+#include <algorithm>
+
 #include "openflow/messages.h"
 
 namespace hw::vswitch {
@@ -58,6 +60,172 @@ std::vector<P2pLink> P2pDetector::evaluate_all(
     }
   }
   return links;
+}
+
+// ---------------------------------------------------------------------
+// IncrementalP2pDetector
+// ---------------------------------------------------------------------
+
+void IncrementalP2pDetector::add_candidate_port(PortId port) {
+  if (!candidate_set_.insert(port).second) return;
+  candidate_ports_.push_back(port);
+  dirty_.insert(port);
+}
+
+void IncrementalP2pDetector::remove_candidate_port(PortId port) {
+  if (candidate_set_.erase(port) == 0) return;
+  candidate_ports_.erase(
+      std::find(candidate_ports_.begin(), candidate_ports_.end(), port));
+  dirty_.erase(port);
+  links_.erase(port);
+}
+
+void IncrementalP2pDetector::mark_dirty(PortId key) {
+  if (key == kPortNone) {
+    // A rule wildcarding in_port enters every port's evaluation.
+    if (!all_dirty_) ++counters_.wildcard_events;
+    all_dirty_ = true;
+    return;
+  }
+  if (!all_dirty_ && candidate_set_.contains(key)) dirty_.insert(key);
+}
+
+void IncrementalP2pDetector::index_rule(RuleId id,
+                                        const flowtable::FlowTable& table) {
+  const flowtable::FlowEntry* entry = table.find(id);
+  if (entry == nullptr) return;  // deleted again before we saw it
+  const PortId key = bucket_key(entry->match);
+  const auto [it, inserted] = rule_key_.emplace(id, key);
+  if (inserted) buckets_[key].push_back(id);
+  mark_dirty(key);
+}
+
+void IncrementalP2pDetector::drop_rule(RuleId id) {
+  const auto it = rule_key_.find(id);
+  if (it == rule_key_.end()) return;
+  const PortId key = it->second;
+  rule_key_.erase(it);
+  auto& bucket = buckets_[key];
+  const auto pos = std::find(bucket.begin(), bucket.end(), id);
+  if (pos != bucket.end()) {
+    *pos = bucket.back();
+    bucket.pop_back();
+  }
+  mark_dirty(key);
+}
+
+void IncrementalP2pDetector::on_event(const flowtable::TableChangeEvent& event,
+                                      const flowtable::FlowTable& table) {
+  ++counters_.events;
+  for (const RuleId id : event.added) index_rule(id, table);
+  for (const RuleId id : event.modified) {
+    // A modify rewrites actions/cookie only (the match is immutable), so
+    // bucket membership is unchanged — but the rule may have gained or
+    // lost single-output-ness, so its bucket's port must re-evaluate.
+    const auto it = rule_key_.find(id);
+    if (it != rule_key_.end()) {
+      mark_dirty(it->second);
+    } else {
+      index_rule(id, table);  // detector attached after the rule's ADD
+    }
+  }
+  for (const RuleId id : event.removed) drop_rule(id);
+}
+
+void IncrementalP2pDetector::reset(const flowtable::FlowTable& table) {
+  buckets_.clear();
+  rule_key_.clear();
+  for (const flowtable::FlowEntry& entry : table.entries()) {
+    const PortId key = bucket_key(entry.match);
+    rule_key_.emplace(entry.id, key);
+    buckets_[key].push_back(entry.id);
+  }
+  all_dirty_ = true;
+}
+
+std::optional<P2pLink> IncrementalP2pDetector::evaluate_port(
+    const flowtable::FlowTable& table, PortId from) const {
+  const std::vector<RuleId>* scans[2] = {nullptr, nullptr};
+  if (const auto it = buckets_.find(from); it != buckets_.end()) {
+    scans[0] = &it->second;
+  }
+  if (const auto it = buckets_.find(kPortNone); it != buckets_.end()) {
+    scans[1] = &it->second;
+  }
+
+  // Pass 1: the winning candidate — highest priority, lowest id on ties
+  // (the order P2pDetector meets entries in the sorted table).
+  const flowtable::FlowEntry* candidate = nullptr;
+  PortId candidate_out = kPortNone;
+  for (const auto* bucket : scans) {
+    if (bucket == nullptr) continue;
+    for (const RuleId id : *bucket) {
+      const flowtable::FlowEntry* entry = table.find(id);
+      if (entry == nullptr) continue;
+      ++counters_.rules_scanned;
+      PortId out = kPortNone;
+      const bool is_candidate =
+          entry->match.is_in_port_only() &&
+          entry->match.in_port_value() == from &&
+          openflow::is_single_output(entry->actions, &out) && out != from &&
+          is_dpdkr_(out);
+      if (!is_candidate) continue;
+      if (candidate == nullptr || entry->priority > candidate->priority ||
+          (entry->priority == candidate->priority &&
+           entry->id < candidate->id)) {
+        candidate = entry;
+        candidate_out = out;
+      }
+    }
+  }
+  if (candidate == nullptr) return std::nullopt;
+
+  // Pass 2: every *other* rule that could match the port (both buckets,
+  // candidate excluded — dominated same-direction candidates included,
+  // exactly as the reference detector counts them).
+  for (const auto* bucket : scans) {
+    if (bucket == nullptr) continue;
+    for (const RuleId id : *bucket) {
+      if (id == candidate->id) continue;
+      const flowtable::FlowEntry* entry = table.find(id);
+      if (entry == nullptr) continue;
+      if (entry->priority >= candidate->priority) return std::nullopt;
+    }
+  }
+
+  return P2pLink{.from = from,
+                 .to = candidate_out,
+                 .rule = candidate->id,
+                 .cookie = candidate->cookie,
+                 .priority = candidate->priority};
+}
+
+std::vector<PortId> IncrementalP2pDetector::refresh(
+    const flowtable::FlowTable& table) {
+  std::vector<PortId> changed;
+  const auto evaluate = [&](PortId port) {
+    ++counters_.ports_reevaluated;
+    const std::optional<P2pLink> link = evaluate_port(table, port);
+    const auto it = links_.find(port);
+    if (link.has_value()) {
+      if (it == links_.end() || !(it->second == *link)) {
+        links_[port] = *link;
+        changed.push_back(port);
+      }
+    } else if (it != links_.end()) {
+      links_.erase(it);
+      changed.push_back(port);
+    }
+  };
+  if (all_dirty_) {
+    for (const PortId port : candidate_ports_) evaluate(port);
+  } else {
+    for (const PortId port : dirty_) evaluate(port);
+  }
+  all_dirty_ = false;
+  dirty_.clear();
+  std::sort(changed.begin(), changed.end());
+  return changed;
 }
 
 }  // namespace hw::vswitch

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <functional>
-#include <span>
+#include <map>
 #include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -26,6 +29,20 @@
 /// diverting at the source cannot change forwarding behaviour. The check
 /// is conservative — ambiguous same-priority overlaps disable the link —
 /// and complete for the catch-all steering rules NFV orchestrators emit.
+///
+/// Two implementations share those semantics (docs/BYPASS.md):
+///  * P2pDetector — the from-scratch reference: every evaluation scans the
+///    whole table, O(ports × rules) per FlowMod. Kept as the equivalence
+///    oracle for the incremental detector and for one-shot callers.
+///  * IncrementalP2pDetector — fleet-scale: consumes the table's
+///    TableChangeEvent stream, buckets rules by pinned in_port, and
+///    re-evaluates only the ports a change could affect. A rule pinning
+///    in_port=A can only enter port A's evaluation, so an event touching
+///    only pinned rules dirties exactly those ports; a rule wildcarding
+///    in_port enters every port's evaluation, so such events dirty all
+///    candidate ports (rare for the catch-all steering rules NFV
+///    orchestrators emit). Per event the work is O(ids touched); per
+///    refresh it is O(dirty ports × (bucket + wildcard rules)).
 
 namespace hw::vswitch {
 
@@ -59,6 +76,100 @@ class P2pDetector {
 
  private:
   PortPredicate is_dpdkr_;
+};
+
+struct DetectorCounters {
+  std::uint64_t events = 0;             ///< TableChangeEvents consumed
+  std::uint64_t wildcard_events = 0;    ///< events that dirtied every port
+  std::uint64_t ports_reevaluated = 0;  ///< dirty ports re-scanned
+  std::uint64_t rules_scanned = 0;      ///< bucket entries visited
+};
+
+/// Event-driven detector: maintains per-port rule buckets off the
+/// FlowTable's change stream and re-evaluates only dirty candidate ports.
+/// `refresh()` must be called with the same table the events came from;
+/// after it, `links()` equals what P2pDetector::evaluate_all would return
+/// (the property suite's equivalence oracle).
+class IncrementalP2pDetector {
+ public:
+  using PortPredicate = P2pDetector::PortPredicate;
+
+  explicit IncrementalP2pDetector(PortPredicate is_dpdkr)
+      : is_dpdkr_(std::move(is_dpdkr)) {}
+
+  /// Registers a candidate source port (dirty until the next refresh).
+  void add_candidate_port(PortId port);
+
+  /// Unregisters a candidate source port; its link (if any) disappears
+  /// from links() at the next refresh. Bucketed rules are kept — the port
+  /// may come back (VM re-plug) without a table rebuild.
+  void remove_candidate_port(PortId port);
+
+  [[nodiscard]] const std::vector<PortId>& candidate_ports() const noexcept {
+    return candidate_ports_;
+  }
+
+  /// Consumes one committed FlowMod's change event: updates the rule
+  /// buckets and marks affected candidate ports dirty. O(ids touched).
+  /// `table` must already reflect the event (listeners are notified after
+  /// commit, so subscribing this method directly satisfies that).
+  void on_event(const flowtable::TableChangeEvent& event,
+                const flowtable::FlowTable& table);
+
+  /// Marks every candidate port dirty — for changes the event stream
+  /// cannot see (port eligibility flips: retire/enable/disable).
+  void invalidate_all() noexcept { all_dirty_ = true; }
+
+  /// Rebuilds buckets and dirties everything from the current table;
+  /// recovery path for a detector attached after rules were installed.
+  void reset(const flowtable::FlowTable& table);
+
+  /// Re-evaluates dirty candidate ports. Returns the ports whose link
+  /// changed (appeared, vanished, retargeted, or was re-ruled) — the
+  /// reconcile set for the bypass manager. After this, links() is current.
+  [[nodiscard]] std::vector<PortId> refresh(const flowtable::FlowTable& table);
+
+  [[nodiscard]] bool dirty() const noexcept {
+    return all_dirty_ || !dirty_.empty();
+  }
+
+  /// Current link per source port (valid after refresh()).
+  [[nodiscard]] const std::map<PortId, P2pLink>& links() const noexcept {
+    return links_;
+  }
+
+  [[nodiscard]] const DetectorCounters& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Bucket-scan evaluation of one port (same semantics as
+  /// P2pDetector::evaluate_port, O(bucket + wildcard) instead of
+  /// O(rules)). Exposed for the scale benchmark.
+  [[nodiscard]] std::optional<P2pLink> evaluate_port(
+      const flowtable::FlowTable& table, PortId from) const;
+
+ private:
+  /// Bucket key for a rule: its pinned in_port, or kPortNone when the
+  /// match wildcards in_port (the rule can match any port).
+  static PortId bucket_key(const openflow::Match& match) noexcept {
+    return match.has(openflow::kMatchInPort) ? match.in_port_value()
+                                             : kPortNone;
+  }
+
+  void index_rule(RuleId id, const flowtable::FlowTable& table);
+  void drop_rule(RuleId id);
+  void mark_dirty(PortId key);
+
+  PortPredicate is_dpdkr_;
+  /// Rules bucketed by pinned in_port; kPortNone holds the wildcards.
+  std::unordered_map<PortId, std::vector<RuleId>> buckets_;
+  std::unordered_map<RuleId, PortId> rule_key_;
+  std::vector<PortId> candidate_ports_;
+  std::unordered_set<PortId> candidate_set_;
+  std::unordered_set<PortId> dirty_;
+  bool all_dirty_ = false;
+  std::map<PortId, P2pLink> links_;
+  mutable DetectorCounters counters_;
 };
 
 }  // namespace hw::vswitch

@@ -445,6 +445,56 @@ TEST(AnalysisRuntime, SeededUnlockedEwmaUpdateRaces) {
   RaceDetector::instance().reset();
 }
 
+// --------------------------------- bypass region-handoff annotation check
+//
+// The bypass manager parks a setup while the pair's sibling direction is
+// kTearingDown (BypassCounters::setups_deferred_region): the teardown owns
+// the shared channel region's unplug/destroy, and attaching concurrently
+// would touch memory mid-destroy. These two tests model exactly that
+// hazard in virtual time: the seeded variant drops the fence and must be
+// reported; the fenced variant orders attach after the torn-down
+// completion (release on destroy, acquire on attach — the causal edge the
+// manager's reconcile creates) and must stay silent. The protocol-level
+// twin of this pair is ReAddDuringPairTeardownWaitsForRegionDestroy in
+// bypass_agent_test.cpp.
+
+TEST(AnalysisRuntime, SeededBypassRegionDestroyVsAttachRaces) {
+  RaceDetector::instance().reset();
+  int region = 0;  // stands in for the channel region's ring memory
+  TouchContext destroyer("agent-teardown", &region, AccessKind::kWrite,
+                         "vt:bypass-region-destroy");
+  TouchContext attacher("agent-attach", &region, AccessKind::kWrite,
+                        "vt:bypass-region-attach");
+  exec::SimRuntime runtime({.epoch_ns = 1000, .cost = {}});
+  runtime.add_context(&destroyer);
+  runtime.add_context(&attacher);
+  runtime.run_for(10'000);
+  const auto reports = RaceDetector::instance().take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].addr, &region);
+  EXPECT_EQ(std::string_view(reports[0].first_site),
+            "vt:bypass-region-destroy");
+  EXPECT_EQ(std::string_view(reports[0].second_site),
+            "vt:bypass-region-attach");
+  RaceDetector::instance().reset();
+}
+
+TEST(AnalysisRuntime, BypassTeardownFenceSilencesRegionHandoff) {
+  RaceDetector::instance().reset();
+  int region = 0;
+  int completion = 0;  // the torn-down completion the manager waits on
+  TouchContext destroyer("agent-teardown", &region, AccessKind::kWrite,
+                         "vt:bypass-fence-destroy", &completion);
+  TouchContext attacher("agent-attach", &region, AccessKind::kWrite,
+                        "vt:bypass-fence-attach", &completion);
+  exec::SimRuntime runtime({.epoch_ns = 1000, .cost = {}});
+  runtime.add_context(&destroyer);
+  runtime.add_context(&attacher);
+  runtime.run_for(10'000);
+  EXPECT_EQ(RaceDetector::instance().race_count(), 0u);
+  RaceDetector::instance().reset();
+}
+
 #else  // !HW_ANALYSIS
 
 TEST(AnalysisRuntime, SeededRaceIsDetected) {

@@ -13,6 +13,7 @@
 #include "flowtable/flow_table.h"
 #include "openflow/messages.h"
 #include "pkt/headers.h"
+#include "vswitch/p2p_detector.h"
 #include "vswitch/rss.h"
 
 /// \file classifier_equiv_test.cpp
@@ -380,6 +381,161 @@ TEST_P(ClassifierEquivalenceTest, ShardedEnginePoolAgreesWithOracle) {
         << "seed " << seed << " engine " << e
         << ": sharding must never cost a whole-cache flush";
   }
+}
+
+/// BYPASS-ENABLED VARIANT (transparent inter-VNF bypass, docs/BYPASS.md).
+/// An IncrementalP2pDetector rides the same FlowTable's change stream the
+/// bypass manager uses in production. Packets whose in_port holds an
+/// active detector link take the highway — they are delivered straight to
+/// `link.to` WITHOUT classification — and everything else lands on a
+/// sharded scalar/batched engine pair. Transparency is the differential
+/// claim: for every bypassed packet the wildcard oracle must pick exactly
+/// the link's rule, and that rule's action must be a single OUTPUT to
+/// exactly `link.to` — i.e. the highway forwards precisely what the
+/// classifier would have, under p2p-rule churn, diverter shadowing and
+/// random deletes that flip ports between bypassed and classified
+/// mid-stream.
+TEST_P(ClassifierEquivalenceTest, BypassHighwayAgreesWithWildcardOracle) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xb7ba55ULL);  // distinct stream from the other variants
+  exec::CostModel cost;
+  FlowTable table;
+
+  vswitch::IncrementalP2pDetector detector(
+      [](PortId) { return true; });  // every test port is dpdkr-eligible
+  for (PortId port = 1; port <= kPorts; ++port) {
+    detector.add_candidate_port(port);
+  }
+  detector.reset(table);
+  const auto token =
+      table.subscribe([&](const flowtable::TableChangeEvent& event) {
+        detector.on_event(event, table);
+      });
+
+  constexpr std::uint32_t kEngines = 2;
+  DpClassifier engine0(table, cost);
+  DpClassifier engine1(table, cost);  // classifies its share via batches
+  vswitch::RssTable rss(/*buckets=*/64, kEngines);
+  exec::CycleMeter meter;
+
+  std::vector<pkt::FlowKey> pool;
+  for (int i = 0; i < 64; ++i) pool.push_back(random_key(rng));
+
+  // Installed p2p steering rules, so deletes hit real ones and flip
+  // their port back to the classified path.
+  struct P2pRule {
+    PortId from, to;
+    std::uint16_t priority;
+  };
+  std::vector<P2pRule> p2p_rules;
+
+  std::vector<pkt::FlowKey> keys(kBatch);
+  std::vector<std::uint32_t> hashes(kBatch);
+  std::vector<pkt::FlowKey> batch_keys;
+  std::vector<std::uint32_t> batch_hashes;
+  std::vector<LookupOutcome> batch_out;
+
+  std::uint64_t bypassed = 0;
+  std::uint64_t classified = 0;
+  std::uint64_t links_seen = 0;
+
+  std::uint64_t packets = 0;
+  for (std::uint64_t round = 0; packets < kMinPackets; ++round) {
+    const std::uint64_t mods = rng.next_below(3);
+    for (std::uint64_t i = 0; i < mods; ++i) {
+      (void)table.apply(random_mod(rng));
+    }
+    // p2p churn: install a steering rule above the random-mod priority
+    // band (so links actually form), or strict-delete an installed one
+    // (so links actually break).
+    if (rng.chance(1, 3)) {
+      const PortId from = static_cast<PortId>(1 + rng.next_below(kPorts));
+      PortId to = static_cast<PortId>(1 + rng.next_below(kPorts));
+      if (to == from) to = static_cast<PortId>(1 + (from % kPorts));
+      const auto priority =
+          static_cast<std::uint16_t>(300 + 50 * rng.next_below(2));
+      (void)table.apply(
+          openflow::make_p2p_flowmod(from, to, priority, rng.next()));
+      p2p_rules.push_back({from, to, priority});
+    } else if (!p2p_rules.empty() && rng.chance(1, 3)) {
+      const std::size_t idx = rng.next_below(p2p_rules.size());
+      const P2pRule rule = p2p_rules[idx];
+      p2p_rules.erase(p2p_rules.begin() + static_cast<std::ptrdiff_t>(idx));
+      FlowMod mod =
+          openflow::make_p2p_flowmod(rule.from, rule.to, rule.priority, 0);
+      mod.command = FlowModCommand::kDeleteStrict;
+      (void)table.apply(mod);
+    }
+    (void)detector.refresh(table);
+    links_seen += detector.links().size();
+
+    batch_keys.clear();
+    batch_hashes.clear();
+    std::vector<std::size_t> batch_idx;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      if (rng.chance(1, 8)) pool[rng.next_below(pool.size())] = random_key(rng);
+      keys[i] = pool[rng.next_below(pool.size())];
+      hashes[i] = pkt::flow_key_hash(keys[i]);
+
+      const auto lit = detector.links().find(keys[i].in_port);
+      if (lit != detector.links().end()) {
+        // Highway: delivered to link.to with no classifier involvement.
+        // Transparency holds iff the oracle would have done the same.
+        const vswitch::P2pLink& link = lit->second;
+        const FlowEntry* oracle = table.lookup(keys[i]);
+        ASSERT_NE(oracle, nullptr)
+            << "seed " << seed << " round " << round << " pkt " << i
+            << ": bypassed port " << keys[i].in_port
+            << " has no oracle verdict at all";
+        ASSERT_EQ(oracle->id, link.rule)
+            << "seed " << seed << " round " << round << " pkt " << i
+            << ": oracle picked a different rule than the detector link "
+               "on port "
+            << keys[i].in_port << " — the highway would serve stale";
+        ASSERT_EQ(oracle->actions.size(), 1u)
+            << "seed " << seed << " round " << round << " pkt " << i;
+        ASSERT_EQ(oracle->actions[0], Action::output(link.to))
+            << "seed " << seed << " round " << round << " pkt " << i
+            << ": link rule does not output to the link destination";
+        ++bypassed;
+        continue;
+      }
+      // Fallback: sharded classifiers, engine 1 batched.
+      if (rss.owner_of(vswitch::RssTable::hash(keys[i])) == 1) {
+        batch_keys.push_back(keys[i]);
+        batch_hashes.push_back(hashes[i]);
+        batch_idx.push_back(i);
+      } else {
+        const RuleId oracle = id_of(table.lookup(keys[i]));
+        ASSERT_EQ(id_of(engine0.lookup(keys[i], hashes[i], meter).entry),
+                  oracle)
+            << "seed " << seed << " round " << round << " pkt " << i
+            << ": fallback scalar engine diverged from the oracle";
+      }
+      ++classified;
+    }
+    batch_out.resize(batch_keys.size());
+    engine1.lookup_batch(batch_keys, batch_hashes, batch_out, meter);
+    for (std::size_t j = 0; j < batch_idx.size(); ++j) {
+      ASSERT_EQ(id_of(batch_out[j].entry),
+                id_of(table.lookup(keys[batch_idx[j]])))
+          << "seed " << seed << " round " << round << " pkt " << batch_idx[j]
+          << ": fallback batched engine diverged from the oracle";
+    }
+    packets += kBatch;
+  }
+  table.unsubscribe(token);
+
+  // The run must have genuinely exercised both paths and real link churn;
+  // an all-classified or all-bypassed stream proves nothing.
+  EXPECT_GT(bypassed, 0u) << "seed " << seed << ": no packet took the highway";
+  EXPECT_GT(classified, 0u)
+      << "seed " << seed << ": no packet took the classifier";
+  EXPECT_GT(links_seen, 0u) << "seed " << seed;
+  EXPECT_GT(detector.counters().events, 0u) << "seed " << seed;
+  EXPECT_GT(engine0.counters().emc_hits + engine0.counters().megaflow_hits,
+            0u)
+      << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/rng.h"
 #include "flowtable/flow_table.h"
 #include "openflow/codec.h"
@@ -151,6 +154,130 @@ TEST_P(DetectorSoundnessTest, DeterministicUnderReEvaluation) {
     for (std::size_t i = 0; i < first.size(); ++i) {
       ASSERT_EQ(first[i], second[i]);
     }
+  }
+}
+
+/// INCREMENTAL EQUIVALENCE: after *any* sequence of committed FlowMods
+/// (adds, strict/non-strict modifies and deletes, wildcard-in_port
+/// rules), the event-driven detector's link set must equal a from-scratch
+/// `P2pDetector::evaluate_all` over the same candidate ports. This is the
+/// safety argument that lets the fleet-scale reconcile skip the
+/// O(ports × rules) full scan per FlowMod.
+TEST_P(DetectorSoundnessTest, IncrementalMatchesFromScratchUnderChurn) {
+  Rng rng(GetParam() ^ 0x77);
+  const auto eligible = [](PortId port) { return port <= kPorts; };
+  P2pDetector oracle(eligible);
+  std::vector<PortId> ports;
+  for (PortId p = 1; p <= kPorts; ++p) ports.push_back(p);
+
+  const auto check = [&](IncrementalP2pDetector& inc, FlowTable& table,
+                         int trial, int step) {
+    (void)inc.refresh(table);
+    const auto expected = oracle.evaluate_all(table, ports);
+    ASSERT_EQ(inc.links().size(), expected.size())
+        << "trial " << trial << " step " << step;
+    for (const P2pLink& link : expected) {
+      const auto it = inc.links().find(link.from);
+      ASSERT_NE(it, inc.links().end())
+          << "trial " << trial << " step " << step << ": missing link from "
+          << link.from;
+      ASSERT_EQ(it->second, link)
+          << "trial " << trial << " step " << step << ": link from "
+          << link.from << " diverges";
+    }
+  };
+
+  for (int trial = 0; trial < 60; ++trial) {
+    FlowTable table;
+    IncrementalP2pDetector inc(eligible);
+    for (const PortId p : ports) inc.add_candidate_port(p);
+    const std::uint64_t token = table.subscribe(
+        [&](const flowtable::TableChangeEvent& e) { inc.on_event(e, table); });
+
+    const int steps = static_cast<int>(rng.next_in(5, 40));
+    for (int step = 0; step < steps; ++step) {
+      FlowMod mod = random_rule(rng);
+      switch (rng.next_below(8)) {
+        case 0:
+          mod.command = FlowModCommand::kModify;
+          break;
+        case 1:
+          mod.command = FlowModCommand::kModifyStrict;
+          break;
+        case 2:
+          mod.command = FlowModCommand::kDelete;
+          break;
+        case 3:
+          mod.command = FlowModCommand::kDeleteStrict;
+          break;
+        default:
+          break;  // kAdd (occasionally an overwrite of an equal match)
+      }
+      (void)table.apply(mod);  // no-ops are fine — they emit no event
+      // Converge at random intermediate points, not only at the end, so
+      // dirty-set bookkeeping across refresh boundaries is exercised.
+      if (rng.chance(1, 4)) check(inc, table, trial, step);
+    }
+    check(inc, table, trial, steps);
+    table.unsubscribe(token);
+  }
+}
+
+/// Same equivalence with candidate ports hot-plugged and retired while
+/// rules churn — the detector must never resurrect a link for a removed
+/// port, and a re-added port must immediately see pre-existing rules.
+TEST_P(DetectorSoundnessTest, IncrementalMatchesAcrossCandidateChurn) {
+  Rng rng(GetParam() ^ 0xccdd);
+  const auto eligible = [](PortId port) { return port <= kPorts; };
+  P2pDetector oracle(eligible);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    FlowTable table;
+    IncrementalP2pDetector inc(eligible);
+    std::vector<PortId> present;
+    for (PortId p = 1; p <= kPorts; ++p) {
+      inc.add_candidate_port(p);
+      present.push_back(p);
+    }
+    const std::uint64_t token = table.subscribe(
+        [&](const flowtable::TableChangeEvent& e) { inc.on_event(e, table); });
+
+    const int steps = static_cast<int>(rng.next_in(10, 50));
+    for (int step = 0; step < steps; ++step) {
+      const std::uint32_t roll = rng.next_below(10);
+      if (roll == 0 && !present.empty()) {
+        const std::size_t idx = rng.next_below(present.size());
+        inc.remove_candidate_port(present[idx]);
+        present.erase(present.begin() +
+                      static_cast<std::ptrdiff_t>(idx));
+      } else if (roll == 1 && present.size() < kPorts) {
+        for (PortId p = 1; p <= kPorts; ++p) {
+          if (std::find(present.begin(), present.end(), p) ==
+              present.end()) {
+            inc.add_candidate_port(p);
+            present.push_back(p);
+            break;
+          }
+        }
+      } else {
+        FlowMod mod = random_rule(rng);
+        if (roll == 2) mod.command = FlowModCommand::kDelete;
+        if (roll == 3) mod.command = FlowModCommand::kModify;
+        (void)table.apply(mod);
+      }
+      if (rng.chance(1, 5)) {
+        (void)inc.refresh(table);
+        const auto expected = oracle.evaluate_all(table, present);
+        ASSERT_EQ(inc.links().size(), expected.size())
+            << "trial " << trial << " step " << step;
+        for (const P2pLink& link : expected) {
+          const auto it = inc.links().find(link.from);
+          ASSERT_NE(it, inc.links().end());
+          ASSERT_EQ(it->second, link);
+        }
+      }
+    }
+    table.unsubscribe(token);
   }
 }
 

@@ -32,7 +32,7 @@ class BypassManagerTest : public ::testing::Test {
                            .value()),
         stats_(pmd::SharedStats::create_in(stats_region_).value()),
         manager_(shm_, table_, stats_,
-                 P2pDetector([](PortId port) { return port < 100; }),
+                 IncrementalP2pDetector([](PortId port) { return port < 100; }),
                  BypassManagerConfig{.ring_capacity = 64}) {
     manager_.set_agent(&agent_);
     for (PortId port = 1; port <= 8; ++port) {
@@ -201,6 +201,117 @@ TEST_F(BypassManagerTest, NoAgentMeansNoLink) {
   manager_.set_agent(nullptr);
   add_p2p(1, 2);
   EXPECT_TRUE(manager_.links().empty());
+}
+
+// Regression: both directions of a pair deactivate in the same drain,
+// and the steering rule reappears while the teardowns are in flight.
+// The new setup must wait for the pair's region to be unplugged and
+// destroyed — starting against the old region would attach memory the
+// reverse direction's pending unplug is about to pull out from under it
+// (the double-unplug / region-destroy race).
+TEST_F(BypassManagerTest, ReAddDuringPairTeardownWaitsForRegionDestroy) {
+  add_p2p(1, 2, 100, 1);
+  add_p2p(2, 1, 100, 2);
+  manager_.on_bypass_ready(1, 2, true);
+  manager_.on_bypass_ready(2, 1, true);
+  const std::uint64_t first_epoch = agent_.setups[0].epoch;
+
+  openflow::FlowMod del;
+  del.command = openflow::FlowModCommand::kDelete;  // both rules, one drain
+  ASSERT_TRUE(table_.apply(del).is_ok());
+  manager_.on_table_change();
+  ASSERT_EQ(agent_.teardowns.size(), 2u);
+
+  // The rule comes back mid-teardown.
+  add_p2p(1, 2, 100, 3);
+  ASSERT_EQ(agent_.setups.size(), 2u);  // nothing new yet (still torn)
+
+  // 1->2's teardown completes first; 2->1 still holds the region with
+  // its unplug pending — the new setup must stay parked.
+  manager_.on_bypass_torn_down(1, 2);
+  EXPECT_EQ(agent_.setups.size(), 2u);
+  EXPECT_EQ(manager_.counters().setups_deferred_region, 1u);
+  EXPECT_EQ(manager_.deferred_links(), 1u);
+  EXPECT_NE(shm_.find("bypass.1-2"), nullptr);
+
+  // Reverse teardown completes: region destroyed, parked setup starts
+  // against a *fresh* region — full hot-plug, new epoch.
+  manager_.on_bypass_torn_down(2, 1);
+  ASSERT_EQ(agent_.setups.size(), 3u);
+  EXPECT_TRUE(agent_.setups[2].plug_required);
+  EXPECT_GT(agent_.setups[2].epoch, first_epoch);
+  manager_.on_bypass_ready(1, 2, true);
+  EXPECT_TRUE(manager_.link_active(1, 2));
+  EXPECT_EQ(manager_.deferred_links(), 0u);
+}
+
+TEST_F(BypassManagerTest, InflightCapDefersSetupsUntilCompletion) {
+  FakeAgent agent2;
+  BypassManager mgr(
+      shm_, table_, stats_,
+      IncrementalP2pDetector([](PortId port) { return port < 100; }),
+      BypassManagerConfig{.ring_capacity = 64, .max_inflight_ops = 1});
+  mgr.set_agent(&agent2);
+  for (PortId port = 1; port <= 8; ++port) mgr.add_candidate_port(port);
+
+  ASSERT_TRUE(
+      table_.apply(openflow::make_p2p_flowmod(1, 2, 100, 1)).is_ok());
+  ASSERT_TRUE(
+      table_.apply(openflow::make_p2p_flowmod(3, 4, 100, 2)).is_ok());
+  mgr.on_table_change();
+  EXPECT_EQ(agent2.setups.size(), 1u);  // one op in flight, one parked
+  EXPECT_EQ(mgr.inflight_ops(), 1u);
+  EXPECT_EQ(mgr.deferred_links(), 1u);
+  EXPECT_EQ(mgr.counters().setups_deferred_inflight, 1u);
+
+  mgr.on_bypass_ready(1, 2, true);  // completion frees the slot
+  EXPECT_EQ(agent2.setups.size(), 2u);
+  mgr.on_bypass_ready(3, 4, true);
+  EXPECT_EQ(mgr.active_links(), 2u);
+  EXPECT_EQ(mgr.deferred_links(), 0u);
+}
+
+TEST_F(BypassManagerTest, CandidateRemovalTearsDownOwnLink) {
+  add_p2p(1, 2, 100, 1);
+  manager_.on_bypass_ready(1, 2, true);
+  manager_.remove_candidate_port(1);
+  ASSERT_EQ(agent_.teardowns.size(), 1u);
+  EXPECT_TRUE(agent_.teardowns[0].unplug_after);
+  manager_.on_bypass_torn_down(1, 2);
+  EXPECT_TRUE(manager_.links().empty());
+  // The port is no longer a candidate: re-adding the rule does nothing.
+  add_p2p(1, 2, 100, 2);
+  EXPECT_TRUE(manager_.links().empty());
+}
+
+TEST_F(BypassManagerTest, RxFaninCapParksFifthInboundLink) {
+  // Fill the destination's RX-ring budget: four sources into port 1.
+  for (PortId from = 2; from <= 5; ++from) {
+    add_p2p(from, 1, 100, from);
+    manager_.on_bypass_ready(from, 1, true);
+  }
+  ASSERT_EQ(agent_.setups.size(), 4u);
+
+  // A fifth inbound link must NOT reach the agent — the guest PMD would
+  // NACK the RX attach and the link would be dropped without retry.
+  add_p2p(6, 1, 100, 6);
+  EXPECT_EQ(agent_.setups.size(), 4u);
+  EXPECT_EQ(manager_.counters().setups_deferred_fanin, 1u);
+  EXPECT_EQ(manager_.deferred_links(), 1u);
+
+  // Deleting one inbound rule starts its teardown, but the ring is still
+  // occupied until the teardown completes: the parked link stays parked.
+  del_p2p(2, 1);
+  ASSERT_EQ(agent_.teardowns.size(), 1u);
+  EXPECT_EQ(agent_.setups.size(), 4u);
+  EXPECT_EQ(manager_.deferred_links(), 1u);
+
+  // Teardown completion frees the RX slot and drains the parked setup.
+  manager_.on_bypass_torn_down(2, 1);
+  ASSERT_EQ(agent_.setups.size(), 5u);
+  EXPECT_EQ(agent_.setups.back().from, 6);
+  EXPECT_EQ(agent_.setups.back().to, 1);
+  EXPECT_EQ(manager_.deferred_links(), 0u);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "exec/runtime.h"
 #include "openflow/codec.h"
 #include "pkt/checksum.h"
@@ -407,7 +409,9 @@ TEST_F(OfSwitchTest, EngineAssignmentRoundRobins) {
                 .engine_count = 2,
                 .bypass_enabled = false});
   for (int i = 0; i < 4; ++i) {
-    ASSERT_TRUE(of2.add_dpdkr_port("p" + std::to_string(i)).is_ok());
+    char name[8];
+    std::snprintf(name, sizeof name, "p%d", i);
+    ASSERT_TRUE(of2.add_dpdkr_port(name).is_ok());
   }
   EXPECT_EQ(of2.engines()[0]->port_count(), 2u);
   EXPECT_EQ(of2.engines()[1]->port_count(), 2u);
