@@ -202,6 +202,18 @@ inline void export_counters(benchmark::State& state,
       static_cast<double>(metrics.rebalance_checks);
   state.counters["bucket_migrations"] =
       static_cast<double>(metrics.bucket_migrations);
+  // Offered-load shape (see docs/WORKLOADS.md): what the generators
+  // actually offered in the window — a starved or gated generator shows
+  // up here instead of masquerading as a datapath slowdown.
+  state.counters["active_flows"] =
+      static_cast<double>(metrics.offered_active_flows);
+  state.counters["flow_arrivals"] =
+      static_cast<double>(metrics.offered_arrivals);
+  state.counters["flow_departures"] =
+      static_cast<double>(metrics.offered_departures);
+  state.counters["top16_share"] = metrics.offered_top16_share;
+  state.counters["gen_alloc_fail"] =
+      static_cast<double>(metrics.gen_alloc_failures);
 }
 
 /// Publishes one engine-tagged counter column as `e<i>_<name>` — the

@@ -20,6 +20,7 @@ pkt::TrafficProfile ChainScenario::profile_fwd() const {
   profile.src_ip_base = pkt::ipv4(10, 0, 0, 1);
   profile.dst_ip_base = pkt::ipv4(10, 1, 0, 1);
   profile.seed = 1;
+  profile.workload = config_.workload;
   return profile;
 }
 
@@ -230,8 +231,49 @@ void ChainScenario::wire_telemetry() {
                                   static_cast<double>(lookups);
       });
 
+  // Offered-load shape (docs/WORKLOADS.md): a bench starving its own
+  // generators or a churn model collapsing the population shows up in
+  // the sampled series instead of silently under-offering load.
+  metrics_->gauge("gen.active_flows").set_callback([this] {
+    return static_cast<double>(offered_stats().active_flows);
+  });
+  metrics_->gauge("gen.alloc_failures").set_callback([this] {
+    return static_cast<double>(total_gen_alloc_failures());
+  });
+
   sampler_ = std::make_unique<telemetry::MetricsSampler>(*metrics_);
   sampler_->start(*runtime_, config_.telemetry.sample_interval_ns);
+}
+
+pkt::WorkloadStats ChainScenario::offered_stats() const {
+  pkt::WorkloadStats total;
+  const auto add = [&total](const pkt::WorkloadStats& s) {
+    total.offered += s.offered;
+    total.active_flows += s.active_flows;
+    total.flow_arrivals += s.flow_arrivals;
+    total.flow_departures += s.flow_departures;
+    total.distinct_flows += s.distinct_flows;
+  };
+  if (config_.use_nics) {
+    if (src_fwd_) add(src_fwd_->workload_stats());
+    if (src_rev_) add(src_rev_->workload_stats());
+  } else {
+    if (head_ != nullptr) add(head_->workload_stats());
+    if (tail_ != nullptr) add(tail_->workload_stats());
+  }
+  return total;
+}
+
+std::uint64_t ChainScenario::total_gen_alloc_failures() const {
+  std::uint64_t total = 0;
+  if (config_.use_nics) {
+    if (src_fwd_) total += src_fwd_->alloc_failures();
+    if (src_rev_) total += src_rev_->alloc_failures();
+  } else {
+    if (head_ != nullptr) total += head_->counters().alloc_failures;
+    if (tail_ != nullptr) total += tail_->counters().alloc_failures;
+  }
+  return total;
 }
 
 std::string ChainScenario::export_trace_json() const {
@@ -332,6 +374,8 @@ void ChainScenario::snapshot() {
     snap_rss_queue_drops_ += engine->counters().rss_queue_drops;
   }
   snap_rss_ = of_->rss_stats();
+  snap_offered_ = offered_stats();
+  snap_gen_alloc_failures_ = total_gen_alloc_failures();
 
   if (sink_fwd_) sink_fwd_->reset_latency();
   if (sink_rev_) sink_rev_->reset_latency();
@@ -440,6 +484,21 @@ ChainMetrics ChainScenario::measure(TimeNs duration_ns) {
   metrics.rebalance_checks = rss.rebalance_checks - snap_rss_.rebalance_checks;
   metrics.bucket_migrations =
       rss.bucket_migrations - snap_rss_.bucket_migrations;
+
+  const pkt::WorkloadStats offered = offered_stats();
+  metrics.offered_active_flows = offered.active_flows;
+  metrics.offered_arrivals = offered.flow_arrivals - snap_offered_.flow_arrivals;
+  metrics.offered_departures =
+      offered.flow_departures - snap_offered_.flow_departures;
+  metrics.gen_alloc_failures =
+      total_gen_alloc_failures() - snap_gen_alloc_failures_;
+  // Top-k share of the forward-direction generator (the shares of the
+  // two directions are statistically identical by construction).
+  if (config_.use_nics) {
+    if (src_fwd_) metrics.offered_top16_share = src_fwd_->top_share(16);
+  } else if (head_ != nullptr) {
+    metrics.offered_top16_share = head_->top_share(16);
+  }
 
   std::size_t engine_index = 0;
   const double window_cycles = static_cast<double>(metrics.duration_ns) *

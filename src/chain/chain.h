@@ -59,6 +59,10 @@ struct ChainConfig {
 
   std::uint32_t frame_len = 64;
   std::uint32_t flow_count = 8;
+  /// Offered-load shape for every generator in the scenario: flow
+  /// popularity distribution, churn model, mice/elephants mix (see
+  /// docs/WORKLOADS.md). Defaults to the legacy round-robin sweep.
+  pkt::WorkloadConfig workload{};
   /// 0 = generate at core speed (saturation). Nonzero paces each
   /// memory-only endpoint generator (per direction) — used by the latency
   /// experiment to measure below saturation.
@@ -119,6 +123,13 @@ struct ChainMetrics {
   std::uint64_t rss_queue_drops = 0;   ///< steered frames full queues dropped
   std::uint64_t rebalance_checks = 0;  ///< auto-lb EWMA windows evaluated
   std::uint64_t bucket_migrations = 0; ///< auto-lb bucket handoffs
+  // Offered-load shape from the workload engines, summed over the
+  // scenario's generators (see docs/WORKLOADS.md).
+  std::uint64_t offered_active_flows = 0;  ///< live population at window end
+  std::uint64_t offered_arrivals = 0;      ///< flows admitted in the window
+  std::uint64_t offered_departures = 0;    ///< flows retired in the window
+  double offered_top16_share = 0;  ///< load share of the ~16 hottest flows
+  std::uint64_t gen_alloc_failures = 0;  ///< generators starved by the pool
 };
 
 class ChainScenario {
@@ -206,6 +217,10 @@ class ChainScenario {
  private:
   [[nodiscard]] pkt::TrafficProfile profile_fwd() const;
   [[nodiscard]] pkt::TrafficProfile profile_rev() const;
+  /// Sums WorkloadStats over every live generator (NIC sources or
+  /// memory-endpoint apps, whichever this topology uses).
+  [[nodiscard]] pkt::WorkloadStats offered_stats() const;
+  [[nodiscard]] std::uint64_t total_gen_alloc_failures() const;
   void snapshot();
 
   void wire_telemetry();
@@ -252,6 +267,8 @@ class ChainScenario {
   std::uint64_t snap_rss_distributed_ = 0;
   std::uint64_t snap_rss_queue_drops_ = 0;
   vswitch::RssStats snap_rss_;
+  pkt::WorkloadStats snap_offered_;
+  std::uint64_t snap_gen_alloc_failures_ = 0;
   TimeNs snap_time_ = 0;
 };
 

@@ -805,9 +805,30 @@ void MegaflowCache::evict_one(const Subtable* protect) {
     if (&subtable == protect && subtable.slots.size() == 1) {
       continue;  // only the just-inserted entry lives here
     }
-    // Index 0 is never the just-inserted entry (that sits at the back of
-    // a subtable with >= 2 slots when we get here).
-    subtable.erase_at(0);
+    // Victim choice is a second-chance clock hand over the slots,
+    // preferring entries not touched in the current sizing window.
+    // erase_at() swap-fills the hole from the back, so a fixed victim
+    // index would consume the subtable's *tail* — the newest entries,
+    // which under flow churn are exactly the live working set. A shrink
+    // trim would then evict what the traffic is using, the re-upcalls
+    // would re-inflate the working-set EWMA, and the auto-sizer would
+    // oscillate instead of converging (the workload_cache_test
+    // convergence oracle catches this).
+    const std::size_t limit = &subtable == protect
+                                  ? subtable.slots.size() - 1
+                                  : subtable.slots.size();
+    std::size_t victim = evict_cursor_ % limit;
+    constexpr std::size_t kClockProbeMax = 8;
+    for (std::size_t probe = 0; probe < kClockProbeMax && probe < limit;
+         ++probe) {
+      const std::size_t i = (victim + probe) % limit;
+      if (subtable.slots[i].touch_epoch != size_epoch_) {
+        victim = i;
+        break;
+      }
+    }
+    evict_cursor_ = victim + 1;
+    subtable.erase_at(victim);
     --entries_;
     ++stats_.capacity_evictions;
     if (subtable.slots.empty()) {

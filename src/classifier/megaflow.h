@@ -557,6 +557,10 @@ class MegaflowCache {
   std::uint32_t lookups_since_resize_ = 0;
   std::size_t window_distinct_ = 0;
   double working_set_ewma_ = 0.0;
+  /// Clock hand for capacity eviction: spreads victims across a
+  /// subtable's slots (see evict_one) instead of eating the swap-filled
+  /// tail, which holds the newest — i.e. live — entries under churn.
+  std::size_t evict_cursor_ = 0;
 
   // Revalidator state. The queue is written by on_table_change (any
   // thread) and drained on the owner's thread; events_pending_ keeps the

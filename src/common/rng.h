@@ -54,6 +54,11 @@ class Rng {
     return next_below(den) < num;
   }
 
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
  private:
   std::uint64_t s0_;
   std::uint64_t s1_;

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+/// \file sampler.h
+/// Random-variate samplers for the workload library: Zipfian rank
+/// selection, Poisson arrival processes, and ON-OFF burst gating. All
+/// state is O(1) so a generator can offer millions of distinct flows
+/// without materializing any per-flow table, and every sampler draws from
+/// an explicit Rng so runs are bit-for-bit reproducible.
+
+namespace hw {
+
+/// Samples ranks in [0, n) with P(rank k) proportional to (k+1)^-s — an
+/// exact Zipf(s) draw via rejection from the integral envelope
+/// H(x) = ((x^(1-s)) - 1) / (1-s)  (ln x when s == 1).
+///
+/// By convexity of x^-s, the envelope mass of the unit cell around k,
+/// q_k = H(k+0.5) - H(k-0.5), satisfies q_k >= k^-s, so accepting a
+/// candidate k with probability k^-s / q_k yields the exact Zipf pmf.
+/// Acceptance is > 70% for all s in (0, 2]; there is no precomputed
+/// table, so `n` may differ on every call (needed when the active flow
+/// set churns).
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(double s) noexcept : s_(s) {}
+
+  [[nodiscard]] double s() const noexcept { return s_; }
+
+  /// Draws a rank in [0, n). Rank 0 is the most popular. n == 0 returns 0.
+  [[nodiscard]] std::uint64_t draw(Rng& rng, std::uint64_t n) const noexcept {
+    if (n <= 1) return 0;
+    const double h_lo = envelope(0.5);
+    const double h_hi = envelope(static_cast<double>(n) + 0.5);
+    for (;;) {
+      const double u = h_lo + rng.next_double() * (h_hi - h_lo);
+      const double x = envelope_inverse(u);
+      // Round to the nearest integer rank >= 1; clamp guards fp edges.
+      auto k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n) k = n;
+      const double qk =
+          envelope(static_cast<double>(k) + 0.5) -
+          envelope(static_cast<double>(k) - 0.5);
+      const double pk = std::pow(static_cast<double>(k), -s_);
+      if (rng.next_double() * qk <= pk) return k - 1;
+    }
+  }
+
+  /// Analytic generalized harmonic number H_{n,s} = sum_{k=1..n} k^-s.
+  /// O(min(n, 4096)) exact head plus an Euler–Maclaurin tail; used by the
+  /// statistical tests and the bench smoke gates for expected top-k mass.
+  [[nodiscard]] static double harmonic(std::uint64_t n, double s) noexcept {
+    if (n == 0) return 0.0;
+    constexpr std::uint64_t kExactHead = 4096;
+    const std::uint64_t head = n < kExactHead ? n : kExactHead;
+    double sum = 0.0;
+    for (std::uint64_t k = 1; k <= head; ++k) {
+      sum += std::pow(static_cast<double>(k), -s);
+    }
+    if (head < n) {
+      // Euler–Maclaurin: integral + boundary correction, error O(head^-s-2).
+      const double a = static_cast<double>(head);
+      const double b = static_cast<double>(n);
+      double integral;
+      if (s == 1.0) {
+        integral = std::log(b / a);
+      } else {
+        integral = (std::pow(b, 1.0 - s) - std::pow(a, 1.0 - s)) / (1.0 - s);
+      }
+      sum += integral +
+             0.5 * (std::pow(b, -s) - std::pow(a, -s));
+    }
+    return sum;
+  }
+
+  /// Fraction of offered load carried by the k most popular of n flows.
+  [[nodiscard]] static double top_k_mass(std::uint64_t k, std::uint64_t n,
+                                         double s) noexcept {
+    if (n == 0) return 0.0;
+    if (k >= n) return 1.0;
+    return harmonic(k, s) / harmonic(n, s);
+  }
+
+ private:
+  [[nodiscard]] double envelope(double x) const noexcept {
+    if (s_ == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+  }
+  [[nodiscard]] double envelope_inverse(double h) const noexcept {
+    if (s_ == 1.0) return std::exp(h);
+    return std::pow(1.0 + h * (1.0 - s_), 1.0 / (1.0 - s_));
+  }
+
+  double s_;
+};
+
+/// Homogeneous Poisson process: exponentially distributed inter-arrival
+/// gaps with the configured mean (virtual nanoseconds).
+class PoissonProcess {
+ public:
+  explicit PoissonProcess(TimeNs mean_gap_ns) noexcept
+      : mean_gap_ns_(mean_gap_ns < 1 ? 1 : mean_gap_ns) {}
+
+  /// Draws the gap to the next arrival (>= 1 ns so time always advances).
+  [[nodiscard]] TimeNs next_gap(Rng& rng) const noexcept {
+    // Inverse CDF; 1-u avoids log(0).
+    const double u = rng.next_double();
+    const double gap =
+        -static_cast<double>(mean_gap_ns_) * std::log(1.0 - u);
+    if (gap < 1.0) return 1;
+    constexpr double kMaxGap = 9.0e18;
+    if (gap > kMaxGap) return static_cast<TimeNs>(kMaxGap);
+    return static_cast<TimeNs>(gap);
+  }
+
+  [[nodiscard]] TimeNs mean_gap_ns() const noexcept { return mean_gap_ns_; }
+
+ private:
+  TimeNs mean_gap_ns_;
+};
+
+/// Two-state ON-OFF gate with exponentially distributed phase durations
+/// (the classic interrupted-Poisson burst model). Advance with the current
+/// virtual time; `is_on` consumes no randomness unless a phase expired.
+class OnOffGate {
+ public:
+  OnOffGate(TimeNs on_mean_ns, TimeNs off_mean_ns) noexcept
+      : on_(on_mean_ns), off_(off_mean_ns) {}
+
+  /// Advances phase state to `now` and reports whether the gate is open.
+  [[nodiscard]] bool is_on(TimeNs now, Rng& rng) noexcept {
+    if (phase_end_ == 0) {  // first call: start in the ON phase
+      on_now_ = true;
+      phase_end_ = now + on_.next_gap(rng);
+      ++transitions_;
+    }
+    while (phase_end_ <= now) {
+      on_now_ = !on_now_;
+      phase_end_ += (on_now_ ? on_ : off_).next_gap(rng);
+      ++transitions_;
+    }
+    return on_now_;
+  }
+
+  [[nodiscard]] std::uint64_t transitions() const noexcept {
+    return transitions_;
+  }
+
+ private:
+  PoissonProcess on_;
+  PoissonProcess off_;
+  TimeNs phase_end_ = 0;
+  bool on_now_ = false;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace hw

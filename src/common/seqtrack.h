@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file seqtrack.h
+/// Per-flow sequence-order tracking for traffic sinks. A single global
+/// "last seq seen" mislabels ordinary cross-flow interleaving as reorder
+/// once traffic is multi-flow and skewed (RSS shards and per-flow pacing
+/// legitimately deliver flow A's newer packet before flow B's older one);
+/// only intra-flow regressions are real reorders.
+///
+/// The tracker is a direct-mapped table keyed by flow hash: O(1) per
+/// packet, bounded memory no matter how many flows churn past. A hash
+/// collision or a new flow simply retakes the slot (counted in
+/// `retags()`), which can only under-count reorders — never invent them
+/// for fresh flows — so the reorder counter stays trustworthy as a
+/// regression signal.
+
+namespace hw {
+
+class FlowSeqTracker {
+ public:
+  /// `slot_count` is rounded up to a power of two.
+  explicit FlowSeqTracker(std::size_t slot_count = 1u << 14)
+      : slots_(next_power_of_two(slot_count < 2 ? 2 : slot_count)),
+        mask_(slots_.size() - 1) {}
+
+  /// Records `seq` for the flow identified by `hash`; returns true iff the
+  /// packet arrived out of order *within its own flow*.
+  [[nodiscard]] bool record(std::uint32_t hash, SeqNo seq) noexcept {
+    Slot& slot = slots_[hash & mask_];
+    if (slot.last_seq != 0 && slot.hash == hash) {
+      if (seq < slot.last_seq) return true;
+      slot.last_seq = seq;
+      return false;
+    }
+    // Empty slot, or a different flow mapped here: (re)tag it.
+    if (slot.last_seq != 0) ++retags_;
+    slot.hash = hash;
+    slot.last_seq = seq;
+    return false;
+  }
+
+  /// Times a slot was recycled for a different flow hash (collisions plus
+  /// flow churn). A high rate relative to packets means the table is too
+  /// small to catch intra-flow reorders reliably.
+  [[nodiscard]] std::uint64_t retags() const noexcept { return retags_; }
+
+ private:
+  struct Slot {
+    std::uint32_t hash = 0;
+    SeqNo last_seq = 0;  ///< 0 = slot empty (generated seqs start at 1)
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_;
+  std::uint64_t retags_ = 0;
+};
+
+}  // namespace hw

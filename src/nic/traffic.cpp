@@ -1,7 +1,5 @@
 #include "nic/traffic.h"
 
-#include <cstring>
-
 #include "pkt/packet.h"
 
 namespace hw::nic {
@@ -12,25 +10,14 @@ TrafficSource::TrafficSource(std::string name, mbuf::Mempool& pool,
     : name_(std::move(name)),
       pool_(&pool),
       runtime_(&runtime),
-      frame_len_(profile.frame_len) {
-  mbuf::Mbuf scratch;
-  for (const pkt::FrameSpec& spec : profile.make_flows()) {
-    const bool ok = pkt::build_frame(scratch, spec);
-    (void)ok;
-    templates_.emplace_back(scratch.data, scratch.data + scratch.data_len);
-  }
-  if (templates_.empty()) {
-    // Degenerate profile: fall back to one default flow.
-    const bool ok = pkt::build_frame(scratch, pkt::FrameSpec{});
-    (void)ok;
-    templates_.emplace_back(scratch.data, scratch.data + scratch.data_len);
-  }
-}
+      frame_len_(profile.frame_len),
+      gen_(profile) {}
 
 std::size_t TrafficSource::produce(std::span<mbuf::Mbuf*> out) noexcept {
   // Epoch start, not now_ns(): ts_ns is read by the sink's context, and
   // per-context intra-epoch offsets are not mutually ordered.
   const TimeNs now = runtime_->epoch_start_ns();
+  if (!gen_.advance(now)) return 0;  // ON-OFF gate closed / population empty
   std::size_t n = 0;
   for (; n < out.size(); ++n) {
     mbuf::Mbuf* buf = pool_->alloc();
@@ -38,10 +25,7 @@ std::size_t TrafficSource::produce(std::span<mbuf::Mbuf*> out) noexcept {
       ++alloc_failures_;
       break;
     }
-    const auto& image = templates_[next_flow_];
-    next_flow_ = (next_flow_ + 1) % templates_.size();
-    std::memcpy(buf->data, image.data(), image.size());
-    buf->data_len = static_cast<std::uint32_t>(image.size());
+    gen_.synthesize(*buf, gen_.pick_flow());
     buf->seq = next_seq_++;
     buf->ts_ns = now;
     out[n] = buf;
@@ -63,8 +47,8 @@ void TrafficSink::consume(std::span<mbuf::Mbuf* const> pkts) noexcept {
     bytes_ += buf->data_len;
     if (buf->ts_ns <= now) latency_.record(now - buf->ts_ns);
     if (buf->seq != 0) {
-      if (buf->seq < last_seq_) ++reorders_;
-      last_seq_ = std::max(last_seq_, buf->seq);
+      const std::uint32_t hash = pkt::flow_hash_of(*buf);
+      if (seq_track_.record(hash, buf->seq)) ++reorders_;
     }
     pool_->free(buf);
   }

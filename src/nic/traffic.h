@@ -3,13 +3,14 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <vector>
 
 #include "common/latency.h"
+#include "common/seqtrack.h"
 #include "common/types.h"
 #include "exec/runtime.h"
 #include "mbuf/mempool.h"
 #include "pkt/traffic_profile.h"
+#include "pkt/workload_gen.h"
 
 /// \file traffic.h
 /// Wire-side endpoints of a simulated NIC: an (infinitely fast) traffic
@@ -19,16 +20,20 @@
 
 namespace hw::nic {
 
-/// Generates frames from a TrafficProfile, cycling its flows round-robin.
-/// Each frame is stamped with a monotonic sequence number and the current
-/// (virtual) time for loss and latency accounting downstream.
+/// Generates frames from a TrafficProfile through the workload engine
+/// (distribution, churn, mice/elephants — see docs/WORKLOADS.md). Frames
+/// are synthesized lazily per packet from the profile's compact flow
+/// descriptor, so memory stays O(active flows) even for profiles offering
+/// millions of distinct 5-tuples. Each frame is stamped with a monotonic
+/// sequence number and the current (virtual) time for loss and latency
+/// accounting downstream.
 class TrafficSource {
  public:
   TrafficSource(std::string name, mbuf::Mempool& pool,
                 const pkt::TrafficProfile& profile, exec::Runtime& runtime);
 
   /// Fills up to out.size() frames; returns how many were produced
-  /// (bounded by mempool availability).
+  /// (bounded by mempool availability and the workload's ON-OFF gate).
   std::size_t produce(std::span<mbuf::Mbuf*> out) noexcept;
 
   [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
@@ -38,21 +43,30 @@ class TrafficSource {
   [[nodiscard]] std::uint32_t frame_len() const noexcept { return frame_len_; }
   [[nodiscard]] std::string_view name() const noexcept { return name_; }
 
+  /// Offered-load shape: active flows, arrivals/departures, distinct ids.
+  [[nodiscard]] const pkt::WorkloadStats& workload_stats() const noexcept {
+    return gen_.stats();
+  }
+  /// Share of offered frames carried by the ~k hottest flows.
+  [[nodiscard]] double top_share(std::size_t k) const {
+    return gen_.top_share(k);
+  }
+
  private:
   std::string name_;
   mbuf::Mempool* pool_;
   exec::Runtime* runtime_;
   std::uint32_t frame_len_;
-  // Pre-built frame images, one per flow (templates are memcpy'd into
-  // fresh mbufs — the per-packet cost a real generator pays).
-  std::vector<std::vector<std::byte>> templates_;
-  std::size_t next_flow_ = 0;
+  pkt::WorkloadGen gen_;
   SeqNo next_seq_ = 1;
   std::uint64_t generated_ = 0;
   std::uint64_t alloc_failures_ = 0;
 };
 
-/// Counts, measures, and frees delivered frames.
+/// Counts, measures, and frees delivered frames. Reordering is tracked
+/// per flow (direct-mapped by flow hash): the generator's global sequence
+/// numbers are monotonic within each flow, so a seq regression inside one
+/// flow is a real reorder while cross-flow interleaving is not.
 class TrafficSink {
  public:
   TrafficSink(std::string name, mbuf::Mempool& pool, exec::Runtime& runtime);
@@ -62,6 +76,10 @@ class TrafficSink {
   [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
   [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
   [[nodiscard]] std::uint64_t reorders() const noexcept { return reorders_; }
+  /// Flow-tracker slot recycles (collisions + churn); see seqtrack.h.
+  [[nodiscard]] std::uint64_t seq_retags() const noexcept {
+    return seq_track_.retags();
+  }
   [[nodiscard]] const LatencyRecorder& latency() const noexcept {
     return latency_;
   }
@@ -78,7 +96,7 @@ class TrafficSink {
   std::uint64_t received_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t reorders_ = 0;
-  SeqNo last_seq_ = 0;
+  FlowSeqTracker seq_track_;
   LatencyRecorder latency_;
 };
 

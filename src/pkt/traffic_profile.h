@@ -3,20 +3,21 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/rng.h"
 #include "pkt/packet.h"
+#include "pkt/workload.h"
 
 /// \file traffic_profile.h
 /// Describes the synthetic workloads offered to a chain: how many distinct
-/// flows, frame size, and the L3/L4 identity of each flow. The paper's
-/// evaluation uses 64 B frames; the web/non-web split of Figure 1 is
-/// expressed as a profile with a TCP-port-80 subset.
+/// flows, frame size, the L3/L4 identity of each flow, and the offered-load
+/// shape (distribution/churn — see workload.h). The paper's evaluation uses
+/// 64 B frames; the web/non-web split of Figure 1 is expressed as a profile
+/// with a TCP-port-80 subset.
 
 namespace hw::pkt {
 
 struct TrafficProfile {
   std::uint32_t frame_len = 64;
-  std::uint32_t flow_count = 16;  ///< distinct 5-tuples cycled round-robin
+  std::uint32_t flow_count = 16;  ///< initial/static population size
   std::uint16_t base_src_port = 1000;
   std::uint16_t base_dst_port = 2000;
   std::uint32_t src_ip_base = ipv4(10, 0, 0, 1);
@@ -25,30 +26,49 @@ struct TrafficProfile {
   /// the Figure 1 service graph); the rest are UDP.
   std::uint32_t web_percent = 0;
   std::uint64_t seed = 42;
+  /// Offered-load shape: distribution, churn, mice/elephants. Defaults
+  /// reproduce the legacy round-robin sweep exactly.
+  WorkloadConfig workload{};
 
-  /// Materializes the per-flow frame specs.
+  /// Stateless per-flow web/non-web decision (SplitMix64 of (seed, i)), so
+  /// flow specs are random-access: synthesizing flow i never needs the
+  /// i-1 preceding draws. Required for lazy frame synthesis over flow
+  /// populations too large to materialize.
+  [[nodiscard]] bool flow_is_web(std::uint64_t i) const noexcept {
+    if (web_percent == 0) return false;
+    std::uint64_t z = seed + (i + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z % 100 < web_percent;
+  }
+
+  /// The frame spec of flow `i`, computable in O(1) for any index — churn
+  /// mints fresh ids forever, so ids are not bounded by flow_count.
+  [[nodiscard]] FrameSpec flow_spec(std::uint64_t i) const noexcept {
+    FrameSpec spec;
+    spec.frame_len = frame_len;
+    spec.src_mac = MacAddr::from_index(static_cast<std::uint32_t>(100 + i));
+    spec.dst_mac = MacAddr::from_index(static_cast<std::uint32_t>(200 + i));
+    spec.src_ip = src_ip_base + static_cast<std::uint32_t>(i);
+    spec.dst_ip = dst_ip_base + static_cast<std::uint32_t>(i);
+    spec.src_port = static_cast<std::uint16_t>(base_src_port + i);
+    if (flow_is_web(i)) {
+      spec.ip_proto = kIpProtoTcp;
+      spec.dst_port = 80;
+    } else {
+      spec.ip_proto = kIpProtoUdp;
+      spec.dst_port = static_cast<std::uint16_t>(base_dst_port + i);
+    }
+    return spec;
+  }
+
+  /// Materializes the per-flow frame specs for the initial population.
   [[nodiscard]] std::vector<FrameSpec> make_flows() const {
     std::vector<FrameSpec> flows;
     flows.reserve(flow_count);
-    Rng rng(seed);
     for (std::uint32_t i = 0; i < flow_count; ++i) {
-      FrameSpec spec;
-      spec.frame_len = frame_len;
-      spec.src_mac = MacAddr::from_index(100 + i);
-      spec.dst_mac = MacAddr::from_index(200 + i);
-      spec.src_ip = src_ip_base + i;
-      spec.dst_ip = dst_ip_base + i;
-      const bool web = rng.chance(web_percent, 100);
-      if (web) {
-        spec.ip_proto = kIpProtoTcp;
-        spec.src_port = static_cast<std::uint16_t>(base_src_port + i);
-        spec.dst_port = 80;
-      } else {
-        spec.ip_proto = kIpProtoUdp;
-        spec.src_port = static_cast<std::uint16_t>(base_src_port + i);
-        spec.dst_port = static_cast<std::uint16_t>(base_dst_port + i);
-      }
-      flows.push_back(spec);
+      flows.push_back(flow_spec(i));
     }
     return flows;
   }

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sampler.h"
+#include "common/topk.h"
+#include "mbuf/mbuf.h"
+#include "pkt/traffic_profile.h"
+#include "pkt/workload.h"
+
+/// \file workload_gen.h
+/// The workload engine behind every traffic generator: picks which flow
+/// sends next (round-robin / uniform / Zipf over the live population),
+/// runs the churn process (Poisson arrivals, mice packet budgets,
+/// elephant lifetimes, ON-OFF gating), and synthesizes frames lazily from
+/// the profile's compact flow descriptor.
+///
+/// Memory is O(active flows) for churn bookkeeping and O(1) for
+/// everything else — no per-flow template images — so a profile can offer
+/// millions of distinct 5-tuples. Synthesis is byte-identical to
+/// build_frame(profile.flow_spec(id)): a prototype frame per L4 protocol
+/// is patched with the flow's MACs/IPs/ports and the IPv4 header checksum
+/// is recomputed (workload_test.cpp holds the byte-for-byte regression).
+
+namespace hw::pkt {
+
+class WorkloadGen {
+ public:
+  explicit WorkloadGen(const TrafficProfile& profile);
+
+  /// Advances churn/gating state to virtual time `now`. Returns false
+  /// when the source must stay silent this poll (ON-OFF gate closed, or
+  /// a churned population that is momentarily empty).
+  [[nodiscard]] bool advance(TimeNs now) noexcept;
+
+  /// Selects the flow for the next frame. Only valid after the most
+  /// recent advance() returned true.
+  [[nodiscard]] std::uint64_t pick_flow() noexcept;
+
+  /// Writes the complete frame for `flow_id` into `buf` (sets data_len,
+  /// clears the cached flow hash).
+  void synthesize(mbuf::Mbuf& buf, std::uint64_t flow_id) noexcept;
+
+  [[nodiscard]] const WorkloadStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return cfg_; }
+
+  /// Fraction of offered frames carried by the ~k hottest flows (exact
+  /// for round-robin, SpaceSaving estimate otherwise).
+  [[nodiscard]] double top_share(std::size_t k) const;
+
+  [[nodiscard]] std::uint32_t frame_len() const noexcept {
+    return profile_.frame_len;
+  }
+
+ private:
+  struct ActiveFlow {
+    std::uint64_t id = 0;
+    std::uint32_t packets_left = 0;  ///< >0 = mouse budget; 0 = elephant
+    TimeNs deadline = 0;             ///< elephant lifetime end; 0 = immortal
+  };
+
+  void build_prototypes();
+  void spawn(TimeNs now) noexcept;
+  void admit(TimeNs now) noexcept;
+  void sweep_expired(TimeNs now) noexcept;
+  void depart(std::size_t idx) noexcept;
+  [[nodiscard]] std::uint64_t pick_rank(std::uint64_t n) noexcept;
+
+  TrafficProfile profile_;
+  WorkloadConfig cfg_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  PoissonProcess arrivals_;
+  PoissonProcess elephant_life_;
+  OnOffGate gate_;
+  TopKSketch topk_;
+  bool track_topk_;
+
+  /// Live population under ChurnModel::kPoisson. Departures swap-pop, so
+  /// the head of the vector drifts toward long-lived flows — which is
+  /// exactly where Zipf puts its hot ranks.
+  std::vector<ActiveFlow> active_;
+  std::uint64_t next_fresh_id_ = 0;
+  TimeNs next_arrival_ = 0;
+  std::uint32_t polls_since_sweep_ = 0;
+  std::uint64_t rr_next_ = 0;
+
+  std::vector<std::byte> proto_udp_;
+  std::vector<std::byte> proto_tcp_;
+  WorkloadStats stats_;
+};
+
+}  // namespace hw::pkt

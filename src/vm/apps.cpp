@@ -64,18 +64,9 @@ GenSinkApp::GenSinkApp(std::string name, pmd::GuestPmd& port,
       cost_(&cost),
       generate_(generate),
       burst_(burst),
-      rate_pps_(rate_pps) {
+      rate_pps_(rate_pps),
+      gen_(profile) {
   buf_.resize(burst_);
-  mbuf::Mbuf scratch;
-  for (const pkt::FrameSpec& spec : profile.make_flows()) {
-    if (pkt::build_frame(scratch, spec)) {
-      templates_.emplace_back(scratch.data, scratch.data + scratch.data_len);
-    }
-  }
-  if (templates_.empty()) {
-    (void)pkt::build_frame(scratch, pkt::FrameSpec{});
-    templates_.emplace_back(scratch.data, scratch.data + scratch.data_len);
-  }
 }
 
 std::uint32_t GenSinkApp::poll(exec::CycleMeter& meter) {
@@ -96,8 +87,13 @@ std::uint32_t GenSinkApp::poll(exec::CycleMeter& meter) {
         latency_.record(now - pkt->ts_ns);
       }
       if (pkt->seq != 0) {
-        if (pkt->seq < last_rx_seq_) ++counters_.reorders;
-        last_rx_seq_ = std::max(last_rx_seq_, pkt->seq);
+        // Per-flow order check: sequence numbers are globally monotonic at
+        // the generator, so they are monotonic within each flow too — but
+        // across flows RSS shards may legally interleave, which a single
+        // global "last seq" would miscount as reorder.
+        if (rx_track_.record(pkt::flow_hash_of(*pkt), pkt->seq)) {
+          ++counters_.reorders;
+        }
       }
       counters_.delivered_bytes += pkt->data_len;
       if (collect_int_) {
@@ -134,17 +130,21 @@ std::uint32_t GenSinkApp::poll(exec::CycleMeter& meter) {
     want = std::min<std::size_t>(burst_, static_cast<std::size_t>(tokens_));
   }
   if (generate_ && want > 0) {
+    // Cross-context stamp: the sink compares this against its own
+    // epoch_start_ns(), so it must come from the same shared clock. The
+    // workload engine advances on the same clock (ON-OFF phases and
+    // Poisson arrivals are virtual-time processes).
+    const TimeNs now = runtime_->epoch_start_ns();
+    if (!gen_.advance(now)) want = 0;  // gate closed this poll
+  }
+  if (generate_ && want > 0) {
+    const TimeNs now = runtime_->epoch_start_ns();
     const std::size_t got =
         pool_->alloc_bulk(std::span(buf_.data(), want));
+    if (got < want) counters_.alloc_failures += want - got;
     if (got > 0) {
-      // Cross-context stamp: the sink compares this against its own
-      // epoch_start_ns(), so it must come from the same shared clock.
-      const TimeNs now = runtime_->epoch_start_ns();
       for (std::size_t i = 0; i < got; ++i) {
-        const auto& image = templates_[next_flow_];
-        next_flow_ = (next_flow_ + 1) % templates_.size();
-        std::memcpy(buf_[i]->data, image.data(), image.size());
-        buf_[i]->data_len = static_cast<std::uint32_t>(image.size());
+        gen_.synthesize(*buf_[i], gen_.pick_flow());
         buf_[i]->seq = next_seq_++;
         buf_[i]->ts_ns = now;
         meter.charge(cost_->mbuf_alloc);

@@ -4,11 +4,13 @@
 #include <vector>
 
 #include "common/latency.h"
+#include "common/seqtrack.h"
 #include "exec/context.h"
 #include "exec/cost_model.h"
 #include "exec/runtime.h"
 #include "mbuf/mempool.h"
 #include "pkt/traffic_profile.h"
+#include "pkt/workload_gen.h"
 #include "pmd/guest_pmd.h"
 
 /// \file apps.h
@@ -26,7 +28,8 @@ struct AppCounters {
   std::uint64_t delivered = 0;   ///< sunk packets
   std::uint64_t delivered_bytes = 0;  ///< sunk bytes (INT trailer included)
   std::uint64_t tx_drops = 0;    ///< destination ring full, frame freed
-  std::uint64_t reorders = 0;
+  std::uint64_t reorders = 0;    ///< intra-flow sequence regressions
+  std::uint64_t alloc_failures = 0;  ///< generator starved by the mempool
 };
 
 /// Per-hop-position aggregate a sink collects from INT trailers: one
@@ -103,6 +106,15 @@ class GenSinkApp final : public exec::Context {
   void reset_latency() noexcept { latency_.reset(); }
   void set_generate(bool on) noexcept { generate_ = on; }
 
+  /// Offered-load shape from the workload engine (docs/WORKLOADS.md).
+  [[nodiscard]] const pkt::WorkloadStats& workload_stats() const noexcept {
+    return gen_.stats();
+  }
+  /// Share of offered frames carried by the ~k hottest flows.
+  [[nodiscard]] double top_share(std::size_t k) const {
+    return gen_.top_share(k);
+  }
+
   /// Enables INT trailer collection on sunk frames: per-hop-position
   /// transit latency and queue depth (docs/OBSERVABILITY.md). The sink's
   /// own GuestPmd must have INT configured so the final hop record is
@@ -124,10 +136,9 @@ class GenSinkApp final : public exec::Context {
   std::uint64_t rate_pps_;
   double tokens_ = 0;
   TimeNs last_refill_ns_ = 0;
-  std::vector<std::vector<std::byte>> templates_;
-  std::size_t next_flow_ = 0;
+  pkt::WorkloadGen gen_;  ///< lazy per-packet synthesis, O(active) memory
   SeqNo next_seq_ = 1;
-  SeqNo last_rx_seq_ = 0;
+  FlowSeqTracker rx_track_;  ///< per-flow order check (not one global seq)
   std::vector<mbuf::Mbuf*> buf_;
   AppCounters counters_;
   LatencyRecorder latency_;

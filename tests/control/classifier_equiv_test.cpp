@@ -8,6 +8,7 @@
 
 #include "classifier/dp_classifier.h"
 #include "common/rng.h"
+#include "common/sampler.h"
 #include "exec/context.h"
 #include "exec/cost_model.h"
 #include "flowtable/flow_table.h"
@@ -534,6 +535,80 @@ TEST_P(ClassifierEquivalenceTest, BypassHighwayAgreesWithWildcardOracle) {
   EXPECT_GT(links_seen, 0u) << "seed " << seed;
   EXPECT_GT(detector.counters().events, 0u) << "seed " << seed;
   EXPECT_GT(engine0.counters().emc_hits + engine0.counters().megaflow_hits,
+            0u)
+      << "seed " << seed;
+}
+
+/// ZIPF+CHURN STREAM VARIANT (workload library, docs/WORKLOADS.md). The
+/// packet stream now has the shape the workload engine offers in
+/// production: key picks are Zipf(1.1) over the pool — a few slots carry
+/// most of the stream and stay EMC/megaflow-resident for thousands of
+/// packets — while churn replaces pool slots mid-stream (flow departure +
+/// fresh arrival on the same rank) and random FlowMods keep the rule set
+/// moving underneath. This is the adversarial case for the cache tiers:
+/// long-lived hot entries must survive revalidation bursts unchanged, and
+/// a recycled slot must never be served the departed flow's verdict.
+TEST_P(ClassifierEquivalenceTest, ZipfChurnStreamAgreesWithWildcardOracle) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0x21bf5eedULL);  // distinct stream from the other variants
+  exec::CostModel cost;
+  FlowTable table;
+
+  DpClassifier scalar(table, cost);
+  DpClassifier batched(table, cost);
+  const ZipfSampler zipf(1.1);
+  exec::CycleMeter meter;
+
+  std::vector<pkt::FlowKey> pool;
+  for (int i = 0; i < 64; ++i) pool.push_back(random_key(rng));
+
+  std::vector<pkt::FlowKey> keys(kBatch);
+  std::vector<std::uint32_t> hashes(kBatch);
+  std::vector<LookupOutcome> outcomes(kBatch);
+
+  std::uint64_t churned_slots = 0;
+  std::uint64_t packets = 0;
+  for (std::uint64_t round = 0; packets < kMinPackets; ++round) {
+    const std::uint64_t mods = rng.next_below(3);
+    for (std::uint64_t i = 0; i < mods; ++i) {
+      (void)table.apply(random_mod(rng));
+    }
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      // Churn: a departing flow's slot is recycled for a fresh arrival —
+      // including hot ranks, so a cached verdict for the old 5-tuple
+      // must not leak onto its replacement.
+      if (rng.chance(1, 8)) {
+        pool[zipf.draw(rng, pool.size())] = random_key(rng);
+        ++churned_slots;
+      }
+      keys[i] = pool[zipf.draw(rng, pool.size())];
+      hashes[i] = pkt::flow_key_hash(keys[i]);
+    }
+
+    batched.lookup_batch(keys, hashes, outcomes, meter);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const RuleId oracle = id_of(table.lookup(keys[i]));
+      ASSERT_EQ(id_of(scalar.lookup(keys[i], hashes[i], meter).entry), oracle)
+          << "seed " << seed << " round " << round << " pkt " << i
+          << ": scalar path diverged from the oracle on a Zipf+churn "
+             "stream";
+      ASSERT_EQ(id_of(outcomes[i].entry), oracle)
+          << "seed " << seed << " round " << round << " pkt " << i
+          << ": batched path diverged from the oracle on a Zipf+churn "
+             "stream";
+    }
+    packets += kBatch;
+  }
+
+  // The skewed stream must have genuinely exercised the cache tiers —
+  // on a Zipf(1.1) stream the hot head should make the EMC the dominant
+  // tier, not an incidental one — and churn must actually have recycled
+  // slots for the staleness claim to mean anything.
+  EXPECT_GT(churned_slots, 0u) << "seed " << seed;
+  EXPECT_GT(scalar.counters().emc_hits, scalar.counters().slow_path_lookups)
+      << "seed " << seed
+      << ": a Zipf head this heavy must resolve mostly in the EMC";
+  EXPECT_GT(batched.counters().emc_hits + batched.counters().megaflow_hits,
             0u)
       << "seed " << seed;
 }
